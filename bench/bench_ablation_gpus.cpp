@@ -1,0 +1,36 @@
+// Ablation: GPU-count scaling ("We will verify the results on other
+// hardware platforms", Section VII). Mirage-style nodes with 1..6 GPUs:
+// how do the bounds and dmdas scale, and where does the CPU side stop
+// mattering?
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hetsched;
+  using namespace hetsched::bench;
+
+  const int n = 16;
+  const TaskGraph g = build_cholesky_dag(n);
+  std::printf("# Ablation: GPU count sweep (%dx%d tiles, 9 CPUs + g GPUs, "
+              "simulated, no comm, GFLOP/s)\n",
+              n, n);
+  std::printf("%-6s %12s %12s %12s %12s %12s\n", "gpus", "gemm_peak",
+              "mixed_bnd", "prefix_bnd", "dmdas", "efficiency");
+  for (int gpus = 1; gpus <= 6; ++gpus) {
+    const Platform p =
+        custom_platform(9, gpus, kMirageCpuTime, kMirageGpuRatio,
+                        kPaperTileSize, "mirage-" + std::to_string(gpus) + "g")
+            .without_communication();
+    DmdaScheduler dmdas = make_dmdas(g, p);
+    const double perf = gflops(n, p.nb(), simulate(g, p, dmdas).makespan_s);
+    const double mixed = gflops(n, p.nb(), mixed_bound(n, p).makespan_s);
+    std::printf("%-6d %12.1f %12.1f %12.1f %12.1f %11.1f%%\n", gpus,
+                gemm_peak_gflops(p), mixed,
+                gflops(n, p.nb(), prefix_bound(n, p)), perf,
+                perf / mixed * 100.0);
+  }
+  std::printf(
+      "\nExpected shape: the bound scales almost linearly with GPUs while\n"
+      "dmdas efficiency decays -- the fixed-size DAG cannot feed more\n"
+      "accelerators (the paper's small/medium-matrix gap, widened).\n");
+  return 0;
+}

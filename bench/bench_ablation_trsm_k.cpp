@@ -1,0 +1,45 @@
+// Ablation: full sweep of the triangle-TRSM threshold k (Figure 9's rule)
+// for medium sizes -- the paper reports the best performance at k ~ 6-8.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hetsched;
+  using namespace hetsched::bench;
+
+  const Platform p = mirage_platform().without_communication();
+  const int cpu = p.class_index("CPU");
+
+  std::printf("# Ablation: TRSM distance threshold k sweep "
+              "(dmdas, simulated, no comm, GFLOP/s)\n");
+  std::printf("%-6s", "k");
+  const std::vector<int> sizes = {8, 12, 16, 20, 24};
+  for (const int n : sizes) std::printf(" %10s%-2d", "n=", n);
+  std::printf("\n");
+
+  const int max_k = 16;
+  std::vector<double> best(sizes.size(), 0.0);
+  std::vector<int> best_k(sizes.size(), 0);
+  for (int k = 0; k <= max_k; ++k) {
+    std::printf("%-6d", k);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const int n = sizes[i];
+      const TaskGraph g = build_cholesky_dag(n);
+      DmdaScheduler sched =
+          k == 0 ? make_dmdas(g, p)
+                 : make_dmdas(g, p,
+                              hints::force_trsm_distance_to_class(k, cpu));
+      const double v = gflops(n, p.nb(), simulate(g, p, sched).makespan_s);
+      if (v > best[i]) {
+        best[i] = v;
+        best_k[i] = k;
+      }
+      std::printf(" %12.1f", v);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nbest k per size:");
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    std::printf("  n=%d -> k=%d", sizes[i], best_k[i]);
+  std::printf("\n(k = 0 row is plain dmdas; paper: best k around 6-8)\n");
+  return 0;
+}

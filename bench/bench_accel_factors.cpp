@@ -1,0 +1,24 @@
+// Section V-C2: the task-count-weighted acceleration factors K used to
+// build the fictitious "heterogeneous related" platform. The paper quotes
+// 17.30, 22.30, 24.30, 25.38, 26.06, 26.52, 26.86, 27.11 for 4..32 tiles.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hetsched;
+  std::printf(
+      "# Related-platform acceleration factors K(n) (Section V-C2)\n");
+  std::printf("%-8s %-10s %-42s\n", "tiles", "K", "task mix (P/T/S/G)");
+  for (const int n : {4, 8, 12, 16, 20, 24, 28, 32}) {
+    std::printf("%-8d %-10.2f %5lld /%5lld /%5lld /%5lld\n", n,
+                related_acceleration_factor(n),
+                static_cast<long long>(task_count(Kernel::POTRF, n)),
+                static_cast<long long>(task_count(Kernel::TRSM, n)),
+                static_cast<long long>(task_count(Kernel::SYRK, n)),
+                static_cast<long long>(task_count(Kernel::GEMM, n)));
+  }
+  std::printf(
+      "\nPaper: 17.30 22.30 24.30 25.38 26.06 26.52 26.86 27.11\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Shared helpers of the figure/table reproduction harnesses.
+//
+// Every bench binary prints a self-describing table with the same series the
+// paper plots: matrix size (in tiles of 960) against GFLOP/s, per scheduler
+// or per bound. Conventions follow Section V:
+//  * "simulated" runs are deterministic, zero-overhead, and communication-
+//    free when compared against bounds (as the paper does);
+//  * "actual" runs are emulated as simulation + per-task runtime overhead +
+//    multiplicative noise, averaged over 10 seeded runs with the standard
+//    deviation reported.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "core/flops.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager_sched.hpp"
+#include "sched/random_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched::bench {
+
+/// Matrix sizes (in tiles) swept by the paper's figures: "Matrix Size
+/// (multiple of 960)" from 1 or 2 up to 32.
+inline std::vector<int> paper_sizes() {
+  return {1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32};
+}
+
+/// Emulation parameters of "actual execution" mode (see EXPERIMENTS.md):
+/// a fixed per-task runtime cost plus ~3% duration noise, 10 runs.
+inline constexpr double kActualOverheadS = 1.0e-3;
+inline constexpr double kActualNoiseCv = 0.03;
+inline constexpr int kActualRuns = 10;
+
+struct Series {
+  double mean_gflops = 0.0;
+  double stddev_gflops = 0.0;
+};
+
+/// One deterministic simulated run -> GFLOP/s.
+inline double simulated_gflops(const TaskGraph& g, const Platform& p,
+                               Scheduler& s, int n_tiles) {
+  return gflops(n_tiles, p.nb(), simulate(g, p, s).makespan_s);
+}
+
+/// Scheduler factory keyed by the paper's policy names. `seed` feeds the
+/// random policy only.
+inline std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                                 const TaskGraph& g,
+                                                 const Platform& p,
+                                                 unsigned seed = 0,
+                                                 WorkerFilter filter = {}) {
+  if (name == "random") return std::make_unique<RandomScheduler>(seed);
+  if (name == "eager") return std::make_unique<EagerScheduler>();
+  if (name == "dmda")
+    return std::make_unique<DmdaScheduler>(make_dmda(std::move(filter)));
+  if (name == "dmdas")
+    return std::make_unique<DmdaScheduler>(
+        make_dmdas(g, p, std::move(filter)));
+  std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+  std::abort();
+}
+
+/// Average +/- stddev of `runs` seeded executions under `opt_base` (seeds
+/// override opt_base.noise_seed; the random policy is re-seeded per run).
+inline Series averaged_gflops(const std::string& sched_name,
+                              const TaskGraph& g, const Platform& p,
+                              int n_tiles, const SimOptions& opt_base,
+                              int runs, WorkerFilter filter = {}) {
+  std::vector<double> xs;
+  for (int r = 0; r < runs; ++r) {
+    SimOptions opt = opt_base;
+    opt.noise_seed = static_cast<unsigned>(r);
+    opt.record_trace = false;
+    auto s = make_scheduler(sched_name, g, p, static_cast<unsigned>(r), filter);
+    xs.push_back(
+        gflops(n_tiles, p.nb(), simulate(g, p, *s, opt).makespan_s));
+  }
+  Series out;
+  for (const double x : xs) out.mean_gflops += x;
+  out.mean_gflops /= static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double var = 0.0;
+    for (const double x : xs) {
+      const double d = x - out.mean_gflops;
+      var += d * d;
+    }
+    out.stddev_gflops = std::sqrt(var / static_cast<double>(xs.size() - 1));
+  }
+  return out;
+}
+
+/// "Actual execution" emulation: overhead + noise, kActualRuns runs.
+inline Series actual_gflops(const std::string& sched_name, const TaskGraph& g,
+                            const Platform& p, int n_tiles,
+                            WorkerFilter filter = {}) {
+  SimOptions opt;
+  opt.per_task_overhead_s = kActualOverheadS;
+  opt.noise_cv = kActualNoiseCv;
+  return averaged_gflops(sched_name, g, p, n_tiles, opt, kActualRuns,
+                         std::move(filter));
+}
+
+/// Deterministic simulation; the random policy still gets 10 seeds (as in
+/// the paper, which reports its avg +/- sd even in simulation).
+inline Series sim_gflops(const std::string& sched_name, const TaskGraph& g,
+                         const Platform& p, int n_tiles,
+                         WorkerFilter filter = {}) {
+  const int runs = sched_name == "random" ? 10 : 1;
+  return averaged_gflops(sched_name, g, p, n_tiles, SimOptions{}, runs,
+                         std::move(filter));
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-10s", "size");
+  for (const auto& c : columns) std::printf(" %16s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(int n_tiles, const std::vector<double>& values) {
+  std::printf("%-10d", n_tiles);
+  for (const double v : values) std::printf(" %16.1f", v);
+  std::printf("\n");
+}
+
+inline void print_row_sd(int n_tiles, const std::vector<Series>& values) {
+  std::printf("%-10d", n_tiles);
+  for (const Series& s : values)
+    std::printf(" %9.1f+-%5.1f", s.mean_gflops, s.stddev_gflops);
+  std::printf("\n");
+}
+
+}  // namespace hetsched::bench

@@ -1,0 +1,36 @@
+// Figure 12: GPU Gantt traces of dmda vs dmdas for an 8 x 8 tiled matrix.
+// Prints ASCII Gantt charts of the three GPU workers plus idle statistics,
+// and writes SVG renderings next to the binary.
+#include <fstream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hetsched;
+  using namespace hetsched::bench;
+
+  const int n = 8;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  const std::vector<int> gpus = p.workers_of_class(p.class_index("GPU"));
+
+  std::printf("# Figure 12: GPU traces for 8x8 tiles (P=POTRF T=TRSM S=SYRK "
+              "G=GEMM .=idle)\n\n");
+  for (const char* name : {"dmda", "dmdas"}) {
+    auto sched = make_scheduler(name, g, p);
+    const SimResult r = simulate(g, p, *sched);
+    std::printf("-- %s: makespan %.3f s, GPU idle fraction %.1f%%\n", name,
+                r.makespan_s, r.trace.idle_fraction(gpus) * 100.0);
+    std::printf("%s", r.trace.ascii_gantt(100, gpus).c_str());
+    const std::string svg_path = std::string("fig12_") + name + ".svg";
+    std::ofstream(svg_path) << r.trace.to_svg(gpus);
+    std::printf("   (SVG written to %s)\n\n", svg_path.c_str());
+  }
+  std::printf(
+      "Reading guide: the paper's 8x8 trace (Section VI-A) shows dmdas\n"
+      "inserting GPU idle gaps by favouring critical-path tasks over\n"
+      "parallelism-generating ones. In this calibration the same effect\n"
+      "surfaces at other sizes instead (dmda beats dmdas around n=16-20 in\n"
+      "bench_fig7); compare the idle fractions and gap placement above.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks of the library's own machinery: DAG
+// construction, bound LPs, priorities, the discrete-event simulator and the
+// numeric kernels.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "core/flops.hpp"
+#include "core/kernels.hpp"
+#include "core/tile_matrix.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sched/priorities.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+void BM_BuildCholeskyDag(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TaskGraph g = build_cholesky_dag(n);
+    benchmark::DoNotOptimize(g.num_tasks());
+  }
+  state.SetItemsProcessed(state.iterations() * total_task_count(n));
+}
+BENCHMARK(BM_BuildCholeskyDag)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MixedBoundLp(benchmark::State& state) {
+  const Platform p = mirage_platform();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixed_bound(n, p).makespan_s);
+  }
+}
+BENCHMARK(BM_MixedBoundLp)->Arg(8)->Arg(32);
+
+void BM_BottomLevels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_levels_fastest(g, p.timings()).size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+}
+BENCHMARK(BM_BottomLevels)->Arg(16)->Arg(32);
+
+void BM_SimulateDmda(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  SimOptions opt;
+  opt.record_trace = false;
+  for (auto _ : state) {
+    DmdaScheduler sched = make_dmda();
+    benchmark::DoNotOptimize(simulate(g, p, sched, opt).makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+}
+BENCHMARK(BM_SimulateDmda)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateDmdasWithComm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  SimOptions opt;
+  opt.record_trace = false;
+  for (auto _ : state) {
+    DmdaScheduler sched = make_dmdas(g, p);
+    benchmark::DoNotOptimize(simulate(g, p, sched, opt).makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+}
+BENCHMARK(BM_SimulateDmdasWithComm)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_KernelGemm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  TileMatrix m(3, nb);
+  // Fill deterministically.
+  for (int h = 0; h < num_lower_tiles(3); ++h)
+    for (int i = 0; i < nb * nb; ++i)
+      m.tile(h)[i] = 1.0 + 1e-3 * static_cast<double>((i * 31 + h) % 97);
+  for (auto _ : state) {
+    kernels::gemm(nb, m.tile(1, 0), nb, m.tile(2, 0), nb, m.tile(2, 1), nb);
+    benchmark::DoNotOptimize(m.tile(2, 1)[0]);
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kernel_flops(Kernel::GEMM, nb) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_KernelPotrf(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const TileMatrix spd = TileMatrix::random_spd(1, nb, 5);
+  std::vector<double> work(static_cast<std::size_t>(nb) *
+                           static_cast<std::size_t>(nb));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(spd.tile(0), spd.tile(0) + nb * nb, work.begin());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kernels::potrf(nb, work.data(), nb));
+  }
+}
+BENCHMARK(BM_KernelPotrf)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table I: GPUs relative performance per kernel (POTRF ~2x, TRSM ~11x,
+// SYRK ~26x, GEMM ~29x), from the calibrated Mirage-like timing table.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hetsched;
+  const Platform p = mirage_platform();
+  const TimingTable& t = p.timings();
+
+  std::printf("# Table I: GPU relative kernel performance (Mirage, nb = %d)\n",
+              p.nb());
+  std::printf("%-8s %14s %14s %10s %14s\n", "kernel", "CPU time (ms)",
+              "GPU time (ms)", "speedup", "GPU GFLOP/s");
+  for (const Kernel k : kAllKernels) {
+    const double cpu = t.time(0, k);
+    const double gpu = t.time(1, k);
+    std::printf("%-8s %14.2f %14.2f %9.1fx %14.1f\n",
+                std::string(to_string(k)).c_str(), cpu * 1e3, gpu * 1e3,
+                cpu / gpu, kernel_flops(k, p.nb()) / gpu * 1e-9);
+  }
+  std::printf("\nPaper reports: POTRF ~2x, TRSM ~11x, SYRK ~26x, GEMM ~29x\n");
+  return 0;
+}

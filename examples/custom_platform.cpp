@@ -1,0 +1,69 @@
+// "What-if" machine design study: define a custom heterogeneous platform,
+// compute the paper's bounds for it, simulate the schedulers, and search
+// for the best static TRSM hint -- the workflow a performance engineer
+// would use before buying hardware.
+//
+// Usage: example_custom_platform [num_cpus] [num_gpus]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "core/flops.hpp"
+#include "cp/cp_solver.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  const int cpus = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  // A hypothetical next-gen accelerator: POTRF finally worth offloading
+  // (6x) and GEMM at 40x one CPU core.
+  const double cpu_times[kNumKernels] = {0.0369, 0.0930, 0.0885, 0.171585};
+  const double gpu_ratios[kNumKernels] = {6.0, 18.0, 34.0, 40.0};
+  const Platform p =
+      custom_platform(cpus, gpus, cpu_times, gpu_ratios, 960, "nextgen");
+
+  std::printf("platform '%s': %d CPUs + %d GPUs, GEMM peak %.0f GFLOP/s\n\n",
+              p.name().c_str(), cpus, gpus, gemm_peak_gflops(p));
+  std::printf("%-6s %12s %12s %12s %12s %8s\n", "tiles", "mixed_bnd",
+              "dmdas", "best_hint", "efficiency", "best_k");
+
+  for (const int n : {4, 8, 12, 16, 24}) {
+    const TaskGraph g = build_cholesky_dag(n);
+    const Platform sim_p = p.without_communication();
+    const double bound = gflops(n, p.nb(), mixed_bound(n, sim_p).makespan_s);
+
+    DmdaScheduler dmdas = make_dmdas(g, sim_p);
+    const double base = gflops(n, p.nb(), simulate(g, sim_p, dmdas).makespan_s);
+
+    double best = base;
+    int best_k = 0;
+    for (int k = 1; k < n; ++k) {
+      DmdaScheduler hinted = make_dmdas(
+          g, sim_p, hints::force_trsm_distance_to_class(k, 0));
+      const double v =
+          gflops(n, p.nb(), simulate(g, sim_p, hinted).makespan_s);
+      if (v > best) {
+        best = v;
+        best_k = k;
+      }
+    }
+    std::printf("%-6d %12.1f %12.1f %12.1f %11.1f%% %8d\n", n, bound, base,
+                best, best / bound * 100.0, best_k);
+  }
+
+  // For a small instance, how far is a statically-optimized schedule?
+  const int n = 6;
+  const TaskGraph g = build_cholesky_dag(n);
+  CpOptions opt;
+  opt.time_limit_s = 2.0;
+  const CpResult cp = cp_solve(g, p.without_communication(), opt);
+  std::printf("\nstatic solver on %d tiles: %.1f GFLOP/s (%s%s)\n", n,
+              gflops(n, p.nb(), cp.makespan_s), cp.winning_stage.c_str(),
+              cp.proven_optimal ? ", proven optimal" : "");
+  return 0;
+}

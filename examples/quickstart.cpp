@@ -1,0 +1,58 @@
+// Quickstart: factorize a real SPD matrix with the task-based runtime.
+//
+//   1. generate a random symmetric positive-definite matrix in tiled form,
+//   2. build the Cholesky task graph (Algorithm 1 of the paper),
+//   3. execute it in parallel on a CPU thread pool with dmdas-style
+//      priorities,
+//   4. verify the factor numerically against L * L^T = A.
+//
+// Usage: example_quickstart [n_tiles] [nb] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cholesky_dag.hpp"
+#include "core/dense_matrix.hpp"
+#include "core/flops.hpp"
+#include "core/tile_matrix.hpp"
+#include "exec/parallel_executor.hpp"
+#include "platform/calibration.hpp"
+#include "sched/priorities.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  const int n_tiles = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int nb = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  std::printf("Tiled Cholesky quickstart: %d x %d tiles of %d x %d doubles, "
+              "%d threads\n",
+              n_tiles, n_tiles, nb, nb, threads);
+
+  // 1. The matrix.
+  const DenseMatrix dense = DenseMatrix::random_spd(n_tiles * nb, /*seed=*/42);
+  TileMatrix a = TileMatrix::from_dense(dense, n_tiles, nb);
+
+  // 2. The task graph -- dependencies inferred from tile access modes.
+  const TaskGraph g = build_cholesky_dag(n_tiles, nb);
+  std::printf("task graph: %d tasks, %lld edges\n", g.num_tasks(),
+              static_cast<long long>(g.num_edges()));
+
+  // 3. Parallel execution with bottom-level priorities.
+  ExecOptions opt;
+  opt.num_threads = threads;
+  opt.priorities = bottom_levels_fastest(g, mirage_platform().timings());
+  const ExecResult r = execute_parallel(a, g, opt);
+  if (!r.success) {
+    std::printf("factorization failed: matrix not positive definite\n");
+    return 1;
+  }
+  std::printf("factorized in %.3f s (%.2f GFLOP/s on this machine)\n",
+              r.wall_seconds, gflops(n_tiles, nb, r.wall_seconds));
+
+  // 4. Verification.
+  const DenseMatrix llt = DenseMatrix::multiply_llt(a.to_dense());
+  const double err = DenseMatrix::max_abs_diff_lower(dense, llt);
+  std::printf("max |A - L L^T| = %.2e -> %s\n", err,
+              err < 1e-8 * n_tiles * nb ? "OK" : "FAILED");
+  return err < 1e-8 * n_tiles * nb ? 0 : 1;
+}

@@ -1,0 +1,313 @@
+#include "bounds/bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bounds/mip.hpp"
+#include "bounds/simplex.hpp"
+#include "core/flops.hpp"
+
+namespace hetsched {
+namespace {
+
+// Kernels actually present in a histogram, in kernel_index order.
+std::vector<Kernel> present_kernels(const KernelHistogram& hist) {
+  std::vector<Kernel> out;
+  for (const Kernel k : kAllKernels)
+    if (hist[static_cast<std::size_t>(kernel_index(k))] > 0) out.push_back(k);
+  return out;
+}
+
+void check_supported(const KernelHistogram& hist, const Platform& p) {
+  for (const Kernel k : present_kernels(hist))
+    if (!p.supports(k))
+      throw std::invalid_argument(
+          std::string("bound: platform not calibrated for kernel ") +
+          std::string(to_string(k)));
+}
+
+// Variable layout of the bound LPs: one variable per (class, present
+// kernel), followed by the makespan l as the last variable.
+struct LpLayout {
+  std::vector<Kernel> kernels;
+  int num_classes = 0;
+
+  int var(int cls, int kernel_pos) const {
+    return cls * static_cast<int>(kernels.size()) + kernel_pos;
+  }
+  int l_var() const {
+    return num_classes * static_cast<int>(kernels.size());
+  }
+  int num_vars() const { return l_var() + 1; }
+};
+
+// Optional critical-chain constraint of the mixed bound: all tasks of
+// `chain_kernel` (modeled exactly via their LP variables) plus
+// `rest_seconds` of chain companions at fastest times must fit in l.
+struct MixedChain {
+  Kernel chain_kernel = Kernel::POTRF;
+  double rest_seconds = 0.0;
+};
+
+LinearProgram build_area_lp(const KernelHistogram& hist, const Platform& p,
+                            const LpLayout& lay, const MixedChain* mixed) {
+  LinearProgram lp;
+  lp.num_vars = lay.num_vars();
+  lp.sense = LinearProgram::Sense::Minimize;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  lp.objective[static_cast<std::size_t>(lay.l_var())] = 1.0;
+
+  // All N_t tasks of each present type get executed.
+  for (std::size_t kp = 0; kp < lay.kernels.size(); ++kp) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int c = 0; c < lay.num_classes; ++c)
+      row[static_cast<std::size_t>(lay.var(c, static_cast<int>(kp)))] = 1.0;
+    lp.add_constraint(
+        std::move(row), LinearProgram::Rel::EQ,
+        static_cast<double>(
+            hist[static_cast<std::size_t>(kernel_index(lay.kernels[kp]))]));
+  }
+  // Each class finishes its workload within l * M_r.
+  for (int c = 0; c < lay.num_classes; ++c) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (std::size_t kp = 0; kp < lay.kernels.size(); ++kp)
+      row[static_cast<std::size_t>(lay.var(c, static_cast<int>(kp)))] =
+          p.timings().time(c, lay.kernels[kp]);
+    row[static_cast<std::size_t>(lay.l_var())] =
+        -static_cast<double>(p.resource_class(c).count);
+    lp.add_constraint(std::move(row), LinearProgram::Rel::LE, 0.0);
+  }
+  if (mixed != nullptr) {
+    // Chain: sum_r n_r,chain T_r,chain + rest_seconds <= l.
+    const auto chain_pos = std::find(lay.kernels.begin(), lay.kernels.end(),
+                                     mixed->chain_kernel);
+    if (chain_pos != lay.kernels.end()) {
+      const int kp = static_cast<int>(chain_pos - lay.kernels.begin());
+      std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+      for (int c = 0; c < lay.num_classes; ++c)
+        row[static_cast<std::size_t>(lay.var(c, kp))] =
+            p.timings().time(c, mixed->chain_kernel);
+      row[static_cast<std::size_t>(lay.l_var())] = -1.0;
+      lp.add_constraint(std::move(row), LinearProgram::Rel::LE,
+                        -mixed->rest_seconds);
+    }
+  }
+  return lp;
+}
+
+AreaBoundSolution solve_bound(const KernelHistogram& hist, const Platform& p,
+                              const MixedChain* mixed, bool integral) {
+  check_supported(hist, p);
+  LpLayout lay;
+  lay.kernels = present_kernels(hist);
+  lay.num_classes = p.num_classes();
+  if (lay.kernels.empty())
+    throw std::invalid_argument("bound: empty workload");
+
+  const LinearProgram lp = build_area_lp(hist, p, lay, mixed);
+
+  AreaBoundSolution out;
+  out.integral = integral;
+  out.num_classes = lay.num_classes;
+
+  std::vector<double> x;
+  if (integral) {
+    std::vector<int> int_vars;
+    for (int v = 0; v < lay.l_var(); ++v) int_vars.push_back(v);
+    const MipSolution sol = solve_mip(lp, int_vars);
+    if (!sol.optimal())
+      throw std::runtime_error("bound MIP did not reach optimality");
+    out.makespan_s = sol.objective;
+    x = sol.x;
+  } else {
+    const LpSolution sol = solve_lp(lp);
+    if (!sol.optimal()) throw std::runtime_error("bound LP not optimal");
+    out.makespan_s = sol.objective;
+    x = sol.x;
+  }
+  out.allocation.assign(
+      static_cast<std::size_t>(lay.num_classes) * kNumKernels, 0.0);
+  for (int c = 0; c < lay.num_classes; ++c)
+    for (std::size_t kp = 0; kp < lay.kernels.size(); ++kp)
+      out.allocation[static_cast<std::size_t>(c) * kNumKernels +
+                     static_cast<std::size_t>(
+                         kernel_index(lay.kernels[kp]))] =
+          x[static_cast<std::size_t>(lay.var(c, static_cast<int>(kp)))];
+  return out;
+}
+
+}  // namespace
+
+KernelHistogram cholesky_histogram(int n_tiles) {
+  KernelHistogram h{};
+  for (const Kernel k : kCholeskyKernels)
+    h[static_cast<std::size_t>(kernel_index(k))] = task_count(k, n_tiles);
+  return h;
+}
+
+KernelHistogram lu_histogram(int n_tiles) {
+  KernelHistogram h{};
+  for (const Kernel k : kLuKernels)
+    h[static_cast<std::size_t>(kernel_index(k))] = lu_task_count(k, n_tiles);
+  return h;
+}
+
+KernelHistogram qr_histogram(int n_tiles) {
+  KernelHistogram h{};
+  for (const Kernel k : kQrKernels)
+    h[static_cast<std::size_t>(kernel_index(k))] = qr_task_count(k, n_tiles);
+  return h;
+}
+
+AreaBoundSolution area_bound_for(const KernelHistogram& hist,
+                                 const Platform& p, bool integral) {
+  return solve_bound(hist, p, /*mixed=*/nullptr, integral);
+}
+
+AreaBoundSolution area_bound(int n_tiles, const Platform& p, bool integral) {
+  if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
+  return solve_bound(cholesky_histogram(n_tiles), p, /*mixed=*/nullptr,
+                     integral);
+}
+
+AreaBoundSolution mixed_bound(int n_tiles, const Platform& p, bool integral) {
+  if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
+  MixedChain chain;
+  chain.chain_kernel = Kernel::POTRF;
+  chain.rest_seconds = static_cast<double>(n_tiles - 1) *
+                       (p.timings().fastest(Kernel::TRSM) +
+                        p.timings().fastest(Kernel::SYRK));
+  return solve_bound(cholesky_histogram(n_tiles), p, &chain, integral);
+}
+
+AreaBoundSolution lu_mixed_bound(int n_tiles, const Platform& p,
+                                 bool integral) {
+  if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
+  // Diagonal chain: GETRF_k -> TRSM(panel k) -> GEMM(k+1,k+1,k) ->
+  // GETRF_{k+1}, companions at their fastest times.
+  MixedChain chain;
+  chain.chain_kernel = Kernel::GETRF;
+  chain.rest_seconds =
+      static_cast<double>(n_tiles - 1) *
+      (p.timings().fastest(Kernel::TRSM) + p.timings().fastest(Kernel::GEMM));
+  return solve_bound(lu_histogram(n_tiles), p, &chain, integral);
+}
+
+AreaBoundSolution qr_mixed_bound(int n_tiles, const Platform& p,
+                                 bool integral) {
+  if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
+  // Diagonal chain: GEQRT_k -> TSQRT(k+1,k) -> TSMQR(k+1,k+1,k) ->
+  // GEQRT_{k+1}.
+  MixedChain chain;
+  chain.chain_kernel = Kernel::GEQRT;
+  chain.rest_seconds = static_cast<double>(n_tiles - 1) *
+                       (p.timings().fastest(Kernel::TSQRT) +
+                        p.timings().fastest(Kernel::TSMQR));
+  return solve_bound(qr_histogram(n_tiles), p, &chain, integral);
+}
+
+double prefix_bound(int n_tiles, const Platform& p) {
+  if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
+  const TimingTable& t = p.timings();
+  const double p_star = t.fastest(Kernel::POTRF);
+  const double ts_star =
+      t.fastest(Kernel::TRSM) + t.fastest(Kernel::SYRK);
+
+  double best = 0.0;
+  for (int s = 0; s < n_tiles; ++s) {
+    // Earliest completion of POTRF_s: the diagonal chain prefix.
+    const double chain = static_cast<double>(s + 1) * p_star +
+                         static_cast<double>(s) * ts_star;
+    // Every task at panel steps >= s (except POTRF_s itself) starts after.
+    KernelHistogram rest{};
+    const auto add = [&](Kernel k, std::int64_t count) {
+      rest[static_cast<std::size_t>(kernel_index(k))] += count;
+    };
+    const std::int64_t m = n_tiles - s;  // remaining panel steps
+    add(Kernel::POTRF, m - 1);           // POTRF_{s+1..}
+    add(Kernel::TRSM, m * (m - 1) / 2);
+    add(Kernel::SYRK, m * (m - 1) / 2);
+    add(Kernel::GEMM, m * (m - 1) * (m - 2) / 6);
+    double tail = 0.0;
+    bool any = false;
+    for (const std::int64_t c : rest) any |= c > 0;
+    if (any) {
+      // The remaining tasks contain their own diagonal chain
+      // TRSM(s+1,s) -> SYRK(s+1,s) -> POTRF_{s+1} -> ... -> POTRF_{n-1},
+      // so the tail LP gets the mixed-bound chain constraint too.
+      MixedChain tail_chain;
+      tail_chain.chain_kernel = Kernel::POTRF;
+      tail_chain.rest_seconds =
+          static_cast<double>(m - 1) *
+          (t.fastest(Kernel::TRSM) + t.fastest(Kernel::SYRK));
+      tail = solve_bound(rest, p, &tail_chain, /*integral=*/false).makespan_s;
+    }
+    best = std::max(best, chain + tail);
+  }
+  return best;
+}
+
+double potrf_chain_seconds(int n_tiles, const TimingTable& t) {
+  return static_cast<double>(n_tiles) * t.fastest(Kernel::POTRF) +
+         static_cast<double>(n_tiles - 1) *
+             (t.fastest(Kernel::TRSM) + t.fastest(Kernel::SYRK));
+}
+
+double critical_path_seconds(const TaskGraph& g, const TimingTable& t) {
+  double best = 0.0;
+  std::vector<double> finish(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (const int id : g.topological_order()) {
+    double start = 0.0;
+    for (const int pred : g.predecessors(id))
+      start = std::max(start, finish[static_cast<std::size_t>(pred)]);
+    finish[static_cast<std::size_t>(id)] =
+        start + t.fastest(g.task(id).kernel);
+    best = std::max(best, finish[static_cast<std::size_t>(id)]);
+  }
+  return best;
+}
+
+std::vector<int> critical_path_tasks(const TaskGraph& g,
+                                     const TimingTable& t) {
+  const int n = g.num_tasks();
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> best_pred(static_cast<std::size_t>(n), -1);
+  int last = -1;
+  double best = -1.0;
+  for (const int id : g.topological_order()) {
+    double start = 0.0;
+    int argmax = -1;
+    for (const int pred : g.predecessors(id)) {
+      if (finish[static_cast<std::size_t>(pred)] > start) {
+        start = finish[static_cast<std::size_t>(pred)];
+        argmax = pred;
+      }
+    }
+    finish[static_cast<std::size_t>(id)] = start + t.fastest(g.task(id).kernel);
+    best_pred[static_cast<std::size_t>(id)] = argmax;
+    if (finish[static_cast<std::size_t>(id)] > best) {
+      best = finish[static_cast<std::size_t>(id)];
+      last = id;
+    }
+  }
+  std::vector<int> path;
+  for (int v = last; v >= 0; v = best_pred[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double gemm_peak_gflops(const Platform& p) {
+  const double gemm_f = kernel_flops(Kernel::GEMM, p.nb());
+  double peak = 0.0;
+  for (int c = 0; c < p.num_classes(); ++c)
+    peak += static_cast<double>(p.resource_class(c).count) * gemm_f /
+            p.timings().time(c, Kernel::GEMM);
+  return peak * 1e-9;
+}
+
+double bound_gflops(int n_tiles, const Platform& p, double makespan_s) {
+  return gflops(n_tiles, p.nb(), makespan_s);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,104 @@
+// Makespan lower bounds / performance upper bounds of Section III.
+//
+//   * GEMM peak        -- sum of per-resource GEMM rates (classical bound);
+//   * critical path    -- longest DAG path at fastest per-kernel times;
+//   * area bound       -- LP over the per-class task counts n_rt;
+//   * mixed bound      -- area LP + the POTRF-chain critical-path
+//                         constraint; the tightest bound in the paper;
+//   * prefix bound     -- our extension (suggested by the paper's footnote
+//                         about adding more dependencies): for every panel
+//                         step s, everything at steps >= s must run after
+//                         the length-s prefix of the POTRF chain, so
+//                         l >= chain(s) + area(tasks of steps >= s).
+//
+// The area machinery is generic over a kernel histogram, so it also serves
+// the LU and QR task graphs (the paper's proposed methodology extension).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel_types.hpp"
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// Task counts per kernel type, indexed by kernel_index().
+using KernelHistogram = std::array<std::int64_t, kNumKernels>;
+
+/// Histogram of the tiled Cholesky / LU / QR factorizations.
+KernelHistogram cholesky_histogram(int n_tiles);
+KernelHistogram lu_histogram(int n_tiles);
+KernelHistogram qr_histogram(int n_tiles);
+
+/// Solution of the area / mixed bound LP: the bound itself plus the
+/// per-(class, kernel) task allocation chosen by the LP (fractional unless
+/// the integral variant was requested). The paper inspects this allocation
+/// to discover that a significant share of TRSMs belongs on CPUs.
+struct AreaBoundSolution {
+  double makespan_s = 0.0;
+  bool integral = false;
+  int num_classes = 0;
+  std::vector<double> allocation;  ///< [cls * kNumKernels + kernel]
+
+  double tasks_on(int cls, Kernel k) const {
+    return allocation.at(static_cast<std::size_t>(cls) * kNumKernels +
+                         static_cast<std::size_t>(kernel_index(k)));
+  }
+};
+
+/// Area bound of an arbitrary workload histogram: every class must finish
+/// its assigned share of each kernel type within the makespan. Throws
+/// std::invalid_argument if the histogram uses an unsupported kernel.
+AreaBoundSolution area_bound_for(const KernelHistogram& hist,
+                                 const Platform& p, bool integral = false);
+
+/// Area bound (Section III-A, "basic area bound") of the tiled Cholesky.
+AreaBoundSolution area_bound(int n_tiles, const Platform& p,
+                             bool integral = false);
+
+/// Mixed bound (Section III-A): area bound plus the constraint that the
+/// POTRF chain -- all n POTRFs wherever they run, plus (n-1) TRSMs and
+/// (n-1) SYRKs at their fastest times -- fits in the makespan.
+AreaBoundSolution mixed_bound(int n_tiles, const Platform& p,
+                              bool integral = false);
+
+/// Mixed bounds of the LU and QR task graphs, using their own diagonal
+/// chains (GETRF -> TRSM -> GEMM -> GETRF -> ... and GEQRT -> TSQRT ->
+/// TSMQR -> GEQRT -> ...) -- the paper's methodology applied to the other
+/// factorizations.
+AreaBoundSolution lu_mixed_bound(int n_tiles, const Platform& p,
+                                 bool integral = false);
+AreaBoundSolution qr_mixed_bound(int n_tiles, const Platform& p,
+                                 bool integral = false);
+
+/// Prefix bound (our extension): max over panel steps s of
+///   chain-to-POTRF_s-completion
+///   + mixed bound of all tasks at steps >= s (their own chain included),
+/// all of which depend on POTRF_s. Dominates both the area bound and (in
+/// practice, via the s = 0 term) the paper's mixed bound; strictly tighter
+/// at medium sizes. Returns the bound in seconds.
+double prefix_bound(int n_tiles, const Platform& p);
+
+/// Length of the POTRF critical chain used by the mixed bound, if every
+/// POTRF ran on the class that is fastest for POTRF.
+double potrf_chain_seconds(int n_tiles, const TimingTable& t);
+
+/// Critical-path bound: longest path in `g`, each task at its fastest time
+/// over the classes of `t` (Section III-C).
+double critical_path_seconds(const TaskGraph& g, const TimingTable& t);
+
+/// The tasks of one longest path, in execution order.
+std::vector<int> critical_path_tasks(const TaskGraph& g, const TimingTable& t);
+
+/// GEMM-peak performance of the platform in GFLOP/s (Section III intro):
+/// sum over workers of kernel_flops(GEMM, nb) / T(class, GEMM).
+double gemm_peak_gflops(const Platform& p);
+
+/// Converts a makespan bound on an n_tiles-tiled factorization into the
+/// GFLOP/s upper bound the paper plots.
+double bound_gflops(int n_tiles, const Platform& p, double makespan_s);
+
+}  // namespace hetsched

@@ -1,0 +1,89 @@
+#include "bounds/mip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stack>
+
+namespace hetsched {
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+// Returns the index (into integer_vars) of the most fractional variable,
+// or -1 if all integer variables take integral values.
+int most_fractional(const std::vector<double>& x,
+                    const std::vector<int>& integer_vars) {
+  int best = -1;
+  double best_frac_dist = kIntEps;
+  for (std::size_t i = 0; i < integer_vars.size(); ++i) {
+    const double v = x[static_cast<std::size_t>(integer_vars[i])];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipSolution solve_mip(const LinearProgram& lp,
+                      const std::vector<int>& integer_vars, int max_nodes) {
+  const bool minimizing = lp.sense == LinearProgram::Sense::Minimize;
+  MipSolution incumbent;
+  double incumbent_obj = minimizing ? std::numeric_limits<double>::infinity()
+                                    : -std::numeric_limits<double>::infinity();
+
+  const auto better = [&](double a, double b) {
+    return minimizing ? a < b - 1e-12 : a > b + 1e-12;
+  };
+
+  std::stack<LinearProgram> nodes;
+  nodes.push(lp);
+  int explored = 0;
+  bool hit_limit = false;
+
+  while (!nodes.empty()) {
+    if (++explored > max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    LinearProgram node = std::move(nodes.top());
+    nodes.pop();
+
+    const LpSolution rel = solve_lp(node);
+    if (!rel.optimal()) continue;  // infeasible subtree (unbounded cannot
+                                   // appear below a bounded relaxation)
+    if (!better(rel.objective, incumbent_obj)) continue;  // bound pruning
+
+    const int branch = most_fractional(rel.x, integer_vars);
+    if (branch < 0) {
+      incumbent.status = MipSolution::Status::Optimal;
+      incumbent.objective = rel.objective;
+      incumbent.x = rel.x;
+      incumbent_obj = rel.objective;
+      continue;
+    }
+
+    const int var = integer_vars[static_cast<std::size_t>(branch)];
+    const double v = rel.x[static_cast<std::size_t>(var)];
+    std::vector<double> unit(static_cast<std::size_t>(node.num_vars), 0.0);
+    unit[static_cast<std::size_t>(var)] = 1.0;
+
+    LinearProgram down = node;
+    down.add_constraint(unit, LinearProgram::Rel::LE, std::floor(v));
+    LinearProgram up = std::move(node);
+    up.add_constraint(std::move(unit), LinearProgram::Rel::GE, std::ceil(v));
+    nodes.push(std::move(down));
+    nodes.push(std::move(up));
+  }
+
+  if (hit_limit && incumbent.status == MipSolution::Status::Optimal)
+    incumbent.status = MipSolution::Status::NodeLimit;
+  return incumbent;
+}
+
+}  // namespace hetsched

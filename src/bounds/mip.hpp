@@ -1,0 +1,32 @@
+// Small branch-and-bound MIP layer on top of the simplex solver.
+//
+// The paper states the area/mixed-bound variables n_rt are integral; the LP
+// relaxation is already a valid lower bound, but this layer lets us compute
+// the (slightly tighter) integral bound and verify LP <= MIP <= schedule.
+#pragma once
+
+#include <vector>
+
+#include "bounds/simplex.hpp"
+
+namespace hetsched {
+
+/// Result of a MIP solve.
+struct MipSolution {
+  enum class Status { Optimal, Infeasible, NodeLimit };
+  Status status = Status::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  bool optimal() const noexcept { return status == Status::Optimal; }
+};
+
+/// Solves `lp` with the variables listed in `integer_vars` restricted to
+/// non-negative integers, by depth-first branch and bound on the LP
+/// relaxation. `max_nodes` caps the search tree (returns the incumbent with
+/// Status::NodeLimit when exceeded and an incumbent exists).
+MipSolution solve_mip(const LinearProgram& lp,
+                      const std::vector<int>& integer_vars,
+                      int max_nodes = 100000);
+
+}  // namespace hetsched

@@ -1,0 +1,223 @@
+#include "bounds/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hetsched {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau: rows_ x (cols_ + 1); the last column is the RHS.
+// Standard form: min c^T x, A x = b, x >= 0, b >= 0.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols + 1),
+           0.0),
+        basis_(static_cast<std::size_t>(rows), -1) {}
+
+  double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_ + 1) +
+              static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_ + 1) +
+              static_cast<std::size_t>(c)];
+  }
+  double& rhs(int r) { return at(r, cols_); }
+  double rhs(int r) const { return at(r, cols_); }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+  void set_basis(int r, int var) { basis_[static_cast<std::size_t>(r)] = var; }
+
+  void pivot(int pr, int pc) {
+    const double p = at(pr, pc);
+    for (int c = 0; c <= cols_; ++c) at(pr, c) /= p;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (std::abs(f) < kEps) continue;
+      for (int c = 0; c <= cols_; ++c) at(r, c) -= f * at(pr, c);
+    }
+    set_basis(pr, pc);
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+};
+
+enum class PhaseResult { Optimal, Unbounded };
+
+// Runs the simplex on `t` minimizing the objective given by `cost` (length
+// cols). `active` marks columns eligible to enter the basis. Uses Bland's
+// rule. On return the tableau holds an optimal (or unbounded-detected)
+// basis; the objective value is reconstructed by the caller.
+PhaseResult run_simplex(Tableau& t, const std::vector<double>& cost,
+                        const std::vector<bool>& active) {
+  const int m = t.rows();
+  const int n = t.cols();
+  // Reduced costs are recomputed from scratch each iteration; the LPs here
+  // have at most a few dozen columns, so clarity wins over speed.
+  for (;;) {
+    int enter = -1;
+    for (int j = 0; j < n; ++j) {
+      if (!active[static_cast<std::size_t>(j)]) continue;
+      // reduced cost: c_j - c_B^T B^{-1} A_j
+      double rc = cost[static_cast<std::size_t>(j)];
+      for (int r = 0; r < m; ++r)
+        rc -= cost[static_cast<std::size_t>(t.basis(r))] * t.at(r, j);
+      if (rc < -kEps) {
+        enter = j;  // Bland: first (smallest-index) improving column
+        break;
+      }
+    }
+    if (enter < 0) return PhaseResult::Optimal;
+
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      const double arj = t.at(r, enter);
+      if (arj > kEps) {
+        const double ratio = t.rhs(r) / arj;
+        // Bland tie-break: smallest basis variable index.
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave < 0 || t.basis(r) < t.basis(leave)))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) return PhaseResult::Unbounded;
+    t.pivot(leave, enter);
+  }
+}
+
+}  // namespace
+
+int LinearProgram::add_constraint(std::vector<double> coeffs, Rel rel,
+                                  double rhs) {
+  if (static_cast<int>(coeffs.size()) != num_vars)
+    throw std::invalid_argument("LinearProgram: constraint width mismatch");
+  constraints.push_back({std::move(coeffs), rel, rhs});
+  return static_cast<int>(constraints.size()) - 1;
+}
+
+LpSolution solve_lp(const LinearProgram& lp) {
+  if (static_cast<int>(lp.objective.size()) != lp.num_vars)
+    throw std::invalid_argument("solve_lp: objective size mismatch");
+
+  const int n = lp.num_vars;
+  const int m = static_cast<int>(lp.constraints.size());
+
+  // Column layout: [structural 0..n) | slack/surplus | artificial].
+  int num_slack = 0;
+  for (const auto& c : lp.constraints)
+    if (c.rel != LinearProgram::Rel::EQ) ++num_slack;
+  // Worst case: one artificial per row.
+  const int total = n + num_slack + m;
+
+  Tableau t(m, total);
+  std::vector<double> phase1_cost(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> phase2_cost(static_cast<std::size_t>(total), 0.0);
+  const double obj_sign = lp.sense == LinearProgram::Sense::Minimize ? 1.0 : -1.0;
+  for (int j = 0; j < n; ++j)
+    phase2_cost[static_cast<std::size_t>(j)] =
+        obj_sign * lp.objective[static_cast<std::size_t>(j)];
+
+  std::vector<bool> is_artificial(static_cast<std::size_t>(total), false);
+  int next_slack = n;
+  int next_art = n + num_slack;
+
+  for (int r = 0; r < m; ++r) {
+    const auto& con = lp.constraints[static_cast<std::size_t>(r)];
+    double sign = 1.0;
+    auto rel = con.rel;
+    if (con.rhs < 0.0) {  // normalize to non-negative RHS
+      sign = -1.0;
+      if (rel == LinearProgram::Rel::LE) rel = LinearProgram::Rel::GE;
+      else if (rel == LinearProgram::Rel::GE) rel = LinearProgram::Rel::LE;
+    }
+    for (int j = 0; j < n; ++j)
+      t.at(r, j) = sign * con.coeffs[static_cast<std::size_t>(j)];
+    t.rhs(r) = sign * con.rhs;
+
+    if (rel == LinearProgram::Rel::LE) {
+      t.at(r, next_slack) = 1.0;
+      // Slack can serve directly as the initial basic variable.
+      t.set_basis(r, next_slack);
+      ++next_slack;
+    } else {
+      if (rel == LinearProgram::Rel::GE) {
+        t.at(r, next_slack) = -1.0;  // surplus
+        ++next_slack;
+      }
+      t.at(r, next_art) = 1.0;
+      is_artificial[static_cast<std::size_t>(next_art)] = true;
+      phase1_cost[static_cast<std::size_t>(next_art)] = 1.0;
+      t.set_basis(r, next_art);
+      ++next_art;
+    }
+  }
+  const int used_cols = next_art;
+
+  std::vector<bool> active(static_cast<std::size_t>(total), false);
+  for (int j = 0; j < used_cols; ++j) active[static_cast<std::size_t>(j)] = true;
+
+  // Phase 1: drive artificials to zero.
+  bool any_artificial = false;
+  for (int j = 0; j < used_cols; ++j)
+    any_artificial |= is_artificial[static_cast<std::size_t>(j)];
+  if (any_artificial) {
+    (void)run_simplex(t, phase1_cost, active);  // phase 1 cannot be unbounded
+    double art_sum = 0.0;
+    for (int r = 0; r < m; ++r)
+      if (is_artificial[static_cast<std::size_t>(t.basis(r))])
+        art_sum += t.rhs(r);
+    if (art_sum > 1e-6) return {LpSolution::Status::Infeasible, 0.0, {}};
+
+    // Pivot any remaining (zero-valued) artificial out of the basis.
+    for (int r = 0; r < m; ++r) {
+      if (!is_artificial[static_cast<std::size_t>(t.basis(r))]) continue;
+      int enter = -1;
+      for (int j = 0; j < used_cols; ++j) {
+        if (is_artificial[static_cast<std::size_t>(j)]) continue;
+        if (std::abs(t.at(r, j)) > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter >= 0) t.pivot(r, enter);
+      // else: the row is all-zero (redundant constraint) -- harmless.
+    }
+    // Exclude artificials from phase 2.
+    for (int j = 0; j < used_cols; ++j)
+      if (is_artificial[static_cast<std::size_t>(j)])
+        active[static_cast<std::size_t>(j)] = false;
+  }
+
+  // Phase 2.
+  if (run_simplex(t, phase2_cost, active) == PhaseResult::Unbounded)
+    return {LpSolution::Status::Unbounded, 0.0, {}};
+
+  LpSolution sol;
+  sol.status = LpSolution::Status::Optimal;
+  sol.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r)
+    if (t.basis(r) < n) sol.x[static_cast<std::size_t>(t.basis(r))] = t.rhs(r);
+  double obj = 0.0;
+  for (int j = 0; j < n; ++j)
+    obj += lp.objective[static_cast<std::size_t>(j)] * sol.x[static_cast<std::size_t>(j)];
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace hetsched

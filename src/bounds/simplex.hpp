@@ -1,0 +1,47 @@
+// Dense two-phase primal simplex.
+//
+// Self-contained exact-arithmetic-free LP solver used for the paper's area
+// and mixed bounds. Those LPs are tiny (one variable per (resource class,
+// kernel type) pair plus the makespan), so a textbook tableau method with
+// Bland's anti-cycling rule is more than sufficient and keeps the library
+// dependency-free.
+#pragma once
+
+#include <vector>
+
+namespace hetsched {
+
+/// A linear program over non-negative variables x >= 0.
+struct LinearProgram {
+  enum class Sense { Minimize, Maximize };
+  enum class Rel { LE, EQ, GE };
+
+  struct Constraint {
+    std::vector<double> coeffs;  ///< length == num_vars
+    Rel rel = Rel::LE;
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  Sense sense = Sense::Minimize;
+  std::vector<double> objective;  ///< length == num_vars
+  std::vector<Constraint> constraints;
+
+  /// Convenience: appends a constraint; returns its index.
+  int add_constraint(std::vector<double> coeffs, Rel rel, double rhs);
+};
+
+/// Result of an LP solve.
+struct LpSolution {
+  enum class Status { Optimal, Infeasible, Unbounded };
+  Status status = Status::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< length == num_vars when Optimal
+
+  bool optimal() const noexcept { return status == Status::Optimal; }
+};
+
+/// Solves `lp` with the two-phase primal simplex (Bland's rule).
+LpSolution solve_lp(const LinearProgram& lp);
+
+}  // namespace hetsched

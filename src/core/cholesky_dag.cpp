@@ -1,0 +1,67 @@
+#include "core/cholesky_dag.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/dependency_tracker.hpp"
+#include "core/flops.hpp"
+
+namespace hetsched {
+
+TaskGraph build_cholesky_dag(int n_tiles, int nb) {
+  if (n_tiles <= 0) throw std::invalid_argument("build_cholesky_dag: n_tiles <= 0");
+  if (nb <= 0) throw std::invalid_argument("build_cholesky_dag: nb <= 0");
+
+  TaskGraph g;
+  DependencyTracker tracker(num_lower_tiles(n_tiles));
+
+  const auto submit = [&](Kernel kern, int k, int i, int j,
+                          std::vector<TaskAccess> acc) {
+    const int id = g.add_task(kern, k, i, j, kernel_flops(kern, nb), std::move(acc));
+    tracker.submit(g, id);
+  };
+
+  for (int k = 0; k < n_tiles; ++k) {
+    submit(Kernel::POTRF, k, -1, -1,
+           {{tile_linear_index(k, k), AccessMode::ReadWrite}});
+    for (int i = k + 1; i < n_tiles; ++i) {
+      submit(Kernel::TRSM, k, i, -1,
+             {{tile_linear_index(k, k), AccessMode::Read},
+              {tile_linear_index(i, k), AccessMode::ReadWrite}});
+    }
+    for (int j = k + 1; j < n_tiles; ++j) {
+      submit(Kernel::SYRK, k, -1, j,
+             {{tile_linear_index(j, k), AccessMode::Read},
+              {tile_linear_index(j, j), AccessMode::ReadWrite}});
+      for (int i = j + 1; i < n_tiles; ++i) {
+        submit(Kernel::GEMM, k, i, j,
+               {{tile_linear_index(i, k), AccessMode::Read},
+                {tile_linear_index(j, k), AccessMode::Read},
+                {tile_linear_index(i, j), AccessMode::ReadWrite}});
+      }
+    }
+  }
+  return g;
+}
+
+int tile_diagonal_distance(const Task& t) noexcept {
+  switch (t.kernel) {
+    case Kernel::POTRF:
+    case Kernel::SYRK:
+    case Kernel::GETRF:
+    case Kernel::GEQRT:
+    case Kernel::ORMQR:
+      return 0;  // diagonal tile (or row-panel tile at the diagonal row)
+    case Kernel::TRSM:
+      // Cholesky/LU column panel (i, k) vs LU row panel (k, j).
+      return t.i >= 0 ? t.i - t.k : t.j - t.k;
+    case Kernel::GEMM:
+      return t.i >= 0 && t.j >= 0 ? std::abs(t.i - t.j) : 0;
+    case Kernel::TSQRT:
+    case Kernel::TSMQR:
+      return t.i - t.k;
+  }
+  return 0;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,29 @@
+// Builder for the tiled Cholesky task graph (Algorithm 1 of the paper,
+// Figure 1 shows the 5x5 instance).
+#pragma once
+
+#include "core/task_graph.hpp"
+
+namespace hetsched {
+
+/// Builds the task graph of the right-looking tiled Cholesky factorization
+/// of an n x n tiled matrix with nb x nb tiles.
+///
+/// Tasks are submitted in the sequential program order of Algorithm 1 and
+/// edges are inferred from tile access modes (RAW/WAR/WAW), which yields
+/// exactly the DAG of Figure 1:
+///   POTRF(k)   : RW A[k][k]
+///   TRSM(i,k)  : R  A[k][k], RW A[i][k]
+///   SYRK(j,k)  : R  A[j][k], RW A[j][j]
+///   GEMM(i,j,k): R  A[i][k], R A[j][k], RW A[i][j]
+///
+/// `nb` only affects the per-task flops annotation.
+TaskGraph build_cholesky_dag(int n_tiles, int nb = 960);
+
+/// Distance of the tile written by task `t` to the diagonal:
+/// 0 for POTRF/SYRK (diagonal tiles), i - k for TRSM, i - j for GEMM.
+/// Used by the paper's "TRSMs at least k tiles away from the diagonal are
+/// forced on CPUs" static rule (Figure 9).
+int tile_diagonal_distance(const Task& t) noexcept;
+
+}  // namespace hetsched

@@ -1,0 +1,67 @@
+#include "core/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace hetsched {
+
+DenseMatrix DenseMatrix::random_spd(int n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix b(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) b(i, j) = dist(rng);
+  DenseMatrix a(n, n);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) s += b(i, k) * b(j, k);
+      a(i, j) = s * inv_n;
+    }
+    a(j, j) += static_cast<double>(n);
+  }
+  return a;
+}
+
+bool DenseMatrix::cholesky_in_place() {
+  const int n = rows_;
+  for (int j = 0; j < n; ++j) {
+    double d = (*this)(j, j);
+    for (int k = 0; k < j; ++k) d -= (*this)(j, k) * (*this)(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    (*this)(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = (*this)(i, j);
+      for (int k = 0; k < j; ++k) s -= (*this)(i, k) * (*this)(j, k);
+      (*this)(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+double DenseMatrix::max_abs_diff_lower(const DenseMatrix& a,
+                                       const DenseMatrix& b) {
+  double m = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = j; i < a.rows(); ++i)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+DenseMatrix DenseMatrix::multiply_llt(const DenseMatrix& l) {
+  const int n = l.rows();
+  DenseMatrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) s += l(i, k) * l(j, k);
+      a(i, j) = s;
+    }
+  return a;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+// Minimal column-major dense matrix used for test references and for
+// assembling / disassembling tiled matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetsched {
+
+/// Column-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols) : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {}
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  double& operator()(int i, int j) {
+    return data_[static_cast<std::size_t>(i) +
+                 static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_)];
+  }
+  double operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) +
+                 static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_)];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  /// Generates a symmetric positive-definite matrix: A = B B^T / n + n I,
+  /// with B uniform in [-1, 1) from a deterministic seed.
+  static DenseMatrix random_spd(int n, unsigned seed);
+
+  /// Reference (unblocked) in-place lower Cholesky; returns false if the
+  /// matrix is not numerically positive definite. Only the lower triangle
+  /// is referenced and written.
+  bool cholesky_in_place();
+
+  /// Max |a_ij - b_ij| over the lower triangle.
+  static double max_abs_diff_lower(const DenseMatrix& a, const DenseMatrix& b);
+
+  /// Computes L L^T (lower triangle of `l` only) into a full symmetric matrix.
+  static DenseMatrix multiply_llt(const DenseMatrix& l);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hetsched

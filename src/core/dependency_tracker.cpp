@@ -1,0 +1,43 @@
+#include "core/dependency_tracker.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+DependencyTracker::DependencyTracker(int num_handles)
+    : handles_(static_cast<std::size_t>(num_handles)) {
+  if (num_handles < 0)
+    throw std::invalid_argument("DependencyTracker: negative handle count");
+}
+
+void DependencyTracker::submit(TaskGraph& g, int task_id) {
+  const Task& t = g.task(task_id);
+  for (const TaskAccess& a : t.accesses) {
+    auto& h = handles_.at(static_cast<std::size_t>(a.tile));
+    const bool reads = a.mode != AccessMode::Write;
+    const bool writes = a.mode != AccessMode::Read;
+    if (reads && h.last_writer >= 0 && h.last_writer != task_id)
+      g.add_edge(h.last_writer, task_id);
+    if (writes) {
+      // WAW on the previous writer (if no reader already serializes us).
+      if (h.last_writer >= 0 && h.last_writer != task_id)
+        g.add_edge(h.last_writer, task_id);
+      // WAR on every reader since that writer.
+      for (const int r : h.readers_since_write)
+        if (r != task_id) g.add_edge(r, task_id);
+      h.readers_since_write.clear();
+      h.last_writer = task_id;
+    } else {
+      h.readers_since_write.push_back(task_id);
+    }
+  }
+}
+
+void DependencyTracker::reset() {
+  for (auto& h : handles_) {
+    h.last_writer = -1;
+    h.readers_since_write.clear();
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,45 @@
+// StarPU-style implicit dependency inference.
+//
+// Tasks are submitted sequentially with their data footprint (tile handle +
+// access mode); the tracker derives the RAW / WAR / WAW edges that preserve
+// sequential semantics, exactly as a task-based runtime does when the
+// application submits Algorithm 1 in program order.
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+
+namespace hetsched {
+
+/// Infers data-dependency edges for tasks submitted in program order.
+///
+/// Usage:
+///   TaskGraph g;
+///   DependencyTracker tracker(num_handles);
+///   int id = g.add_task(..., accesses);
+///   tracker.submit(g, id);   // adds the edges implied by `accesses`
+class DependencyTracker {
+ public:
+  /// `num_handles` is the number of distinct data handles (tiles).
+  explicit DependencyTracker(int num_handles);
+
+  /// Registers graph task `task_id` (already added to `g`, accesses filled)
+  /// and inserts dependency edges into `g`:
+  ///   - Read      after the last writer (RAW),
+  ///   - Write     after the last writer (WAW) and all readers since (WAR).
+  /// ReadWrite behaves as Read followed by Write.
+  void submit(TaskGraph& g, int task_id);
+
+  /// Resets all per-handle state (e.g. between factorizations).
+  void reset();
+
+ private:
+  struct HandleState {
+    int last_writer = -1;
+    std::vector<int> readers_since_write;
+  };
+  std::vector<HandleState> handles_;
+};
+
+}  // namespace hetsched

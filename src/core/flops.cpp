@@ -1,0 +1,92 @@
+#include "core/flops.hpp"
+
+namespace hetsched {
+
+double kernel_flops(Kernel k, int nb) noexcept {
+  const double b = static_cast<double>(nb);
+  switch (k) {
+    case Kernel::POTRF: return b * b * b / 3.0 + b * b / 2.0 + b / 6.0;
+    case Kernel::TRSM: return b * b * b;
+    case Kernel::SYRK: return b * b * (b + 1.0);
+    case Kernel::GEMM: return 2.0 * b * b * b;
+    case Kernel::GETRF: return 2.0 * b * b * b / 3.0;
+    case Kernel::GEQRT: return 2.0 * b * b * b;
+    case Kernel::TSQRT: return 2.0 * b * b * b;
+    case Kernel::ORMQR: return 2.0 * b * b * b;
+    case Kernel::TSMQR: return 4.0 * b * b * b;
+  }
+  return 0.0;
+}
+
+double cholesky_flops(std::int64_t n_elems) noexcept {
+  const double N = static_cast<double>(n_elems);
+  return N * N * N / 3.0 + N * N / 2.0 + N / 6.0;
+}
+
+double lu_flops(std::int64_t n_elems) noexcept {
+  const double N = static_cast<double>(n_elems);
+  return 2.0 * N * N * N / 3.0;
+}
+
+double qr_flops(std::int64_t n_elems) noexcept {
+  const double N = static_cast<double>(n_elems);
+  return 4.0 * N * N * N / 3.0;
+}
+
+std::int64_t task_count(Kernel k, int n_tiles) noexcept {
+  const std::int64_t n = n_tiles;
+  switch (k) {
+    case Kernel::POTRF: return n;
+    case Kernel::TRSM: return n * (n - 1) / 2;
+    case Kernel::SYRK: return n * (n - 1) / 2;
+    case Kernel::GEMM: return n * (n - 1) * (n - 2) / 6;
+    default: return 0;
+  }
+}
+
+std::int64_t lu_task_count(Kernel k, int n_tiles) noexcept {
+  const std::int64_t n = n_tiles;
+  switch (k) {
+    case Kernel::GETRF: return n;
+    case Kernel::TRSM: return n * (n - 1);
+    case Kernel::GEMM: return (n - 1) * n * (2 * n - 1) / 6;
+    default: return 0;
+  }
+}
+
+std::int64_t qr_task_count(Kernel k, int n_tiles) noexcept {
+  const std::int64_t n = n_tiles;
+  switch (k) {
+    case Kernel::GEQRT: return n;
+    case Kernel::TSQRT: return n * (n - 1) / 2;
+    case Kernel::ORMQR: return n * (n - 1) / 2;
+    case Kernel::TSMQR: return (n - 1) * n * (2 * n - 1) / 6;
+    default: return 0;
+  }
+}
+
+std::int64_t total_task_count(int n_tiles) noexcept {
+  std::int64_t total = 0;
+  for (const Kernel k : kCholeskyKernels) total += task_count(k, n_tiles);
+  return total;
+}
+
+double gflops(int n_tiles, int nb, double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  const std::int64_t N = static_cast<std::int64_t>(n_tiles) * nb;
+  return cholesky_flops(N) / seconds * 1e-9;
+}
+
+double lu_gflops(int n_tiles, int nb, double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  const std::int64_t N = static_cast<std::int64_t>(n_tiles) * nb;
+  return lu_flops(N) / seconds * 1e-9;
+}
+
+double qr_gflops(int n_tiles, int nb, double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  const std::int64_t N = static_cast<std::int64_t>(n_tiles) * nb;
+  return qr_flops(N) / seconds * 1e-9;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,56 @@
+// Floating-point operation counts for the tile kernels and for the full
+// factorizations, plus the task-count combinatorics of the tiled algorithms.
+//
+// Conventions follow LAPACK working notes: an N x N double-precision
+// Cholesky costs N^3/3 (+ lower order), LU costs 2N^3/3, QR costs 4N^3/3.
+#pragma once
+
+#include <cstdint>
+
+#include "core/kernel_types.hpp"
+
+namespace hetsched {
+
+/// Flops of one tile kernel operating on nb x nb tiles.
+///   POTRF: nb^3/3 + nb^2/2 + nb/6     GETRF: 2 nb^3/3
+///   TRSM : nb^3                       GEQRT: 2 nb^3
+///   SYRK : nb^2 (nb + 1)              TSQRT: 2 nb^3
+///   GEMM : 2 nb^3                     ORMQR: 2 nb^3,  TSMQR: 4 nb^3
+double kernel_flops(Kernel k, int nb) noexcept;
+
+/// Flops of a full N x N Cholesky factorization (N = n_tiles * nb).
+double cholesky_flops(std::int64_t n_elems) noexcept;
+
+/// Flops of a full N x N LU factorization (2 N^3 / 3).
+double lu_flops(std::int64_t n_elems) noexcept;
+
+/// Flops of a full N x N QR factorization (4 N^3 / 3).
+double qr_flops(std::int64_t n_elems) noexcept;
+
+/// Number of tasks of kernel type `k` in the tiled Cholesky of an
+/// n x n tiled matrix:
+///   POTRF: n, TRSM: n(n-1)/2, SYRK: n(n-1)/2, GEMM: n(n-1)(n-2)/6,
+///   0 for kernels the algorithm does not use.
+std::int64_t task_count(Kernel k, int n_tiles) noexcept;
+
+/// Number of tasks of kernel type `k` in the tiled LU (no pivoting):
+///   GETRF: n, TRSM: n(n-1) (both panel variants), GEMM: (n-1)n(2n-1)/6.
+std::int64_t lu_task_count(Kernel k, int n_tiles) noexcept;
+
+/// Number of tasks of kernel type `k` in the tiled QR (flat tree):
+///   GEQRT: n, TSQRT: n(n-1)/2, ORMQR: n(n-1)/2, TSMQR: (n-1)n(2n-1)/6.
+std::int64_t qr_task_count(Kernel k, int n_tiles) noexcept;
+
+/// Total number of tasks of the tiled Cholesky.
+std::int64_t total_task_count(int n_tiles) noexcept;
+
+/// GFLOP/s achieved by a Cholesky of an (n_tiles * nb)^2 matrix factorized
+/// in `seconds` of wall/virtual time.
+double gflops(int n_tiles, int nb, double seconds) noexcept;
+
+/// Same for LU / QR (using their dense flop formulas, as the paper does
+/// for Cholesky).
+double lu_gflops(int n_tiles, int nb, double seconds) noexcept;
+double qr_gflops(int n_tiles, int nb, double seconds) noexcept;
+
+}  // namespace hetsched

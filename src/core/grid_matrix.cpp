@@ -1,0 +1,81 @@
+#include "core/grid_matrix.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace hetsched {
+
+GridMatrix::GridMatrix(int n_tiles, int nb) : n_tiles_(n_tiles), nb_(nb) {
+  if (n_tiles <= 0 || nb <= 0)
+    throw std::invalid_argument("GridMatrix: non-positive dimensions");
+  storage_.assign(static_cast<std::size_t>(n_tiles) *
+                      static_cast<std::size_t>(n_tiles) *
+                      static_cast<std::size_t>(nb) *
+                      static_cast<std::size_t>(nb),
+                  0.0);
+}
+
+double* GridMatrix::tile(int i, int j) {
+  if (i < 0 || j < 0 || i >= n_tiles_ || j >= n_tiles_)
+    throw std::out_of_range("GridMatrix::tile");
+  const std::size_t per_tile =
+      static_cast<std::size_t>(nb_) * static_cast<std::size_t>(nb_);
+  return storage_.data() + static_cast<std::size_t>(handle(i, j)) * per_tile;
+}
+
+const double* GridMatrix::tile(int i, int j) const {
+  return const_cast<GridMatrix*>(this)->tile(i, j);
+}
+
+GridMatrix GridMatrix::from_dense(const DenseMatrix& a, int n_tiles, int nb) {
+  if (a.rows() != n_tiles * nb || a.cols() != n_tiles * nb)
+    throw std::invalid_argument("GridMatrix::from_dense: dimension mismatch");
+  GridMatrix g(n_tiles, nb);
+  for (int ti = 0; ti < n_tiles; ++ti)
+    for (int tj = 0; tj < n_tiles; ++tj) {
+      double* blk = g.tile(ti, tj);
+      for (int j = 0; j < nb; ++j)
+        for (int i = 0; i < nb; ++i)
+          blk[i + static_cast<std::ptrdiff_t>(j) * nb] =
+              a(ti * nb + i, tj * nb + j);
+    }
+  return g;
+}
+
+DenseMatrix GridMatrix::to_dense() const {
+  DenseMatrix a(n_elems(), n_elems());
+  for (int ti = 0; ti < n_tiles_; ++ti)
+    for (int tj = 0; tj < n_tiles_; ++tj) {
+      const double* blk = tile(ti, tj);
+      for (int j = 0; j < nb_; ++j)
+        for (int i = 0; i < nb_; ++i)
+          a(ti * nb_ + i, tj * nb_ + j) =
+              blk[i + static_cast<std::ptrdiff_t>(j) * nb_];
+    }
+  return a;
+}
+
+GridMatrix GridMatrix::random(int n_tiles, int nb, unsigned seed) {
+  const int n = n_tiles * nb;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = dist(rng);
+  return from_dense(a, n_tiles, nb);
+}
+
+GridMatrix GridMatrix::random_diagonally_dominant(int n_tiles, int nb,
+                                                  unsigned seed) {
+  const int n = n_tiles * nb;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = dist(rng);
+  // Row-dominant diagonal keeps every LU pivot comfortably away from zero.
+  for (int i = 0; i < n; ++i) a(i, i) += static_cast<double>(2 * n);
+  return from_dense(a, n_tiles, nb);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,45 @@
+// Full (non-symmetric) tiled matrix: an n x n grid of nb x nb column-major
+// tiles, used by the LU and QR factorizations (Cholesky only stores the
+// lower triangle, see TileMatrix).
+#pragma once
+
+#include <vector>
+
+#include "core/dense_matrix.hpp"
+
+namespace hetsched {
+
+/// General square matrix stored as an n x n grid of tiles.
+class GridMatrix {
+ public:
+  GridMatrix(int n_tiles, int nb);
+
+  int n_tiles() const noexcept { return n_tiles_; }
+  int nb() const noexcept { return nb_; }
+  int n_elems() const noexcept { return n_tiles_ * nb_; }
+
+  /// Linear data-handle of tile (i, j): i * n_tiles + j.
+  int handle(int i, int j) const noexcept { return i * n_tiles_ + j; }
+
+  /// Pointer to tile (i, j); column-major, lda = nb.
+  double* tile(int i, int j);
+  const double* tile(int i, int j) const;
+
+  static GridMatrix from_dense(const DenseMatrix& a, int n_tiles, int nb);
+  DenseMatrix to_dense() const;
+
+  /// Deterministic random matrix with a strongly dominant diagonal, so LU
+  /// without pivoting is numerically safe.
+  static GridMatrix random_diagonally_dominant(int n_tiles, int nb,
+                                               unsigned seed);
+
+  /// Deterministic general random matrix (for QR).
+  static GridMatrix random(int n_tiles, int nb, unsigned seed);
+
+ private:
+  int n_tiles_;
+  int nb_;
+  std::vector<double> storage_;
+};
+
+}  // namespace hetsched

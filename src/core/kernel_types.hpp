@@ -1,0 +1,83 @@
+// Kernel taxonomy of the tiled dense factorizations.
+//
+// The four BLAS/LAPACK tile kernels of the paper's Cholesky (Algorithm 1):
+//   POTRF  -- Cholesky factorization of a diagonal tile
+//   TRSM   -- triangular solve applying a factorization to a panel tile
+//   SYRK   -- symmetric rank-nb update of a diagonal tile
+//   GEMM   -- general update of an off-diagonal tile
+//
+// The paper's conclusion proposes applying the same methodology to other
+// dense factorizations; the library therefore also models the tiled LU
+// (no pivoting) and tiled QR kernel sets:
+//   GETRF  -- LU factorization of a diagonal tile (LU reuses TRSM/GEMM
+//             timing classes for its panel and update kernels)
+//   GEQRT / TSQRT / ORMQR / TSMQR -- the classic tile-QR kernel quartet.
+//
+// A platform's timing table has one row per kernel; kernels a platform was
+// not calibrated for carry time 0 ("unsupported") and are rejected when a
+// graph actually uses them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hetsched {
+
+/// Tile kernel identifiers, in timing-table order.
+enum class Kernel : std::uint8_t {
+  // Cholesky (also reused by LU for panels/updates).
+  POTRF = 0,
+  TRSM = 1,
+  SYRK = 2,
+  GEMM = 3,
+  // LU.
+  GETRF = 4,
+  // QR.
+  GEQRT = 5,
+  TSQRT = 6,
+  ORMQR = 7,
+  TSMQR = 8,
+};
+
+/// Number of distinct tile kernels (timing-table width).
+inline constexpr int kNumKernels = 9;
+
+/// All kernels, for full-table sweeps.
+inline constexpr std::array<Kernel, kNumKernels> kAllKernels = {
+    Kernel::POTRF, Kernel::TRSM,  Kernel::SYRK,  Kernel::GEMM, Kernel::GETRF,
+    Kernel::GEQRT, Kernel::TSQRT, Kernel::ORMQR, Kernel::TSMQR};
+
+/// The four kernels of the paper's tiled Cholesky.
+inline constexpr std::array<Kernel, 4> kCholeskyKernels = {
+    Kernel::POTRF, Kernel::TRSM, Kernel::SYRK, Kernel::GEMM};
+
+/// The kernels of tiled LU without pivoting (panel/update reuse the TRSM
+/// and GEMM timing classes -- same shape, same cost).
+inline constexpr std::array<Kernel, 3> kLuKernels = {
+    Kernel::GETRF, Kernel::TRSM, Kernel::GEMM};
+
+/// The kernels of tiled QR.
+inline constexpr std::array<Kernel, 4> kQrKernels = {
+    Kernel::GEQRT, Kernel::TSQRT, Kernel::ORMQR, Kernel::TSMQR};
+
+/// Stable printable name.
+constexpr std::string_view to_string(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::POTRF: return "POTRF";
+    case Kernel::TRSM: return "TRSM";
+    case Kernel::SYRK: return "SYRK";
+    case Kernel::GEMM: return "GEMM";
+    case Kernel::GETRF: return "GETRF";
+    case Kernel::GEQRT: return "GEQRT";
+    case Kernel::TSQRT: return "TSQRT";
+    case Kernel::ORMQR: return "ORMQR";
+    case Kernel::TSMQR: return "TSMQR";
+  }
+  return "?";
+}
+
+/// Index of a kernel in per-kernel arrays.
+constexpr int kernel_index(Kernel k) noexcept { return static_cast<int>(k); }
+
+}  // namespace hetsched

@@ -1,0 +1,270 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetsched::kernels {
+namespace {
+
+// C(m x n) += alpha * A(m x k) * B(n x k)^T, column-major.
+// Column-of-C axpy formulation: good stride-1 behaviour.
+void gemm_nt(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    for (int p = 0; p < k; ++p) {
+      const double bjp = alpha * b[j + static_cast<std::ptrdiff_t>(p) * ldb];
+      if (bjp == 0.0) continue;
+      const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
+      for (int i = 0; i < m; ++i) cj[i] += bjp * ap[i];
+    }
+  }
+}
+
+// Solve X * L^T = A for an m x n block A, L lower-triangular n x n.
+// Overwrites A with X. Column j depends on columns < j.
+void trsm_rlt(int m, int n, const double* l, int ldl, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int p = 0; p < j; ++p) {
+      const double ljp = l[j + static_cast<std::ptrdiff_t>(p) * ldl];
+      if (ljp == 0.0) continue;
+      const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
+      for (int i = 0; i < m; ++i) aj[i] -= ljp * ap[i];
+    }
+    const double inv = 1.0 / l[j + static_cast<std::ptrdiff_t>(j) * ldl];
+    for (int i = 0; i < m; ++i) aj[i] *= inv;
+  }
+}
+
+// C(n x n, lower) += alpha * A(n x k) * A^T.
+void syrk_ln(int n, int k, double alpha, const double* a, int lda, double* c,
+             int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    for (int p = 0; p < k; ++p) {
+      const double ajp = alpha * a[j + static_cast<std::ptrdiff_t>(p) * lda];
+      if (ajp == 0.0) continue;
+      const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
+      for (int i = j; i < n; ++i) cj[i] += ajp * ap[i];
+    }
+  }
+}
+
+// Unblocked right-looking lower Cholesky of the n x n leading block.
+bool potrf_unblocked(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    double d = aj[j];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    aj[j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < n; ++i) aj[i] *= inv;
+    // Trailing update of columns j+1..n-1 by the new column j.
+    for (int t = j + 1; t < n; ++t) {
+      const double ajt = aj[t];
+      if (ajt == 0.0) continue;
+      double* at = a + static_cast<std::ptrdiff_t>(t) * lda;
+      for (int i = t; i < n; ++i) at[i] -= aj[i] * ajt;
+    }
+  }
+  return true;
+}
+
+constexpr int kPotrfBlock = 64;
+
+}  // namespace
+
+bool potrf(int nb, double* a, int lda) {
+  for (int k = 0; k < nb; k += kPotrfBlock) {
+    const int kb = std::min(kPotrfBlock, nb - k);
+    double* akk = a + k + static_cast<std::ptrdiff_t>(k) * lda;
+    if (!potrf_unblocked(kb, akk, lda)) return false;
+    const int m = nb - k - kb;  // rows below the diagonal block
+    if (m > 0) {
+      double* apanel = a + (k + kb) + static_cast<std::ptrdiff_t>(k) * lda;
+      trsm_rlt(m, kb, akk, lda, apanel, lda);
+      // Trailing submatrix update: SYRK on the diagonal part done lazily via
+      // syrk_ln over the whole trailing square (lower triangle only).
+      double* atrail =
+          a + (k + kb) + static_cast<std::ptrdiff_t>(k + kb) * lda;
+      syrk_ln(m, kb, -1.0, apanel, lda, atrail, lda);
+    }
+  }
+  return true;
+}
+
+void trsm(int nb, const double* l, int ldl, double* a, int lda) {
+  trsm_rlt(nb, nb, l, ldl, a, lda);
+}
+
+void syrk(int nb, const double* a, int lda, double* c, int ldc) {
+  syrk_ln(nb, nb, -1.0, a, lda, c, ldc);
+}
+
+void gemm(int nb, const double* a, int lda, const double* b, int ldb,
+          double* c, int ldc) {
+  gemm_nt(nb, nb, nb, -1.0, a, lda, b, ldb, c, ldc);
+}
+
+// ---- LU kernels ------------------------------------------------------------
+
+bool getrf_nopiv(int nb, double* a, int lda) {
+  // Unblocked right-looking LU; tiles are small enough that the blocked
+  // variant buys little here, and clarity wins.
+  for (int k = 0; k < nb; ++k) {
+    double* ak = a + static_cast<std::ptrdiff_t>(k) * lda;
+    const double pivot = ak[k];
+    if (pivot == 0.0 || !std::isfinite(pivot)) return false;
+    const double inv = 1.0 / pivot;
+    for (int i = k + 1; i < nb; ++i) ak[i] *= inv;  // L column
+    for (int j = k + 1; j < nb; ++j) {
+      double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+      const double ukj = aj[k];
+      if (ukj == 0.0) continue;
+      for (int i = k + 1; i < nb; ++i) aj[i] -= ak[i] * ukj;
+    }
+  }
+  return true;
+}
+
+void trsm_llu(int nb, const double* lu, int ldlu, double* a, int lda) {
+  // Solve L X = A column by column; L unit lower from `lu`.
+  for (int j = 0; j < nb; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int k = 0; k < nb; ++k) {
+      const double x = aj[k];
+      if (x == 0.0) continue;
+      const double* lk = lu + static_cast<std::ptrdiff_t>(k) * ldlu;
+      for (int i = k + 1; i < nb; ++i) aj[i] -= lk[i] * x;
+    }
+  }
+}
+
+void trsm_run(int nb, const double* lu, int ldlu, double* a, int lda) {
+  // Solve X U = A: column j of X depends on columns < j.
+  for (int j = 0; j < nb; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    const double* uj = lu + static_cast<std::ptrdiff_t>(j) * ldlu;
+    for (int p = 0; p < j; ++p) {
+      const double upj = uj[p];
+      if (upj == 0.0) continue;
+      const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
+      for (int i = 0; i < nb; ++i) aj[i] -= ap[i] * upj;
+    }
+    const double inv = 1.0 / uj[j];
+    for (int i = 0; i < nb; ++i) aj[i] *= inv;
+  }
+}
+
+void gemm_nn(int nb, const double* a, int lda, const double* b, int ldb,
+             double* c, int ldc) {
+  for (int j = 0; j < nb; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    const double* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+    for (int p = 0; p < nb; ++p) {
+      const double bpj = bj[p];
+      if (bpj == 0.0) continue;
+      const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
+      for (int i = 0; i < nb; ++i) cj[i] -= ap[i] * bpj;
+    }
+  }
+}
+
+// ---- Tile-QR kernels --------------------------------------------------------
+
+void geqrt(int nb, double* a, int lda, double* tau) {
+  for (int j = 0; j < nb; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    // Householder vector for column j over rows j..nb-1.
+    const double alpha = aj[j];
+    double norm2 = 0.0;
+    for (int i = j + 1; i < nb; ++i) norm2 += aj[i] * aj[i];
+    if (norm2 == 0.0) {
+      tau[j] = 0.0;  // column already reduced
+      continue;
+    }
+    const double normx = std::sqrt(alpha * alpha + norm2);
+    const double beta = alpha >= 0.0 ? -normx : normx;
+    tau[j] = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    for (int i = j + 1; i < nb; ++i) aj[i] *= scale;  // v (head = 1 implied)
+    aj[j] = beta;                                     // R diagonal entry
+    // Apply H_j to the remaining columns.
+    for (int c = j + 1; c < nb; ++c) {
+      double* ac = a + static_cast<std::ptrdiff_t>(c) * lda;
+      double w = ac[j];
+      for (int i = j + 1; i < nb; ++i) w += aj[i] * ac[i];
+      w *= tau[j];
+      ac[j] -= w;
+      for (int i = j + 1; i < nb; ++i) ac[i] -= aj[i] * w;
+    }
+  }
+}
+
+void ormqr(int nb, const double* v, int ldv, const double* tau, double* c,
+           int ldc) {
+  // Q^T C = H_{nb-1} ... H_0 C: apply in factorization order.
+  for (int j = 0; j < nb; ++j) {
+    if (tau[j] == 0.0) continue;
+    const double* vj = v + static_cast<std::ptrdiff_t>(j) * ldv;
+    for (int col = 0; col < nb; ++col) {
+      double* cc = c + static_cast<std::ptrdiff_t>(col) * ldc;
+      double w = cc[j];
+      for (int i = j + 1; i < nb; ++i) w += vj[i] * cc[i];
+      w *= tau[j];
+      cc[j] -= w;
+      for (int i = j + 1; i < nb; ++i) cc[i] -= vj[i] * w;
+    }
+  }
+}
+
+void tsqrt(int nb, double* r, int ldr, double* a, int lda, double* tau) {
+  for (int j = 0; j < nb; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    double* rj = r + static_cast<std::ptrdiff_t>(j) * ldr;
+    const double alpha = rj[j];
+    double norm2 = 0.0;
+    for (int i = 0; i < nb; ++i) norm2 += aj[i] * aj[i];
+    if (norm2 == 0.0) {
+      tau[j] = 0.0;
+      continue;
+    }
+    const double normx = std::sqrt(alpha * alpha + norm2);
+    const double beta = alpha >= 0.0 ? -normx : normx;
+    tau[j] = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    for (int i = 0; i < nb; ++i) aj[i] *= scale;  // dense reflector bottom
+    rj[j] = beta;
+    // Apply to the remaining stacked columns [r[j, c]; a[:, c]].
+    for (int c = j + 1; c < nb; ++c) {
+      double* ac = a + static_cast<std::ptrdiff_t>(c) * lda;
+      double* rc = r + static_cast<std::ptrdiff_t>(c) * ldr;
+      double w = rc[j];
+      for (int i = 0; i < nb; ++i) w += aj[i] * ac[i];
+      w *= tau[j];
+      rc[j] -= w;
+      for (int i = 0; i < nb; ++i) ac[i] -= aj[i] * w;
+    }
+  }
+}
+
+void tsmqr(int nb, const double* v, int ldv, const double* tau,
+           double* c_top, int ldt, double* c_bot, int ldb) {
+  for (int j = 0; j < nb; ++j) {
+    if (tau[j] == 0.0) continue;
+    const double* vj = v + static_cast<std::ptrdiff_t>(j) * ldv;
+    for (int col = 0; col < nb; ++col) {
+      double* ct = c_top + static_cast<std::ptrdiff_t>(col) * ldt;
+      double* cb = c_bot + static_cast<std::ptrdiff_t>(col) * ldb;
+      double w = ct[j];
+      for (int i = 0; i < nb; ++i) w += vj[i] * cb[i];
+      w *= tau[j];
+      ct[j] -= w;
+      for (int i = 0; i < nb; ++i) cb[i] -= vj[i] * w;
+    }
+  }
+}
+
+}  // namespace hetsched::kernels

@@ -1,0 +1,112 @@
+#include "core/lu_dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/dependency_tracker.hpp"
+#include "core/flops.hpp"
+#include "core/kernels.hpp"
+
+namespace hetsched {
+
+TaskGraph build_lu_dag(int n_tiles, int nb) {
+  if (n_tiles <= 0) throw std::invalid_argument("build_lu_dag: n_tiles <= 0");
+  if (nb <= 0) throw std::invalid_argument("build_lu_dag: nb <= 0");
+
+  TaskGraph g;
+  DependencyTracker tracker(n_tiles * n_tiles);
+  const auto handle = [n_tiles](int i, int j) { return i * n_tiles + j; };
+  const auto submit = [&](Kernel kern, int k, int i, int j,
+                          std::vector<TaskAccess> acc) {
+    const int id =
+        g.add_task(kern, k, i, j, kernel_flops(kern, nb), std::move(acc));
+    tracker.submit(g, id);
+  };
+
+  for (int k = 0; k < n_tiles; ++k) {
+    submit(Kernel::GETRF, k, -1, -1,
+           {{handle(k, k), AccessMode::ReadWrite}});
+    for (int j = k + 1; j < n_tiles; ++j) {
+      submit(Kernel::TRSM, k, -1, j,
+             {{handle(k, k), AccessMode::Read},
+              {handle(k, j), AccessMode::ReadWrite}});
+    }
+    for (int i = k + 1; i < n_tiles; ++i) {
+      submit(Kernel::TRSM, k, i, -1,
+             {{handle(k, k), AccessMode::Read},
+              {handle(i, k), AccessMode::ReadWrite}});
+    }
+    for (int j = k + 1; j < n_tiles; ++j)
+      for (int i = k + 1; i < n_tiles; ++i) {
+        submit(Kernel::GEMM, k, i, j,
+               {{handle(i, k), AccessMode::Read},
+                {handle(k, j), AccessMode::Read},
+                {handle(i, j), AccessMode::ReadWrite}});
+      }
+  }
+  return g;
+}
+
+bool execute_lu_task(GridMatrix& a, const Task& t) {
+  const int nb = a.nb();
+  switch (t.kernel) {
+    case Kernel::GETRF:
+      return kernels::getrf_nopiv(nb, a.tile(t.k, t.k), nb);
+    case Kernel::TRSM:
+      if (t.j >= 0)  // row panel: L(kk)^{-1} A[k][j]
+        kernels::trsm_llu(nb, a.tile(t.k, t.k), nb, a.tile(t.k, t.j), nb);
+      else  // column panel: A[i][k] U(kk)^{-1}
+        kernels::trsm_run(nb, a.tile(t.k, t.k), nb, a.tile(t.i, t.k), nb);
+      return true;
+    case Kernel::GEMM:
+      kernels::gemm_nn(nb, a.tile(t.i, t.k), nb, a.tile(t.k, t.j), nb,
+                       a.tile(t.i, t.j), nb);
+      return true;
+    default:
+      throw std::logic_error("execute_lu_task: unexpected kernel " +
+                             std::string(to_string(t.kernel)));
+  }
+}
+
+bool tiled_lu_sequential(GridMatrix& a) {
+  const TaskGraph g = build_lu_dag(a.n_tiles(), a.nb());
+  for (const int id : g.topological_order())
+    if (!execute_lu_task(a, g.task(id))) return false;
+  return true;
+}
+
+bool dense_lu_nopiv(DenseMatrix& a) {
+  const int n = a.rows();
+  for (int k = 0; k < n; ++k) {
+    const double pivot = a(k, k);
+    if (pivot == 0.0) return false;
+    for (int i = k + 1; i < n; ++i) a(i, k) /= pivot;
+    for (int j = k + 1; j < n; ++j) {
+      const double ukj = a(k, j);
+      if (ukj == 0.0) continue;
+      for (int i = k + 1; i < n; ++i) a(i, j) -= a(i, k) * ukj;
+    }
+  }
+  return true;
+}
+
+DenseMatrix multiply_lu(const DenseMatrix& packed) {
+  const int n = packed.rows();
+  DenseMatrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      // (L U)(i, j) = sum_{k <= min(i,j)} L(i,k) U(k,j) with L unit lower
+      // (implicit ones on its diagonal) and U upper.
+      const int kmax = std::min(i, j);
+      double s = 0.0;
+      for (int k = 0; k < kmax; ++k) s += packed(i, k) * packed(k, j);
+      if (i <= j)
+        s += packed(i, j);                  // L(i,i) = 1 times U(i,j)
+      else
+        s += packed(i, j) * packed(j, j);   // L(i,j) times U(j,j)
+      a(i, j) = s;
+    }
+  return a;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,42 @@
+// Tiled LU factorization without pivoting: task-graph builder, numeric
+// executors, and dense references -- the paper's proposed extension of its
+// methodology to other dense factorizations (Section VII).
+//
+// Right-looking tiled algorithm on an n x n tile grid:
+//   for k = 0..n-1:
+//     A[k][k]          <- GETRF(A[k][k])                  (diagonal)
+//     for j > k:  A[k][j] <- TRSM_L: L(kk)^{-1} A[k][j]   (row panel)
+//     for i > k:  A[i][k] <- TRSM_R: A[i][k] U(kk)^{-1}   (column panel)
+//     for i,j > k: A[i][j] <- A[i][j] - A[i][k] A[k][j]   (GEMM update)
+//
+// Kernel classes: GETRF for the diagonal; both panel solves share the TRSM
+// timing class (identical shape and cost); the update shares GEMM. In a
+// Task, the row-panel TRSM carries (k, j) with i = -1, the column-panel
+// TRSM carries (k, i) with j = -1.
+#pragma once
+
+#include "core/grid_matrix.hpp"
+#include "core/task_graph.hpp"
+
+namespace hetsched {
+
+/// Builds the LU task graph; tile handles follow GridMatrix::handle
+/// (i * n_tiles + j).
+TaskGraph build_lu_dag(int n_tiles, int nb = 960);
+
+/// Executes one LU DAG task numerically. Returns false only for GETRF on a
+/// tile with a zero pivot.
+bool execute_lu_task(GridMatrix& a, const Task& t);
+
+/// Sequential tiled LU; factorizes `a` in place into L\U (unit diagonal of
+/// L not stored). Returns false on a zero pivot.
+bool tiled_lu_sequential(GridMatrix& a);
+
+/// Dense unblocked LU without pivoting on a DenseMatrix (reference for
+/// tests). Returns false on a zero pivot.
+bool dense_lu_nopiv(DenseMatrix& a);
+
+/// Multiplies the packed factors L\U back into A (test helper).
+DenseMatrix multiply_lu(const DenseMatrix& packed);
+
+}  // namespace hetsched

@@ -1,0 +1,106 @@
+#include "core/qr_dag.hpp"
+
+#include <stdexcept>
+
+#include "core/dependency_tracker.hpp"
+#include "core/flops.hpp"
+#include "core/kernels.hpp"
+
+namespace hetsched {
+
+QrFactor::QrFactor(GridMatrix matrix) : a(std::move(matrix)) {
+  const std::size_t n = static_cast<std::size_t>(a.n_tiles());
+  const std::size_t nb = static_cast<std::size_t>(a.nb());
+  diag_tau.assign(n * nb, 0.0);
+  ts_tau.assign(n * n * nb, 0.0);
+}
+
+double* QrFactor::tau_of_geqrt(int k) {
+  return diag_tau.data() + static_cast<std::size_t>(k) *
+                               static_cast<std::size_t>(a.nb());
+}
+
+double* QrFactor::tau_of_tsqrt(int i, int k) {
+  return ts_tau.data() +
+         static_cast<std::size_t>(a.handle(i, k)) *
+             static_cast<std::size_t>(a.nb());
+}
+
+DenseMatrix QrFactor::r_factor() const {
+  const DenseMatrix full = a.to_dense();
+  const int n = full.rows();
+  DenseMatrix r(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) r(i, j) = full(i, j);
+  return r;
+}
+
+TaskGraph build_qr_dag(int n_tiles, int nb) {
+  if (n_tiles <= 0) throw std::invalid_argument("build_qr_dag: n_tiles <= 0");
+  if (nb <= 0) throw std::invalid_argument("build_qr_dag: nb <= 0");
+
+  TaskGraph g;
+  DependencyTracker tracker(n_tiles * n_tiles);
+  const auto handle = [n_tiles](int i, int j) { return i * n_tiles + j; };
+  const auto submit = [&](Kernel kern, int k, int i, int j,
+                          std::vector<TaskAccess> acc) {
+    const int id =
+        g.add_task(kern, k, i, j, kernel_flops(kern, nb), std::move(acc));
+    tracker.submit(g, id);
+  };
+
+  for (int k = 0; k < n_tiles; ++k) {
+    submit(Kernel::GEQRT, k, -1, -1,
+           {{handle(k, k), AccessMode::ReadWrite}});
+    for (int j = k + 1; j < n_tiles; ++j) {
+      submit(Kernel::ORMQR, k, -1, j,
+             {{handle(k, k), AccessMode::Read},
+              {handle(k, j), AccessMode::ReadWrite}});
+    }
+    for (int i = k + 1; i < n_tiles; ++i) {
+      // TSQRT updates the R part of the diagonal tile and fills A[i][k]
+      // with the reflectors, serializing the flat-tree panel.
+      submit(Kernel::TSQRT, k, i, -1,
+             {{handle(k, k), AccessMode::ReadWrite},
+              {handle(i, k), AccessMode::ReadWrite}});
+      for (int j = k + 1; j < n_tiles; ++j) {
+        submit(Kernel::TSMQR, k, i, j,
+               {{handle(i, k), AccessMode::Read},
+                {handle(k, j), AccessMode::ReadWrite},
+                {handle(i, j), AccessMode::ReadWrite}});
+      }
+    }
+  }
+  return g;
+}
+
+void execute_qr_task(QrFactor& f, const Task& t) {
+  const int nb = f.a.nb();
+  switch (t.kernel) {
+    case Kernel::GEQRT:
+      kernels::geqrt(nb, f.a.tile(t.k, t.k), nb, f.tau_of_geqrt(t.k));
+      return;
+    case Kernel::ORMQR:
+      kernels::ormqr(nb, f.a.tile(t.k, t.k), nb, f.tau_of_geqrt(t.k),
+                     f.a.tile(t.k, t.j), nb);
+      return;
+    case Kernel::TSQRT:
+      kernels::tsqrt(nb, f.a.tile(t.k, t.k), nb, f.a.tile(t.i, t.k), nb,
+                     f.tau_of_tsqrt(t.i, t.k));
+      return;
+    case Kernel::TSMQR:
+      kernels::tsmqr(nb, f.a.tile(t.i, t.k), nb, f.tau_of_tsqrt(t.i, t.k),
+                     f.a.tile(t.k, t.j), nb, f.a.tile(t.i, t.j), nb);
+      return;
+    default:
+      throw std::logic_error("execute_qr_task: unexpected kernel " +
+                             std::string(to_string(t.kernel)));
+  }
+}
+
+void tiled_qr_sequential(QrFactor& f) {
+  const TaskGraph g = build_qr_dag(f.a.n_tiles(), f.a.nb());
+  for (const int id : g.topological_order()) execute_qr_task(f, g.task(id));
+}
+
+}  // namespace hetsched

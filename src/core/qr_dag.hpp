@@ -1,0 +1,51 @@
+// Tiled QR factorization (flat reduction tree): task-graph builder and
+// numeric executors -- with LU, the paper's proposed methodology extension
+// to other dense factorizations (Section VII).
+//
+// Classic tile-QR kernel quartet on an n x n tile grid:
+//   for k = 0..n-1:
+//     GEQRT(k)        : QR of A[k][k]; R in the upper triangle, reflector
+//                       vectors V in the strict lower triangle
+//     ORMQR(j, k)     : apply GEQRT(k)'s Q^T to row tile A[k][j], j > k
+//     TSQRT(i, k)     : QR of the stacked [R_kk; A[i][k]], i > k; updates
+//                       R_kk, stores dense reflectors in A[i][k]
+//     TSMQR(i, j, k)  : apply TSQRT(i,k)'s Q^T to [A[k][j]; A[i][j]]
+//
+// Reflector coefficients (tau) live beside the matrix in QrFactor; they
+// travel with their tile for dependency purposes, so the DAG only tracks
+// tile handles.
+#pragma once
+
+#include <vector>
+
+#include "core/grid_matrix.hpp"
+#include "core/task_graph.hpp"
+
+namespace hetsched {
+
+/// A tiled matrix being QR-factorized plus its reflector coefficients.
+struct QrFactor {
+  explicit QrFactor(GridMatrix matrix);
+
+  GridMatrix a;
+  std::vector<double> diag_tau;  ///< GEQRT taus: [k * nb + t]
+  std::vector<double> ts_tau;    ///< TSQRT taus: [(i * n_tiles + k) * nb + t]
+
+  double* tau_of_geqrt(int k);
+  double* tau_of_tsqrt(int i, int k);
+
+  /// The R factor: upper triangle of the factorized tiles (zero elsewhere).
+  DenseMatrix r_factor() const;
+};
+
+/// Builds the QR task graph; tile handles follow GridMatrix::handle.
+TaskGraph build_qr_dag(int n_tiles, int nb = 960);
+
+/// Executes one QR DAG task numerically (always succeeds; QR exists for
+/// every matrix).
+void execute_qr_task(QrFactor& f, const Task& t);
+
+/// Sequential tiled QR of `f.a` in place.
+void tiled_qr_sequential(QrFactor& f);
+
+}  // namespace hetsched

@@ -1,0 +1,106 @@
+// Generic task graph (DAG) with data-access annotations.
+//
+// Vertices are tile-kernel invocations; edges are direct data dependencies.
+// The graph is built either directly (add_task / add_edge) or through the
+// access-mode tracker in dependency_tracker.hpp, which infers edges from
+// the R/W footprint of sequentially submitted tasks -- the same model used
+// by task-based runtimes such as StarPU.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kernel_types.hpp"
+
+namespace hetsched {
+
+/// How a task touches a data handle (a tile).
+enum class AccessMode : std::uint8_t { Read, Write, ReadWrite };
+
+/// One data access of a task: which tile, and in which mode.
+struct TaskAccess {
+  int tile = -1;  ///< linear tile handle (see tile_linear_index)
+  AccessMode mode = AccessMode::Read;
+};
+
+/// Linear handle of lower-triangle tile (i, j), i >= j >= 0.
+constexpr int tile_linear_index(int i, int j) noexcept {
+  return i * (i + 1) / 2 + j;
+}
+
+/// Number of stored tiles of an n x n tiled symmetric matrix.
+constexpr int num_lower_tiles(int n_tiles) noexcept {
+  return n_tiles * (n_tiles + 1) / 2;
+}
+
+/// A single task (vertex). The (k, i, j) triple carries the loop indices of
+/// Algorithm 1; unused indices are -1 (e.g. POTRF has only k).
+struct Task {
+  int id = -1;
+  Kernel kernel = Kernel::POTRF;
+  int k = -1;  ///< panel / step index
+  int i = -1;  ///< row tile index (TRSM, GEMM)
+  int j = -1;  ///< column tile index (SYRK, GEMM)
+  double flops = 0.0;
+  std::vector<TaskAccess> accesses;
+
+  /// Human-readable label, e.g. "GEMM_4_2_1" as in the paper's Figure 1.
+  std::string name() const;
+};
+
+/// Directed acyclic graph of tasks.
+class TaskGraph {
+ public:
+  /// Appends a task; returns its id. Edges are added separately.
+  int add_task(Kernel kernel, int k, int i, int j, double flops,
+               std::vector<TaskAccess> accesses = {});
+
+  /// Adds dependency `from` -> `to` (to cannot start before from ends).
+  /// Duplicate edges are ignored.
+  void add_edge(int from, int to);
+
+  int num_tasks() const noexcept { return static_cast<int>(tasks_.size()); }
+  const Task& task(int id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+  std::span<const Task> tasks() const noexcept { return tasks_; }
+
+  /// Direct predecessors / successors of a task.
+  std::span<const int> predecessors(int id) const {
+    return preds_.at(static_cast<std::size_t>(id));
+  }
+  std::span<const int> successors(int id) const {
+    return succs_.at(static_cast<std::size_t>(id));
+  }
+
+  int in_degree(int id) const {
+    return static_cast<int>(preds_.at(static_cast<std::size_t>(id)).size());
+  }
+  int out_degree(int id) const {
+    return static_cast<int>(succs_.at(static_cast<std::size_t>(id)).size());
+  }
+
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+
+  /// Tasks with no predecessors / successors.
+  std::vector<int> sources() const;
+  std::vector<int> sinks() const;
+
+  /// Kahn topological order; throws std::logic_error if the graph has a
+  /// cycle (cannot happen for graphs built by the dependency tracker).
+  std::vector<int> topological_order() const;
+
+  /// True iff the graph is acyclic.
+  bool is_dag() const;
+
+  /// Number of tasks per kernel type.
+  std::array<std::int64_t, kNumKernels> kernel_histogram() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,71 @@
+#include "core/tile_matrix.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+TileMatrix::TileMatrix(int n_tiles, int nb) : n_tiles_(n_tiles), nb_(nb) {
+  if (n_tiles <= 0 || nb <= 0)
+    throw std::invalid_argument("TileMatrix: non-positive dimensions");
+  const std::size_t per_tile =
+      static_cast<std::size_t>(nb) * static_cast<std::size_t>(nb);
+  storage_.assign(static_cast<std::size_t>(num_lower_tiles(n_tiles)) * per_tile,
+                  0.0);
+}
+
+double* TileMatrix::tile(int i, int j) {
+  return tile(tile_linear_index(i, j));
+}
+
+const double* TileMatrix::tile(int i, int j) const {
+  return tile(tile_linear_index(i, j));
+}
+
+double* TileMatrix::tile(int handle) {
+  if (handle < 0 || handle >= num_lower_tiles(n_tiles_))
+    throw std::out_of_range("TileMatrix::tile: bad handle");
+  const std::size_t per_tile =
+      static_cast<std::size_t>(nb_) * static_cast<std::size_t>(nb_);
+  return storage_.data() + static_cast<std::size_t>(handle) * per_tile;
+}
+
+const double* TileMatrix::tile(int handle) const {
+  return const_cast<TileMatrix*>(this)->tile(handle);
+}
+
+TileMatrix TileMatrix::from_dense(const DenseMatrix& a, int n_tiles, int nb) {
+  if (a.rows() != n_tiles * nb || a.cols() != n_tiles * nb)
+    throw std::invalid_argument("TileMatrix::from_dense: dimension mismatch");
+  TileMatrix t(n_tiles, nb);
+  for (int ti = 0; ti < n_tiles; ++ti)
+    for (int tj = 0; tj <= ti; ++tj) {
+      double* blk = t.tile(ti, tj);
+      for (int j = 0; j < nb; ++j)
+        for (int i = 0; i < nb; ++i)
+          blk[i + static_cast<std::ptrdiff_t>(j) * nb] =
+              a(ti * nb + i, tj * nb + j);
+    }
+  return t;
+}
+
+DenseMatrix TileMatrix::to_dense() const {
+  DenseMatrix a(n_elems(), n_elems());
+  for (int ti = 0; ti < n_tiles_; ++ti)
+    for (int tj = 0; tj <= ti; ++tj) {
+      const double* blk = tile(ti, tj);
+      for (int j = 0; j < nb_; ++j)
+        for (int i = 0; i < nb_; ++i) {
+          // On the diagonal tile only the lower part is meaningful.
+          if (ti == tj && i < j) continue;
+          a(ti * nb_ + i, tj * nb_ + j) =
+              blk[i + static_cast<std::ptrdiff_t>(j) * nb_];
+        }
+    }
+  return a;
+}
+
+TileMatrix TileMatrix::random_spd(int n_tiles, int nb, unsigned seed) {
+  return from_dense(DenseMatrix::random_spd(n_tiles * nb, seed), n_tiles, nb);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,57 @@
+#include "cp/cp_solver.hpp"
+
+#include <algorithm>
+
+#include "cp/exact_bb.hpp"
+#include "cp/list_schedule.hpp"
+#include "cp/lns.hpp"
+#include "sched/priorities.hpp"
+
+namespace hetsched {
+
+CpResult cp_solve(const TaskGraph& g, const Platform& p, const CpOptions& opt) {
+  CpResult res;
+
+  // Stage 1: HEFT-style seed (same as the paper feeding a HEFT solution to
+  // the CP solver).
+  const StaticSchedule seed =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  res.schedule = seed;
+  res.makespan_s = seed.makespan(g, p);
+  res.winning_stage = "seed";
+
+  double budget = opt.time_limit_s;
+
+  // Stage 2: exact search on small instances.
+  if (g.num_tasks() <= opt.exact_task_limit && budget > 0.0) {
+    BbOptions bb;
+    bb.time_limit_s = budget * 0.5;
+    bb.seed = seed;
+    const BbResult exact = branch_and_bound(g, p, bb);
+    if (!exact.schedule.entries.empty() &&
+        exact.makespan_s < res.makespan_s - 1e-12) {
+      res.schedule = exact.schedule;
+      res.makespan_s = exact.makespan_s;
+      res.winning_stage = "bb";
+    }
+    res.proven_optimal = exact.proven_optimal;
+    if (res.proven_optimal) return res;
+    budget *= 0.5;
+  }
+
+  // Stage 3: local search from the best incumbent.
+  if (budget > 0.0) {
+    LnsOptions lns;
+    lns.time_limit_s = budget;
+    lns.seed = opt.seed;
+    const LnsResult improved = lns_improve(g, p, res.schedule, lns);
+    if (improved.makespan_s < res.makespan_s - 1e-12) {
+      res.schedule = improved.schedule;
+      res.makespan_s = improved.makespan_s;
+      res.winning_stage = "lns";
+    }
+  }
+  return res;
+}
+
+}  // namespace hetsched

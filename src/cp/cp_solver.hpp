@@ -1,0 +1,35 @@
+// Facade of the static-schedule solver: HEFT seed -> exact branch-and-bound
+// (small instances) -> large-neighbourhood search, within a wall-clock
+// budget. The substitute for the paper's 23-hour CP Optimizer runs.
+#pragma once
+
+#include <string>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched {
+
+struct CpOptions {
+  /// Total wall-clock budget, split between branch-and-bound and LNS.
+  double time_limit_s = 5.0;
+  /// Instances with at most this many tasks get the exact search first.
+  int exact_task_limit = 24;
+  unsigned seed = 0;
+};
+
+struct CpResult {
+  StaticSchedule schedule;
+  double makespan_s = 0.0;
+  bool proven_optimal = false;
+  /// Stages that contributed the final schedule ("seed", "bb", "lns").
+  std::string winning_stage;
+};
+
+/// Computes a good (sometimes provably optimal) communication-free static
+/// schedule of `g` on `p`.
+CpResult cp_solve(const TaskGraph& g, const Platform& p,
+                  const CpOptions& opt = {});
+
+}  // namespace hetsched

@@ -1,0 +1,175 @@
+#include "cp/exact_bb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "sched/priorities.hpp"
+
+namespace hetsched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class BbSearch {
+ public:
+  BbSearch(const TaskGraph& g, const Platform& p, const BbOptions& opt)
+      : g_(g), p_(p), opt_(opt), bl_(bottom_levels_fastest(g, p.timings())) {
+    const auto nt = static_cast<std::size_t>(g.num_tasks());
+    pending_.resize(nt);
+    finish_.assign(nt, 0.0);
+    placed_worker_.assign(nt, -1);
+    placed_start_.assign(nt, 0.0);
+    worker_free_.assign(static_cast<std::size_t>(p.num_workers()), 0.0);
+    for (int t = 0; t < g.num_tasks(); ++t) {
+      pending_[static_cast<std::size_t>(t)] = g.in_degree(t);
+      if (pending_[static_cast<std::size_t>(t)] == 0) ready_.push_back(t);
+    }
+  }
+
+  BbResult run() {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(opt_.time_limit_s));
+    best_ = std::numeric_limits<double>::infinity();
+    if (!opt_.seed.entries.empty()) {
+      const std::string err = opt_.seed.validate(g_, p_);
+      if (err.empty()) {
+        best_ = opt_.seed.makespan(g_, p_);
+        best_schedule_ = opt_.seed;
+      }
+    }
+    exhausted_ = dfs(0, 0.0);
+
+    BbResult res;
+    res.schedule = best_schedule_;
+    res.makespan_s = best_;
+    res.proven_optimal = exhausted_;
+    res.nodes_explored = nodes_;
+    return res;
+  }
+
+ private:
+  bool out_of_budget() {
+    if (nodes_ >= opt_.max_nodes) return true;
+    // Clock checks are amortized: every 1024 nodes.
+    if ((nodes_ & 1023) == 0 && Clock::now() >= deadline_) timed_out_ = true;
+    return timed_out_;
+  }
+
+  // Lower bound for the current partial schedule.
+  double lower_bound(double current_max_finish) const {
+    double lb = current_max_finish;
+    for (const int t : ready_) {
+      double s = 0.0;
+      for (const int pr : g_.predecessors(t))
+        s = std::max(s, finish_[static_cast<std::size_t>(pr)]);
+      lb = std::max(lb, s + bl_[static_cast<std::size_t>(t)]);
+    }
+    return lb;
+  }
+
+  // Returns true if this subtree was fully explored (no budget cut).
+  bool dfs(std::size_t scheduled, double current_max_finish) {
+    ++nodes_;
+    if (out_of_budget()) return false;
+    if (scheduled == static_cast<std::size_t>(g_.num_tasks())) {
+      if (current_max_finish < best_ - 1e-12) {
+        best_ = current_max_finish;
+        best_schedule_.entries.clear();
+        for (int t = 0; t < g_.num_tasks(); ++t)
+          best_schedule_.entries.push_back(
+              {t, placed_worker_[static_cast<std::size_t>(t)],
+               placed_start_[static_cast<std::size_t>(t)]});
+      }
+      return true;
+    }
+    if (lower_bound(current_max_finish) >= best_ - 1e-12) return true;
+
+    // Branch over (ready task, resource class); ready tasks are tried by
+    // decreasing bottom level so good schedules are found early.
+    std::vector<int> cand = ready_;
+    std::sort(cand.begin(), cand.end(), [&](int a, int b) {
+      return bl_[static_cast<std::size_t>(a)] > bl_[static_cast<std::size_t>(b)];
+    });
+
+    bool complete = true;
+    for (const int t : cand) {
+      double deps_done = 0.0;
+      for (const int pr : g_.predecessors(t))
+        deps_done = std::max(deps_done, finish_[static_cast<std::size_t>(pr)]);
+      for (int cls = 0; cls < p_.num_classes(); ++cls) {
+        // Symmetry breaking: within a class only the earliest-free worker
+        // (lowest id on ties) is considered.
+        int w = -1;
+        double free_at = std::numeric_limits<double>::infinity();
+        for (const Worker& wk : p_.workers()) {
+          if (wk.cls != cls) continue;
+          if (worker_free_[static_cast<std::size_t>(wk.id)] < free_at - 1e-15) {
+            free_at = worker_free_[static_cast<std::size_t>(wk.id)];
+            w = wk.id;
+          }
+        }
+        if (w < 0) continue;
+        const double start = std::max(free_at, deps_done);
+        const double end = start + p_.worker_time(w, g_.task(t).kernel);
+        // A placement finishing at or beyond the incumbent cannot lead to a
+        // strictly better complete schedule.
+        if (end >= best_ - 1e-12) continue;
+
+        // Apply.
+        const double saved_free = worker_free_[static_cast<std::size_t>(w)];
+        worker_free_[static_cast<std::size_t>(w)] = end;
+        finish_[static_cast<std::size_t>(t)] = end;
+        placed_worker_[static_cast<std::size_t>(t)] = w;
+        placed_start_[static_cast<std::size_t>(t)] = start;
+        ready_.erase(std::find(ready_.begin(), ready_.end(), t));
+        for (const int su : g_.successors(t))
+          if (--pending_[static_cast<std::size_t>(su)] == 0)
+            ready_.push_back(su);
+
+        complete &= dfs(scheduled + 1, std::max(current_max_finish, end));
+
+        // Undo. Recursion may have reordered ready_, so newly-released
+        // successors are removed by value, not by position.
+        for (const int su : g_.successors(t))
+          if (++pending_[static_cast<std::size_t>(su)] == 1)
+            ready_.erase(std::find(ready_.begin(), ready_.end(), su));
+        ready_.push_back(t);
+        worker_free_[static_cast<std::size_t>(w)] = saved_free;
+        placed_worker_[static_cast<std::size_t>(t)] = -1;
+
+        if (timed_out_ || nodes_ >= opt_.max_nodes) return false;
+      }
+    }
+    return complete;
+  }
+
+  const TaskGraph& g_;
+  const Platform& p_;
+  BbOptions opt_;
+  std::vector<double> bl_;
+
+  std::vector<int> pending_;
+  std::vector<int> ready_;
+  std::vector<double> finish_;
+  std::vector<int> placed_worker_;
+  std::vector<double> placed_start_;
+  std::vector<double> worker_free_;
+
+  double best_ = std::numeric_limits<double>::infinity();
+  StaticSchedule best_schedule_;
+  std::int64_t nodes_ = 0;
+  bool timed_out_ = false;
+  bool exhausted_ = false;
+  Clock::time_point deadline_;
+};
+
+}  // namespace
+
+BbResult branch_and_bound(const TaskGraph& g, const Platform& p,
+                          const BbOptions& opt) {
+  return BbSearch(g, p, opt).run();
+}
+
+}  // namespace hetsched

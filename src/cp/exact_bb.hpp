@@ -1,0 +1,37 @@
+// Exact branch-and-bound scheduler for small instances.
+//
+// Plays the role of the paper's CP Optimizer model (Section III-B): one
+// resource choice per task plus a start-time ordering, no communications.
+// The search enumerates semi-active schedules -- at each node one ready
+// task is placed on the earliest-available worker of one resource class --
+// with critical-path pruning against the incumbent. Anytime: returns the
+// best feasible solution found within the budget, and reports whether the
+// search space was exhausted (proven optimality).
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched {
+
+struct BbOptions {
+  double time_limit_s = 5.0;
+  std::int64_t max_nodes = 50'000'000;
+  /// Initial incumbent (e.g. from list_schedule); empty = none.
+  StaticSchedule seed;
+};
+
+struct BbResult {
+  StaticSchedule schedule;
+  double makespan_s = 0.0;
+  bool proven_optimal = false;
+  std::int64_t nodes_explored = 0;
+};
+
+BbResult branch_and_bound(const TaskGraph& g, const Platform& p,
+                          const BbOptions& opt = {});
+
+}  // namespace hetsched

@@ -1,0 +1,107 @@
+#include "cp/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "sched/priorities.hpp"
+
+namespace hetsched {
+
+double edge_bytes(const TaskGraph& g, int pred, int succ, const Platform& p) {
+  const double tile_bytes = static_cast<double>(p.nb()) *
+                            static_cast<double>(p.nb()) * sizeof(double);
+  double bytes = 0.0;
+  for (const TaskAccess& w : g.task(pred).accesses) {
+    if (w.mode == AccessMode::Read) continue;
+    for (const TaskAccess& r : g.task(succ).accesses)
+      if (r.tile == w.tile) {
+        bytes += tile_bytes;
+        break;
+      }
+  }
+  return bytes;
+}
+
+StaticSchedule heft_schedule(const TaskGraph& g, const Platform& p,
+                             const HeftOptions& opt) {
+  const int nt = g.num_tasks();
+  const std::vector<double> rank = bottom_levels_average(g, p.timings());
+
+  // Decreasing rank is a topological order (ranks strictly decrease along
+  // edges); stable tie-break by task id.
+  std::vector<int> order(static_cast<std::size_t>(nt));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (rank[static_cast<std::size_t>(a)] != rank[static_cast<std::size_t>(b)])
+      return rank[static_cast<std::size_t>(a)] > rank[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+
+  struct Busy {
+    double start, end;
+  };
+  std::vector<std::vector<Busy>> timeline(
+      static_cast<std::size_t>(p.num_workers()));
+  std::vector<double> finish(static_cast<std::size_t>(nt), 0.0);
+  std::vector<int> mapped(static_cast<std::size_t>(nt), -1);
+
+  const auto comm_time = [&](int pred, int succ, int w) {
+    if (!opt.account_communication) return 0.0;
+    const int from = p.worker(mapped[static_cast<std::size_t>(pred)]).memory_node;
+    const int to = p.worker(w).memory_node;
+    if (from == to) return 0.0;
+    const double bytes = edge_bytes(g, pred, succ, p);
+    if (bytes <= 0.0) return 0.0;
+    return static_cast<double>(BusModel::hops(from, to)) *
+           p.bus().transfer_time(static_cast<std::size_t>(bytes));
+  };
+
+  // Earliest start of `dur` seconds on worker `w` at or after `ready`.
+  const auto slot_on = [&](int w, double ready, double dur) {
+    const auto& tl = timeline[static_cast<std::size_t>(w)];
+    if (!opt.use_insertion) {
+      const double free_at = tl.empty() ? 0.0 : tl.back().end;
+      return std::max(ready, free_at);
+    }
+    double candidate = ready;
+    for (const Busy& b : tl) {
+      if (candidate + dur <= b.start + 1e-12) return candidate;  // fits in gap
+      candidate = std::max(candidate, b.end);
+    }
+    return candidate;
+  };
+
+  StaticSchedule sched;
+  sched.entries.reserve(static_cast<std::size_t>(nt));
+  for (const int t : order) {
+    int best_w = -1;
+    double best_finish = std::numeric_limits<double>::infinity();
+    double best_start = 0.0;
+    for (const Worker& w : p.workers()) {
+      double ready = 0.0;
+      for (const int pr : g.predecessors(t))
+        ready = std::max(ready, finish[static_cast<std::size_t>(pr)] +
+                                    comm_time(pr, t, w.id));
+      const double dur = p.worker_time(w.id, g.task(t).kernel);
+      const double start = slot_on(w.id, ready, dur);
+      if (start + dur < best_finish) {
+        best_finish = start + dur;
+        best_start = start;
+        best_w = w.id;
+      }
+    }
+    mapped[static_cast<std::size_t>(t)] = best_w;
+    finish[static_cast<std::size_t>(t)] = best_finish;
+    auto& tl = timeline[static_cast<std::size_t>(best_w)];
+    const auto pos = std::lower_bound(
+        tl.begin(), tl.end(), best_start,
+        [](const Busy& b, double s) { return b.start < s; });
+    tl.insert(pos, {best_start, best_finish});
+    sched.entries.push_back({t, best_w, best_start});
+  }
+  return sched;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,35 @@
+// Offline HEFT (Topcuoglu et al., the paper's reference [9]) with the
+// classic insertion-based policy and optional communication awareness.
+//
+// Differences from cp/list_schedule.hpp (the CP seed):
+//   * tasks are processed by decreasing *upward rank* computed with
+//     class-average execution times (HEFT's definition), not fastest;
+//   * each task may be inserted into an idle gap of a worker's timeline,
+//     not only appended at its end;
+//   * when two dependent tasks land on different memory nodes, the edge
+//     pays the PCIe transfer time of the tiles the predecessor produced
+//     and the successor consumes.
+#pragma once
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched {
+
+struct HeftOptions {
+  /// Insert into idle gaps (classic HEFT) instead of appending.
+  bool use_insertion = true;
+  /// Charge PCIe time on cross-memory-node dependency edges.
+  bool account_communication = true;
+};
+
+/// Estimated bytes the edge pred -> succ moves: tiles written by `pred`
+/// and accessed by `succ`, at the platform's tile size.
+double edge_bytes(const TaskGraph& g, int pred, int succ, const Platform& p);
+
+/// Full offline HEFT schedule of `g` on `p`.
+StaticSchedule heft_schedule(const TaskGraph& g, const Platform& p,
+                             const HeftOptions& opt = {});
+
+}  // namespace hetsched

@@ -1,0 +1,64 @@
+#include "cp/list_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hetsched {
+
+StaticSchedule list_schedule(const TaskGraph& g, const Platform& p,
+                             const std::vector<double>& priorities) {
+  const int nt = g.num_tasks();
+  const auto prio = [&](int t) {
+    return static_cast<std::size_t>(t) < priorities.size()
+               ? priorities[static_cast<std::size_t>(t)]
+               : 0.0;
+  };
+  // Max-heap of ready tasks by (priority, then lower id first).
+  const auto less = [&](int a, int b) {
+    if (prio(a) != prio(b)) return prio(a) < prio(b);
+    return a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(less)> ready(less);
+
+  std::vector<int> pending(static_cast<std::size_t>(nt));
+  for (int id = 0; id < nt; ++id) {
+    pending[static_cast<std::size_t>(id)] = g.in_degree(id);
+    if (pending[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+
+  std::vector<double> worker_free(static_cast<std::size_t>(p.num_workers()),
+                                  0.0);
+  std::vector<double> finish(static_cast<std::size_t>(nt), 0.0);
+
+  StaticSchedule sched;
+  sched.entries.reserve(static_cast<std::size_t>(nt));
+  while (!ready.empty()) {
+    const int t = ready.top();
+    ready.pop();
+    double deps_done = 0.0;
+    for (const int pr : g.predecessors(t))
+      deps_done = std::max(deps_done, finish[static_cast<std::size_t>(pr)]);
+
+    int best_w = -1;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (const Worker& w : p.workers()) {
+      const double start =
+          std::max(worker_free[static_cast<std::size_t>(w.id)], deps_done);
+      const double f = start + p.worker_time(w.id, g.task(t).kernel);
+      if (f < best_finish) {
+        best_finish = f;
+        best_w = w.id;
+      }
+    }
+    const double start = best_finish - p.worker_time(best_w, g.task(t).kernel);
+    sched.entries.push_back({t, best_w, start});
+    worker_free[static_cast<std::size_t>(best_w)] = best_finish;
+    finish[static_cast<std::size_t>(t)] = best_finish;
+    for (const int s : g.successors(t))
+      if (--pending[static_cast<std::size_t>(s)] == 0) ready.push(s);
+  }
+  return sched;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,21 @@
+// Offline HEFT-style list scheduler (no communications), used to seed the
+// constraint-programming search exactly as the paper feeds a HEFT solution
+// to CP Optimizer as the initial incumbent (Section III-B).
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched {
+
+/// List-schedules `g` on `p`: tasks sorted by decreasing priority (pass
+/// bottom levels; empty means FIFO by task id among ready tasks), each
+/// assigned to the worker finishing it earliest. Communications are ignored
+/// (the CP model of the paper also ignores them).
+StaticSchedule list_schedule(const TaskGraph& g, const Platform& p,
+                             const std::vector<double>& priorities = {});
+
+}  // namespace hetsched

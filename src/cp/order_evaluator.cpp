@@ -1,0 +1,75 @@
+#include "cp/order_evaluator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hetsched {
+
+std::optional<StaticSchedule> evaluate_order(
+    const TaskGraph& g, const Platform& p,
+    const std::vector<std::vector<int>>& order) {
+  const int nt = g.num_tasks();
+  std::vector<int> worker_of(static_cast<std::size_t>(nt), -1);
+  std::vector<int> chain_pred(static_cast<std::size_t>(nt), -1);
+  for (std::size_t w = 0; w < order.size(); ++w) {
+    for (std::size_t pos = 0; pos < order[w].size(); ++pos) {
+      const int t = order[w][pos];
+      if (t < 0 || t >= nt || worker_of[static_cast<std::size_t>(t)] != -1)
+        return std::nullopt;  // duplicate or out of range
+      worker_of[static_cast<std::size_t>(t)] = static_cast<int>(w);
+      if (pos > 0) chain_pred[static_cast<std::size_t>(t)] = order[w][pos - 1];
+    }
+  }
+  for (int t = 0; t < nt; ++t)
+    if (worker_of[static_cast<std::size_t>(t)] < 0) return std::nullopt;
+
+  // Kahn over the combined graph (dependencies + per-worker chains).
+  std::vector<int> indeg(static_cast<std::size_t>(nt), 0);
+  for (int t = 0; t < nt; ++t) {
+    indeg[static_cast<std::size_t>(t)] = g.in_degree(t);
+    if (chain_pred[static_cast<std::size_t>(t)] >= 0)
+      ++indeg[static_cast<std::size_t>(t)];
+  }
+  // chain successor lookup
+  std::vector<int> chain_succ(static_cast<std::size_t>(nt), -1);
+  for (int t = 0; t < nt; ++t)
+    if (chain_pred[static_cast<std::size_t>(t)] >= 0)
+      chain_succ[static_cast<std::size_t>(chain_pred[static_cast<std::size_t>(t)])] = t;
+
+  std::queue<int> q;
+  for (int t = 0; t < nt; ++t)
+    if (indeg[static_cast<std::size_t>(t)] == 0) q.push(t);
+
+  std::vector<double> start(static_cast<std::size_t>(nt), 0.0);
+  std::vector<double> finish(static_cast<std::size_t>(nt), 0.0);
+  int done = 0;
+  while (!q.empty()) {
+    const int t = q.front();
+    q.pop();
+    ++done;
+    const int w = worker_of[static_cast<std::size_t>(t)];
+    double s = 0.0;
+    for (const int pr : g.predecessors(t))
+      s = std::max(s, finish[static_cast<std::size_t>(pr)]);
+    if (chain_pred[static_cast<std::size_t>(t)] >= 0)
+      s = std::max(s, finish[static_cast<std::size_t>(
+                        chain_pred[static_cast<std::size_t>(t)])]);
+    start[static_cast<std::size_t>(t)] = s;
+    finish[static_cast<std::size_t>(t)] = s + p.worker_time(w, g.task(t).kernel);
+
+    for (const int su : g.successors(t))
+      if (--indeg[static_cast<std::size_t>(su)] == 0) q.push(su);
+    const int cs = chain_succ[static_cast<std::size_t>(t)];
+    if (cs >= 0 && --indeg[static_cast<std::size_t>(cs)] == 0) q.push(cs);
+  }
+  if (done != nt) return std::nullopt;  // cycle
+
+  StaticSchedule sched;
+  sched.entries.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t)
+    sched.entries.push_back(
+        {t, worker_of[static_cast<std::size_t>(t)], start[static_cast<std::size_t>(t)]});
+  return sched;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,24 @@
+// Evaluates a (mapping, per-worker order) pair into an explicit schedule:
+// every task starts as early as its dependency and worker-order constraints
+// allow. This is the decoding step of the local-search solver -- a move
+// edits orders/mappings, the evaluator prices it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched {
+
+/// Computes the earliest-start schedule realizing `order` (order[w] is the
+/// exact task sequence of worker w; every task appears exactly once across
+/// workers). Returns std::nullopt when the worker orders conflict with the
+/// dependencies (the combined precedence graph has a cycle).
+std::optional<StaticSchedule> evaluate_order(
+    const TaskGraph& g, const Platform& p,
+    const std::vector<std::vector<int>>& order);
+
+}  // namespace hetsched

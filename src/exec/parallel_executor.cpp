@@ -1,0 +1,119 @@
+#include "exec/parallel_executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "core/tiled_cholesky.hpp"
+
+namespace hetsched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class Runtime {
+ public:
+  Runtime(TileMatrix& a, const TaskGraph& g, const ExecOptions& opt)
+      : a_(a), g_(g), opt_(opt), trace_(opt.num_threads),
+        ready_(Cmp{&opt_.priorities}) {
+    pending_.resize(static_cast<std::size_t>(g.num_tasks()));
+  }
+
+  ExecResult run() {
+    const auto t0 = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int id = 0; id < g_.num_tasks(); ++id) {
+        pending_[static_cast<std::size_t>(id)] = g_.in_degree(id);
+        if (pending_[static_cast<std::size_t>(id)] == 0) ready_.push(id);
+      }
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(opt_.num_threads));
+    for (int w = 0; w < opt_.num_threads; ++w)
+      threads.emplace_back([this, w, t0] { worker_loop(w, t0); });
+    for (std::thread& t : threads) t.join();
+
+    ExecResult res;
+    res.success = !failed_.load();
+    res.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    res.trace = std::move(trace_);
+    return res;
+  }
+
+ private:
+  struct Cmp {
+    const std::vector<double>* prio;
+    double p(int t) const {
+      return static_cast<std::size_t>(t) < prio->size()
+                 ? (*prio)[static_cast<std::size_t>(t)]
+                 : 0.0;
+    }
+    // priority_queue is a max-heap: higher priority first, lower id ties.
+    bool operator()(int x, int y) const {
+      if (p(x) != p(y)) return p(x) < p(y);
+      return x > y;
+    }
+  };
+
+  void worker_loop(int worker, Clock::time_point t0) {
+    for (;;) {
+      int task = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] {
+          return !ready_.empty() || done_ == g_.num_tasks() || failed_.load();
+        });
+        if (done_ == g_.num_tasks() || failed_.load()) return;
+        task = ready_.top();
+        ready_.pop();
+      }
+
+      const double start =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const bool ok = execute_task(a_, g_.task(task));
+      const double end =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      std::lock_guard<std::mutex> lock(mu_);
+      if (opt_.record_trace)
+        trace_.record_compute(
+            {worker, task, g_.task(task).kernel, start, end});
+      if (!ok) {
+        failed_.store(true);
+        cv_.notify_all();
+        return;
+      }
+      ++done_;
+      for (const int s : g_.successors(task))
+        if (--pending_[static_cast<std::size_t>(s)] == 0) ready_.push(s);
+      cv_.notify_all();
+    }
+  }
+
+  TileMatrix& a_;
+  const TaskGraph& g_;
+  ExecOptions opt_;
+  Trace trace_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<int, std::vector<int>, Cmp> ready_;
+  std::vector<int> pending_;
+  int done_ = 0;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace
+
+ExecResult execute_parallel(TileMatrix& a, const TaskGraph& g,
+                            const ExecOptions& opt) {
+  Runtime rt(a, g, opt);
+  return rt.run();
+}
+
+}  // namespace hetsched

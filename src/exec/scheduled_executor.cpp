@@ -1,0 +1,186 @@
+#include "exec/scheduled_executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/tiled_cholesky.hpp"
+
+namespace hetsched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Wall-clock host: every Scheduler callback happens under the runtime
+// mutex, so the host needs no locking of its own.
+class WallClockHost final : public SchedulerHost {
+ public:
+  WallClockHost(const TaskGraph& g, const Platform& p, Clock::time_point t0)
+      : graph_(g), platform_(p), t0_(t0) {
+    queued_load_.assign(static_cast<std::size_t>(p.num_workers()), 0.0);
+    busy_until_.assign(static_cast<std::size_t>(p.num_workers()), 0.0);
+    noted_.assign(static_cast<std::size_t>(g.num_tasks()), {-1, 0.0});
+  }
+
+  double now() const override {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+  const Platform& platform() const override { return platform_; }
+  const TaskGraph& graph() const override { return graph_; }
+
+  double expected_available(int worker) const override {
+    return std::max(now(), busy_until_[static_cast<std::size_t>(worker)]) +
+           queued_load_[static_cast<std::size_t>(worker)];
+  }
+
+  double estimated_transfer_seconds(int, int) const override {
+    return 0.0;  // shared memory / not emulated
+  }
+
+  void note_task_queued(int task, int worker) override {
+    const double est =
+        platform_.worker_time(worker, graph_.task(task).kernel);
+    queued_load_[static_cast<std::size_t>(worker)] += est;
+    noted_[static_cast<std::size_t>(task)] = {worker, est};
+  }
+
+  void on_pop(int task) {
+    auto& note = noted_[static_cast<std::size_t>(task)];
+    if (note.first >= 0) {
+      auto& load = queued_load_[static_cast<std::size_t>(note.first)];
+      load = std::max(0.0, load - note.second);
+      note.first = -1;
+    }
+  }
+
+  void on_start(int worker, int task) {
+    busy_until_[static_cast<std::size_t>(worker)] =
+        now() + platform_.worker_time(worker, graph_.task(task).kernel);
+  }
+
+ private:
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  Clock::time_point t0_;
+  std::vector<double> queued_load_;
+  std::vector<double> busy_until_;
+  std::vector<std::pair<int, double>> noted_;
+};
+
+// Executes `body(worker, task)` on `num_threads` threads under `sched`.
+ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
+                        Scheduler& sched, int num_threads, bool record_trace,
+                        const std::function<bool(int, int)>& body) {
+  for (const Task& t : g.tasks())
+    if (!calibration.supports(t.kernel))
+      throw std::invalid_argument(
+          "scheduled executor: kernel not calibrated");
+
+  const auto t0 = Clock::now();
+  WallClockHost host(g, calibration, t0);
+  Trace trace(num_threads);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> pending(static_cast<std::size_t>(g.num_tasks()));
+  int done = 0;
+  std::atomic<bool> failed{false};
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    sched.initialize(host);
+    for (int id = 0; id < g.num_tasks(); ++id) {
+      pending[static_cast<std::size_t>(id)] = g.in_degree(id);
+      if (pending[static_cast<std::size_t>(id)] == 0)
+        sched.on_task_ready(host, id);
+    }
+  }
+
+  const auto worker_loop = [&](int worker) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (done == g.num_tasks() || failed.load()) return;
+      const int task = sched.pop_task(host, worker);
+      if (task < 0) {
+        cv.wait(lock);
+        continue;
+      }
+      host.on_pop(task);
+      host.on_start(worker, task);
+      lock.unlock();
+
+      const double start =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const bool ok = body(worker, task);
+      const double end =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      lock.lock();
+      if (record_trace)
+        trace.record_compute({worker, task, g.task(task).kernel, start, end});
+      if (!ok) {
+        failed.store(true);
+        cv.notify_all();
+        return;
+      }
+      ++done;
+      for (const int s : g.successors(task))
+        if (--pending[static_cast<std::size_t>(s)] == 0)
+          sched.on_task_ready(host, s);
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w) threads.emplace_back(worker_loop, w);
+  for (std::thread& t : threads) t.join();
+
+  ExecResult res;
+  res.success = !failed.load();
+  res.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  res.trace = std::move(trace);
+  return res;
+}
+
+}  // namespace
+
+ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, int num_threads,
+                                  bool record_trace) {
+  if (num_threads <= 0)
+    throw std::invalid_argument("execute_with_scheduler: num_threads <= 0");
+  if (calibration.num_workers() != num_threads)
+    throw std::invalid_argument(
+        "execute_with_scheduler: calibration platform must model exactly "
+        "num_threads workers (policies may queue tasks on any modeled "
+        "worker)");
+  return run_threaded(g, calibration, sched, num_threads, record_trace,
+                      [&a, &g](int, int task) {
+                        return execute_task(a, g.task(task));
+                      });
+}
+
+ExecResult emulate_with_scheduler(const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, double time_scale,
+                                  bool record_trace) {
+  if (time_scale <= 0.0)
+    throw std::invalid_argument("emulate_with_scheduler: time_scale <= 0");
+  return run_threaded(
+      g, calibration, sched, calibration.num_workers(), record_trace,
+      [&g, &calibration, time_scale](int worker, int task) {
+        const double seconds =
+            calibration.worker_time(worker, g.task(task).kernel) * time_scale;
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        return true;
+      });
+}
+
+}  // namespace hetsched

@@ -1,0 +1,43 @@
+// Real execution driven by the *same* Scheduler plug-ins as the simulator:
+// a wall-clock SchedulerHost feeds push/pop decisions to worker threads
+// that run the numeric Cholesky kernels. This is the StarPU experience in
+// miniature -- one policy object, two backends (virtual and real time).
+//
+// The calibration platform provides the completion-time estimates the
+// policy reasons with; execution itself is genuine wall-clock compute on
+// shared memory (estimated_transfer_seconds is therefore 0, and the
+// platform should be a homogeneous CPU profile whose worker count is at
+// least `num_threads`).
+#pragma once
+
+#include "core/task_graph.hpp"
+#include "core/tile_matrix.hpp"
+#include "exec/parallel_executor.hpp"
+#include "platform/platform.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+/// Factorizes `a` in place, executing the tasks of `g` on `num_threads`
+/// real threads whose scheduling decisions come from `sched` (estimates
+/// from `calibration`). The calibration platform must model exactly
+/// `num_threads` workers -- a policy may queue tasks on any worker it can
+/// see, and every modeled worker must exist for the queue to drain.
+ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, int num_threads,
+                                  bool record_trace = true);
+
+/// Timing-emulation run: every worker thread *sleeps* for its calibrated
+/// task duration (scaled by `time_scale`) instead of computing, so a
+/// heterogeneous platform -- GPUs included -- can be "executed" with real
+/// threads, real OS jitter and real lock contention, no numeric work.
+/// This is the closest thing to the paper's actual heterogeneous runs that
+/// is possible without the hardware (transfers are not emulated; compare
+/// against no-communication simulations). One thread per platform worker.
+ExecResult emulate_with_scheduler(const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, double time_scale = 1.0,
+                                  bool record_trace = true);
+
+}  // namespace hetsched

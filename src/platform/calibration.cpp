@@ -1,0 +1,59 @@
+#include "platform/calibration.hpp"
+
+#include <stdexcept>
+
+#include "core/flops.hpp"
+
+namespace hetsched {
+
+Platform custom_platform(int num_cpus, int num_gpus,
+                         const double (&cpu_times)[kNumKernels],
+                         const double (&gpu_ratios)[kNumKernels], int nb,
+                         const std::string& name) {
+  if (num_cpus <= 0) throw std::invalid_argument("custom_platform: num_cpus");
+  std::vector<ResourceClass> classes;
+  classes.push_back({"CPU", num_cpus, /*accelerator=*/false});
+  const bool with_gpu = num_gpus > 0;
+  if (with_gpu) classes.push_back({"GPU", num_gpus, /*accelerator=*/true});
+
+  TimingTable tt(with_gpu ? 2 : 1);
+  for (const Kernel k : kAllKernels) {
+    const auto ki = static_cast<std::size_t>(kernel_index(k));
+    if (cpu_times[ki] <= 0.0) continue;  // kernel left uncalibrated
+    tt.set_time(0, k, cpu_times[ki]);
+    if (with_gpu) tt.set_time(1, k, cpu_times[ki] / gpu_ratios[ki]);
+  }
+  BusModel bus;
+  bus.enabled = with_gpu;
+  return Platform(std::move(classes), std::move(tt), bus, nb, name);
+}
+
+Platform mirage_platform() {
+  return custom_platform(9, 3, kMirageCpuTime, kMirageGpuRatio,
+                         kPaperTileSize, "mirage");
+}
+
+Platform homogeneous_platform(int num_cpus) {
+  double ratios[kNumKernels];
+  for (double& r : ratios) r = 1.0;
+  return custom_platform(num_cpus, 0, kMirageCpuTime, ratios, kPaperTileSize,
+                         "homogeneous-" + std::to_string(num_cpus));
+}
+
+double related_acceleration_factor(int n_tiles) {
+  double weighted = 0.0;
+  for (const Kernel k : kCholeskyKernels)
+    weighted += static_cast<double>(task_count(k, n_tiles)) *
+                kMirageGpuRatio[static_cast<std::size_t>(kernel_index(k))];
+  return weighted / static_cast<double>(total_task_count(n_tiles));
+}
+
+Platform mirage_related_platform(int n_tiles) {
+  const double k = related_acceleration_factor(n_tiles);
+  double ratios[kNumKernels];
+  for (double& r : ratios) r = k;
+  return custom_platform(9, 3, kMirageCpuTime, ratios, kPaperTileSize,
+                         "mirage-related-" + std::to_string(n_tiles));
+}
+
+}  // namespace hetsched

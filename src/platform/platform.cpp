@@ -1,0 +1,114 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hetsched {
+
+bool TimingTable::supported(Kernel k) const {
+  for (int c = 0; c < num_classes(); ++c)
+    if (time(c, k) <= 0.0) return false;
+  return num_classes() > 0;
+}
+
+double TimingTable::fastest(Kernel k) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < num_classes(); ++c)
+    if (time(c, k) > 0.0) best = std::min(best, time(c, k));
+  return std::isfinite(best) ? best : 0.0;
+}
+
+int TimingTable::fastest_class(Kernel k) const {
+  double best = std::numeric_limits<double>::infinity();
+  int best_cls = -1;
+  for (int c = 0; c < num_classes(); ++c)
+    if (time(c, k) > 0.0 && time(c, k) < best) {
+      best = time(c, k);
+      best_cls = c;
+    }
+  return best_cls;
+}
+
+double TimingTable::average(Kernel k) const {
+  double sum = 0.0;
+  const int nc = num_classes();
+  for (int c = 0; c < nc; ++c) sum += time(c, k);
+  return nc > 0 ? sum / nc : 0.0;
+}
+
+Platform::Platform(std::vector<ResourceClass> classes, TimingTable timings,
+                   BusModel bus, int nb, std::string name)
+    : name_(std::move(name)),
+      nb_(nb),
+      classes_(std::move(classes)),
+      timings_(std::move(timings)),
+      bus_(bus) {
+  if (classes_.empty()) throw std::invalid_argument("Platform: no classes");
+  if (timings_.num_classes() != static_cast<int>(classes_.size()))
+    throw std::invalid_argument("Platform: timing table class mismatch");
+  for (const auto& c : classes_) {
+    if (c.count <= 0) throw std::invalid_argument("Platform: empty class");
+    for (const Kernel k : kAllKernels)
+      if (timings_.time(static_cast<int>(&c - classes_.data()), k) < 0.0)
+        throw std::invalid_argument("Platform: negative kernel time");
+  }
+  bool any_supported = false;
+  for (const Kernel k : kAllKernels) any_supported |= timings_.supported(k);
+  if (!any_supported)
+    throw std::invalid_argument("Platform: no supported kernel");
+  int next_node = 1;
+  for (int cls = 0; cls < num_classes(); ++cls) {
+    for (int u = 0; u < classes_[static_cast<std::size_t>(cls)].count; ++u) {
+      Worker w;
+      w.id = static_cast<int>(workers_.size());
+      w.cls = cls;
+      w.memory_node = classes_[static_cast<std::size_t>(cls)].accelerator
+                          ? next_node++
+                          : 0;
+      w.name = classes_[static_cast<std::size_t>(cls)].name + "_" +
+               std::to_string(u);
+      workers_.push_back(std::move(w));
+    }
+  }
+  num_memory_nodes_ = next_node;
+}
+
+int Platform::class_index(const std::string& cls_name) const {
+  for (int c = 0; c < num_classes(); ++c)
+    if (classes_[static_cast<std::size_t>(c)].name == cls_name) return c;
+  return -1;
+}
+
+std::vector<int> Platform::workers_of_class(int cls) const {
+  std::vector<int> out;
+  for (const Worker& w : workers_)
+    if (w.cls == cls) out.push_back(w.id);
+  return out;
+}
+
+Platform Platform::without_communication() const {
+  Platform p = *this;
+  p.bus_.enabled = false;
+  p.name_ = name_ + "-nocomm";
+  return p;
+}
+
+Platform Platform::with_bus_bandwidth(double bytes_per_s) const {
+  if (bytes_per_s <= 0.0)
+    throw std::invalid_argument("with_bus_bandwidth: non-positive bandwidth");
+  Platform p = *this;
+  p.bus_.bandwidth_Bps = bytes_per_s;
+  return p;
+}
+
+Platform Platform::with_shared_bus(double bytes_per_s) const {
+  if (bytes_per_s <= 0.0)
+    throw std::invalid_argument("with_shared_bus: non-positive bandwidth");
+  Platform p = *this;
+  p.bus_.shared_bandwidth_Bps = bytes_per_s;
+  return p;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,18 @@
+#include "sched/eager_sched.hpp"
+
+namespace hetsched {
+
+void EagerScheduler::on_task_ready(SchedulerHost& /*host*/, int task) {
+  // Central queue: no worker is chosen until pop, so there is nothing to
+  // report via note_task_queued.
+  queue_.push_back(task);
+}
+
+int EagerScheduler::pop_task(SchedulerHost& /*host*/, int /*worker*/) {
+  if (queue_.empty()) return -1;
+  const int t = queue_.front();
+  queue_.pop_front();
+  return t;
+}
+
+}  // namespace hetsched

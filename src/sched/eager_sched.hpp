@@ -1,0 +1,22 @@
+// Eager policy: a single central FIFO shared by all workers (StarPU's
+// `eager`). Not evaluated in the paper but a useful greedy baseline: it is
+// work-conserving yet blind to both task affinity and data locality.
+#pragma once
+
+#include <deque>
+
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+class EagerScheduler final : public Scheduler {
+ public:
+  void on_task_ready(SchedulerHost& host, int task) override;
+  int pop_task(SchedulerHost& host, int worker) override;
+  std::string name() const override { return "eager"; }
+
+ private:
+  std::deque<int> queue_;
+};
+
+}  // namespace hetsched

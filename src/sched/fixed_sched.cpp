@@ -1,0 +1,32 @@
+#include "sched/fixed_sched.hpp"
+
+namespace hetsched {
+
+void FixedScheduleScheduler::initialize(SchedulerHost& host) {
+  const int nw = host.platform().num_workers();
+  const int nt = host.graph().num_tasks();
+  order_ = schedule_.per_worker_order(nw);
+  next_index_.assign(static_cast<std::size_t>(nw), 0);
+  ready_.assign(static_cast<std::size_t>(nt), 0);
+  assigned_worker_.assign(static_cast<std::size_t>(nt), -1);
+  for (const StaticSchedule::Entry& e : schedule_.entries)
+    assigned_worker_[static_cast<std::size_t>(e.task)] = e.worker;
+}
+
+void FixedScheduleScheduler::on_task_ready(SchedulerHost& host, int task) {
+  ready_[static_cast<std::size_t>(task)] = 1;
+  host.note_task_queued(task, assigned_worker_[static_cast<std::size_t>(task)]);
+}
+
+int FixedScheduleScheduler::pop_task(SchedulerHost& /*host*/, int worker) {
+  auto& idx = next_index_[static_cast<std::size_t>(worker)];
+  const auto& seq = order_[static_cast<std::size_t>(worker)];
+  if (idx >= seq.size()) return -1;
+  const int task = seq[idx];
+  // Strict order: the worker waits until its next prescribed task is ready.
+  if (ready_[static_cast<std::size_t>(task)] == 0) return -1;
+  ++idx;
+  return task;
+}
+
+}  // namespace hetsched

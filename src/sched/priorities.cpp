@@ -1,0 +1,36 @@
+#include "sched/priorities.hpp"
+
+#include <algorithm>
+
+namespace hetsched {
+namespace {
+
+std::vector<double> bottom_levels(const TaskGraph& g, const TimingTable& t,
+                                  bool use_average) {
+  std::vector<double> bl(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  const std::vector<int> topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int id = *it;
+    double succ_max = 0.0;
+    for (const int s : g.successors(id))
+      succ_max = std::max(succ_max, bl[static_cast<std::size_t>(s)]);
+    const Kernel k = g.task(id).kernel;
+    const double w = use_average ? t.average(k) : t.fastest(k);
+    bl[static_cast<std::size_t>(id)] = w + succ_max;
+  }
+  return bl;
+}
+
+}  // namespace
+
+std::vector<double> bottom_levels_fastest(const TaskGraph& g,
+                                          const TimingTable& t) {
+  return bottom_levels(g, t, /*use_average=*/false);
+}
+
+std::vector<double> bottom_levels_average(const TaskGraph& g,
+                                          const TimingTable& t) {
+  return bottom_levels(g, t, /*use_average=*/true);
+}
+
+}  // namespace hetsched

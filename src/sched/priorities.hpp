@@ -1,0 +1,25 @@
+// Task priorities for list scheduling.
+//
+// The paper's dmdas uses the bottom level -- the longest path (in execution
+// time) from a task to an exit task -- computed with the *fastest* execution
+// time of each task over the resource classes (Section V-A). The classical
+// HEFT rank uses average times instead; both are provided.
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// Bottom level of every task using the fastest per-kernel time.
+std::vector<double> bottom_levels_fastest(const TaskGraph& g,
+                                          const TimingTable& t);
+
+/// Bottom level using the class-average per-kernel time (HEFT upward rank
+/// without communication terms).
+std::vector<double> bottom_levels_average(const TaskGraph& g,
+                                          const TimingTable& t);
+
+}  // namespace hetsched

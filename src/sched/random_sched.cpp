@@ -1,0 +1,42 @@
+#include "sched/random_sched.hpp"
+
+namespace hetsched {
+
+void RandomScheduler::initialize(SchedulerHost& host) {
+  const Platform& p = host.platform();
+  weights_.assign(static_cast<std::size_t>(p.num_workers()), 1.0);
+  queues_.assign(static_cast<std::size_t>(p.num_workers()), {});
+  // Class weight = mean over supported kernels of its speedup w.r.t. the
+  // slowest class for that kernel ("average acceleration ratio").
+  for (const Worker& w : p.workers()) {
+    double accel = 0.0;
+    int supported = 0;
+    for (const Kernel k : kAllKernels) {
+      if (!p.supports(k)) continue;
+      double slowest = 0.0;
+      for (int c = 0; c < p.num_classes(); ++c)
+        slowest = std::max(slowest, p.timings().time(c, k));
+      accel += slowest / p.timings().time(w.cls, k);
+      ++supported;
+    }
+    weights_[static_cast<std::size_t>(w.id)] =
+        supported > 0 ? accel / supported : 1.0;
+  }
+}
+
+void RandomScheduler::on_task_ready(SchedulerHost& host, int task) {
+  std::discrete_distribution<int> pick(weights_.begin(), weights_.end());
+  const int w = pick(rng_);
+  queues_[static_cast<std::size_t>(w)].push_back(task);
+  host.note_task_queued(task, w);
+}
+
+int RandomScheduler::pop_task(SchedulerHost& /*host*/, int worker) {
+  auto& q = queues_[static_cast<std::size_t>(worker)];
+  if (q.empty()) return -1;
+  const int t = q.front();
+  q.pop_front();
+  return t;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,31 @@
+// StarPU's `random` policy (Section V-A): each ready task is assigned to a
+// worker drawn at random, with per-class weights proportional to the class's
+// average acceleration ratio, so GPUs receive proportionally more tasks.
+// The already-assigned load of workers is deliberately ignored -- that is
+// the point the paper makes with this policy.
+#pragma once
+
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(unsigned seed = 0) : rng_(seed) {}
+
+  void initialize(SchedulerHost& host) override;
+  void on_task_ready(SchedulerHost& host, int task) override;
+  int pop_task(SchedulerHost& host, int worker) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<double> weights_;          // per worker
+  std::vector<std::deque<int>> queues_;  // per worker FIFO
+};
+
+}  // namespace hetsched

@@ -1,0 +1,41 @@
+#include "sched/static_hints.hpp"
+
+#include <utility>
+
+#include "core/cholesky_dag.hpp"
+
+namespace hetsched::hints {
+
+WorkerFilter none() {
+  return [](const Task&, const Worker&) { return true; };
+}
+
+WorkerFilter force_kernel_to_class(Kernel k, int cls) {
+  return [k, cls](const Task& t, const Worker& w) {
+    return t.kernel != k || w.cls == cls;
+  };
+}
+
+WorkerFilter force_trsm_distance_to_class(int min_distance, int cls) {
+  return [min_distance, cls](const Task& t, const Worker& w) {
+    if (t.kernel != Kernel::TRSM) return true;
+    if (tile_diagonal_distance(t) < min_distance) return true;
+    return w.cls == cls;
+  };
+}
+
+WorkerFilter force_task_classes(std::vector<int> cls_per_task) {
+  return [cls = std::move(cls_per_task)](const Task& t, const Worker& w) {
+    const auto id = static_cast<std::size_t>(t.id);
+    if (id >= cls.size() || cls[id] < 0) return true;
+    return w.cls == cls[id];
+  };
+}
+
+WorkerFilter combine(WorkerFilter a, WorkerFilter b) {
+  return [a = std::move(a), b = std::move(b)](const Task& t, const Worker& w) {
+    return a(t, w) && b(t, w);
+  };
+}
+
+}  // namespace hetsched::hints

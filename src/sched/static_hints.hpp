@@ -1,0 +1,44 @@
+// Static scheduling knowledge (Section V-C3 / Figure 9).
+//
+// A WorkerFilter restricts which workers may execute a task; dmda/dmdas
+// consult it before choosing the minimum-completion-time worker. Filters
+// compose with logical AND, and the paper's two rules are provided:
+//   * force GEMM and/or SYRK kernels onto the GPU class;
+//   * force TRSM tasks at least `min_distance` tiles below the diagonal
+//     onto the CPU class (the "triangle TRSMs on CPU" rule, best at 6-8).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// Predicate: may `task` run on `worker`? Must keep at least one worker
+/// admissible per task (dmda falls back to all workers otherwise).
+using WorkerFilter = std::function<bool(const Task&, const Worker&)>;
+
+namespace hints {
+
+/// No restriction.
+WorkerFilter none();
+
+/// Tasks of kernel `k` may only run on resource class `cls`.
+WorkerFilter force_kernel_to_class(Kernel k, int cls);
+
+/// TRSM tasks whose tile lies >= `min_distance` tiles below the diagonal
+/// (i.e. i - k >= min_distance) may only run on class `cls` -- Figure 9 of
+/// the paper with cls = CPU.
+WorkerFilter force_trsm_distance_to_class(int min_distance, int cls);
+
+/// Per-task class assignment (e.g. the mapping extracted from a constraint-
+/// programming solution, Section VI-B). Entries of -1 leave the task free.
+WorkerFilter force_task_classes(std::vector<int> cls_per_task);
+
+/// Logical AND of two filters.
+WorkerFilter combine(WorkerFilter a, WorkerFilter b);
+
+}  // namespace hints
+}  // namespace hetsched

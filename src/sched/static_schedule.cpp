@@ -1,0 +1,104 @@
+#include "sched/static_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetsched {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+const StaticSchedule::Entry& StaticSchedule::entry_for(int task) const {
+  for (const Entry& e : entries)
+    if (e.task == task) return e;
+  throw std::out_of_range("StaticSchedule: no entry for task");
+}
+
+double StaticSchedule::makespan(const TaskGraph& g, const Platform& p) const {
+  double m = 0.0;
+  for (const Entry& e : entries)
+    m = std::max(m, e.start + p.worker_time(e.worker, g.task(e.task).kernel));
+  return m;
+}
+
+std::string StaticSchedule::validate(const TaskGraph& g,
+                                     const Platform& p) const {
+  std::ostringstream err;
+  if (static_cast<int>(entries.size()) != g.num_tasks()) {
+    err << "schedule has " << entries.size() << " entries for "
+        << g.num_tasks() << " tasks";
+    return err.str();
+  }
+  std::vector<int> seen(static_cast<std::size_t>(g.num_tasks()), 0);
+  for (const Entry& e : entries) {
+    if (e.task < 0 || e.task >= g.num_tasks()) return "bad task id";
+    if (e.worker < 0 || e.worker >= p.num_workers()) return "bad worker id";
+    if (e.start < -kEps) return "negative start time";
+    if (++seen[static_cast<std::size_t>(e.task)] > 1) {
+      err << "task " << e.task << " scheduled twice";
+      return err.str();
+    }
+  }
+  // Dependencies.
+  std::vector<double> start(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<double> end(static_cast<std::size_t>(g.num_tasks()));
+  for (const Entry& e : entries) {
+    start[static_cast<std::size_t>(e.task)] = e.start;
+    end[static_cast<std::size_t>(e.task)] =
+        e.start + p.worker_time(e.worker, g.task(e.task).kernel);
+  }
+  for (int id = 0; id < g.num_tasks(); ++id)
+    for (const int s : g.successors(id))
+      if (end[static_cast<std::size_t>(id)] >
+          start[static_cast<std::size_t>(s)] + kEps) {
+        err << "dependency " << g.task(id).name() << " -> " << g.task(s).name()
+            << " violated (" << end[static_cast<std::size_t>(id)] << " > "
+            << start[static_cast<std::size_t>(s)] << ")";
+        return err.str();
+      }
+  // Worker exclusivity.
+  for (int w = 0; w < p.num_workers(); ++w) {
+    std::vector<Entry> on_w;
+    for (const Entry& e : entries)
+      if (e.worker == w) on_w.push_back(e);
+    std::sort(on_w.begin(), on_w.end(),
+              [](const Entry& a, const Entry& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < on_w.size(); ++i) {
+      const double prev_end = end[static_cast<std::size_t>(on_w[i - 1].task)];
+      if (prev_end > on_w[i].start + kEps) {
+        err << "worker " << w << " overlap between tasks " << on_w[i - 1].task
+            << " and " << on_w[i].task;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::vector<int>> StaticSchedule::per_worker_order(
+    int num_workers) const {
+  std::vector<std::vector<Entry>> by_worker(
+      static_cast<std::size_t>(num_workers));
+  for (const Entry& e : entries)
+    by_worker.at(static_cast<std::size_t>(e.worker)).push_back(e);
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(num_workers));
+  for (std::size_t w = 0; w < by_worker.size(); ++w) {
+    std::sort(by_worker[w].begin(), by_worker[w].end(),
+              [](const Entry& a, const Entry& b) { return a.start < b.start; });
+    for (const Entry& e : by_worker[w]) out[w].push_back(e.task);
+  }
+  return out;
+}
+
+std::vector<int> StaticSchedule::class_mapping(const TaskGraph& g,
+                                               const Platform& p) const {
+  std::vector<int> cls(static_cast<std::size_t>(g.num_tasks()), -1);
+  for (const Entry& e : entries)
+    cls[static_cast<std::size_t>(e.task)] = p.worker(e.worker).cls;
+  return cls;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,41 @@
+// Fully static schedules: an explicit (task -> worker, start time) mapping,
+// as produced by the constraint-programming solver of Section III-B, plus
+// validation and makespan evaluation under the platform model.
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// An explicit schedule of every task of a graph.
+struct StaticSchedule {
+  struct Entry {
+    int task = -1;
+    int worker = -1;
+    double start = 0.0;
+  };
+  std::vector<Entry> entries;  ///< one per task, any order
+
+  /// Entry for a given task id (throws if absent).
+  const Entry& entry_for(int task) const;
+
+  /// Schedule end = max over entries of start + duration on that worker.
+  double makespan(const TaskGraph& g, const Platform& p) const;
+
+  /// Checks feasibility ignoring communications (as the paper's CP model
+  /// does): every task present exactly once, no two tasks overlap on one
+  /// worker, and every dependency i -> j satisfies end(i) <= start(j) + eps.
+  /// Returns an empty string when valid, else a human-readable violation.
+  std::string validate(const TaskGraph& g, const Platform& p) const;
+
+  /// Tasks of each worker, by increasing start time.
+  std::vector<std::vector<int>> per_worker_order(int num_workers) const;
+
+  /// The per-task resource-class mapping (for mapping-only injection).
+  std::vector<int> class_mapping(const TaskGraph& g, const Platform& p) const;
+};
+
+}  // namespace hetsched

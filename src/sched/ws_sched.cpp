@@ -1,0 +1,41 @@
+#include "sched/ws_sched.hpp"
+
+namespace hetsched {
+
+void WorkStealingScheduler::initialize(SchedulerHost& host) {
+  deques_.assign(static_cast<std::size_t>(host.platform().num_workers()), {});
+  next_home_ = 0;
+  steals_ = 0;
+}
+
+void WorkStealingScheduler::on_task_ready(SchedulerHost& host, int task) {
+  const int w = next_home_;
+  next_home_ = (next_home_ + 1) % host.platform().num_workers();
+  deques_[static_cast<std::size_t>(w)].push_back(task);
+  host.note_task_queued(task, w);
+}
+
+int WorkStealingScheduler::pop_task(SchedulerHost& /*host*/, int worker) {
+  auto& own = deques_[static_cast<std::size_t>(worker)];
+  if (!own.empty()) {
+    const int t = own.front();
+    own.pop_front();
+    return t;
+  }
+  // Steal from the back of the most-loaded victim.
+  int victim = -1;
+  std::size_t best = 0;
+  for (std::size_t w = 0; w < deques_.size(); ++w)
+    if (deques_[w].size() > best) {
+      best = deques_[w].size();
+      victim = static_cast<int>(w);
+    }
+  if (victim < 0) return -1;
+  auto& vq = deques_[static_cast<std::size_t>(victim)];
+  const int t = vq.back();
+  vq.pop_back();
+  ++steals_;
+  return t;
+}
+
+}  // namespace hetsched

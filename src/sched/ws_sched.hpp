@@ -1,0 +1,31 @@
+// Work-stealing policy (StarPU's `ws` family): each worker owns a deque;
+// ready tasks are dealt round-robin; an idle worker drains its own deque
+// from the front and steals from the back of the most-loaded victim.
+// Affinity- and locality-blind, like `eager`, but with distributed queues --
+// a classical baseline to contrast with dmda's completion-time model.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  void initialize(SchedulerHost& host) override;
+  void on_task_ready(SchedulerHost& host, int task) override;
+  int pop_task(SchedulerHost& host, int worker) override;
+  std::string name() const override { return "ws"; }
+
+  /// Number of successful steals so far (observability for tests/benches).
+  long steals() const noexcept { return steals_; }
+
+ private:
+  std::vector<std::deque<int>> deques_;
+  int next_home_ = 0;
+  long steals_ = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,59 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence); ties in virtual time are
+// broken by insertion order, which makes every simulation bit-reproducible
+// for a fixed scheduler and seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace hetsched {
+
+/// Kinds of simulator events.
+enum class EventType : std::uint8_t {
+  TaskFinish,      ///< a := worker id, b := task id
+  TransferFinish,  ///< a := channel id, b := fetch id (hop completion)
+};
+
+/// One scheduled event.
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< insertion order, breaks time ties
+  EventType type = EventType::TaskFinish;
+  int a = -1;
+  int b = -1;
+};
+
+/// Min-heap of events keyed by (time, seq).
+class EventQueue {
+ public:
+  void push(double time, EventType type, int a, int b) {
+    heap_.push(Event{time, next_seq_++, type, a, b});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event.
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  const Event& peek() const { return heap_.top(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const noexcept {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hetsched

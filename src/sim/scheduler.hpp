@@ -1,0 +1,61 @@
+// Scheduler plug-in interface, modeled on StarPU's push/pop contract.
+//
+// The runtime (simulator or real executor) pushes tasks to the scheduler the
+// moment their dependencies are satisfied; an idle worker pops its next task.
+// Where a task waits between push and pop -- a central queue, per-worker
+// queues, sorted or not -- is entirely the scheduler's business, which is
+// exactly how StarPU's dmda family is structured.
+#pragma once
+
+#include <string>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// What a scheduler may observe about the running system, plus the one
+/// notification it owes the runtime (note_task_queued) so that load-based
+/// completion estimates stay accurate.
+class SchedulerHost {
+ public:
+  virtual ~SchedulerHost() = default;
+
+  /// Current virtual (simulator) or wall (executor) time, seconds.
+  virtual double now() const = 0;
+  virtual const Platform& platform() const = 0;
+  virtual const TaskGraph& graph() const = 0;
+
+  /// Estimate of when worker `w` will have drained the work already
+  /// assigned to it (running task + queued tasks, calibrated times).
+  virtual double expected_available(int worker) const = 0;
+
+  /// Estimated seconds of data transfers needed before `task` could start
+  /// on `worker`, given current replica locations (0 on shared memory).
+  virtual double estimated_transfer_seconds(int task, int worker) const = 0;
+
+  /// Schedulers MUST call this when they commit a pushed task to a specific
+  /// worker queue, so expected_available(worker) accounts for it.
+  virtual void note_task_queued(int task, int worker) = 0;
+};
+
+/// Abstract scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once before execution starts.
+  virtual void initialize(SchedulerHost& host) { (void)host; }
+
+  /// Called when `task` becomes ready (all predecessors finished).
+  virtual void on_task_ready(SchedulerHost& host, int task) = 0;
+
+  /// Called when `worker` is idle; returns the next task for it, or -1.
+  /// A returned task is committed: it will run on that worker.
+  virtual int pop_task(SchedulerHost& host, int worker) = 0;
+
+  /// Policy name used in reports ("random", "dmda", "dmdas", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,407 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/data_manager.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetsched {
+namespace {
+
+class SimEngine final : public SchedulerHost {
+ public:
+  SimEngine(const TaskGraph& g, const Platform& p, Scheduler& sched,
+            const SimOptions& opt)
+      : graph_(g),
+        platform_(p),
+        sched_(sched),
+        opt_(opt),
+        data_(max_tile_handle(g) + 1, p.num_memory_nodes(), tile_bytes(p)),
+        trace_(p.num_workers()),
+        rng_(opt.noise_seed) {
+    workers_.resize(static_cast<std::size_t>(p.num_workers()));
+    channels_.resize(static_cast<std::size_t>(
+        2 * std::max(0, p.num_memory_nodes() - 1)));
+    pending_preds_.resize(static_cast<std::size_t>(g.num_tasks()));
+    noted_.assign(static_cast<std::size_t>(g.num_tasks()), {-1, 0.0});
+    if (opt.accel_memory_bytes > 0)
+      for (int node = 1; node < p.num_memory_nodes(); ++node)
+        data_.set_node_capacity(node, opt.accel_memory_bytes);
+  }
+
+  SimResult run();
+
+  // ---- SchedulerHost ----
+  double now() const override { return now_; }
+  const Platform& platform() const override { return platform_; }
+  const TaskGraph& graph() const override { return graph_; }
+
+  double expected_available(int worker) const override {
+    const WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    double base = now_;
+    switch (w.state) {
+      case WorkerState::S::Computing:
+        base = w.busy_until;
+        break;
+      case WorkerState::S::Waiting:
+        // Transfer remainder unknown to the estimator; count the compute.
+        base = now_ + w.current_est;
+        break;
+      case WorkerState::S::Idle:
+        break;
+    }
+    return base + w.queued_load;
+  }
+
+  double estimated_transfer_seconds(int task, int worker) const override {
+    const int node = platform_.worker(worker).memory_node;
+    const BusModel& bus = platform_.bus();
+    if (!bus.enabled) return 0.0;
+    double total = 0.0;
+    std::vector<int> seen;
+    for (const TaskAccess& a : graph_.task(task).accesses) {
+      if (data_.valid(a.tile, node)) continue;
+      if (std::find(seen.begin(), seen.end(), a.tile) != seen.end()) continue;
+      seen.push_back(a.tile);
+      if (active_fetch_.count({a.tile, node}) != 0) continue;  // on the way
+      const int src = data_.valid(a.tile, 0) ? 0 : first_valid_node(a.tile);
+      total += static_cast<double>(BusModel::hops(src, node)) *
+               bus.transfer_time(data_.tile_bytes());
+    }
+    return total;
+  }
+
+  void note_task_queued(int task, int worker) override {
+    const double est =
+        platform_.worker_time(worker, graph_.task(task).kernel);
+    workers_[static_cast<std::size_t>(worker)].queued_load += est;
+    noted_[static_cast<std::size_t>(task)] = {worker, est};
+    if (opt_.prefetch) prefetch_inputs(task, worker);
+  }
+
+ private:
+  struct WorkerState {
+    enum class S { Idle, Waiting, Computing } state = S::Idle;
+    int current_task = -1;
+    double current_start = 0.0;
+    double current_est = 0.0;
+    double busy_until = 0.0;
+    double queued_load = 0.0;
+    int pending_fetches = 0;
+  };
+
+  struct Channel {
+    bool busy = false;
+    std::deque<int> queue;  // fetch ids
+  };
+
+  struct Fetch {
+    int tile = -1;
+    int dst = -1;
+    int hops_left = 0;
+    double hop_start = 0.0;
+    bool done = false;
+    std::vector<int> waiting_workers;
+  };
+
+  static int max_tile_handle(const TaskGraph& g) {
+    int m = 0;
+    for (const Task& t : g.tasks())
+      for (const TaskAccess& a : t.accesses) m = std::max(m, a.tile);
+    return m;
+  }
+
+  static std::size_t tile_bytes(const Platform& p) {
+    return static_cast<std::size_t>(p.nb()) * static_cast<std::size_t>(p.nb()) *
+           sizeof(double);
+  }
+
+  int first_valid_node(int tile) const {
+    for (int m = 0; m < data_.num_nodes(); ++m)
+      if (data_.valid(tile, m)) return m;
+    return 0;
+  }
+
+  // Channel ids: accelerator node m >= 1 owns h2d channel 2(m-1) and d2h
+  // channel 2(m-1)+1.
+  static int h2d_channel(int node) { return 2 * (node - 1); }
+  static int d2h_channel(int node) { return 2 * (node - 1) + 1; }
+
+  double noise_factor() {
+    if (opt_.noise_cv <= 0.0) return 1.0;
+    std::normal_distribution<double> dist(1.0, opt_.noise_cv);
+    return std::max(0.25, dist(rng_));
+  }
+
+  // Ensures a fetch of `tile` to `node` exists; returns its id, or -1 if the
+  // tile is already valid at `node`.
+  int ensure_fetch(int tile, int node) {
+    if (data_.valid(tile, node)) return -1;
+    const auto key = std::make_pair(tile, node);
+    if (const auto it = active_fetch_.find(key); it != active_fetch_.end())
+      return it->second;
+    const int src = data_.pick_source(tile, node);
+    Fetch f;
+    f.tile = tile;
+    f.dst = node;
+    f.hops_left = BusModel::hops(src, node);
+    const int id = static_cast<int>(fetches_.size());
+    fetches_.push_back(std::move(f));
+    active_fetch_.emplace(key, id);
+    // First hop: from src. Two-hop fetches start with the d2h leg.
+    const int ch = src == 0 ? h2d_channel(node) : d2h_channel(src);
+    enqueue_hop(ch, id);
+    return id;
+  }
+
+  void enqueue_hop(int ch, int fetch_id) {
+    channels_[static_cast<std::size_t>(ch)].queue.push_back(fetch_id);
+    service_channel(ch);
+  }
+
+  void service_channel(int ch) {
+    Channel& c = channels_[static_cast<std::size_t>(ch)];
+    if (c.busy || c.queue.empty()) return;
+    const int fid = c.queue.front();
+    c.queue.pop_front();
+    c.busy = true;
+    Fetch& f = fetches_[static_cast<std::size_t>(fid)];
+    f.hop_start = now_;
+    const double t =
+        platform_.bus().hop_time(data_.tile_bytes(), active_hops_);
+    ++active_hops_;
+    events_.push(now_ + t, EventType::TransferFinish, ch, fid);
+  }
+
+  void on_transfer_finish(int ch, int fid) {
+    Channel& c = channels_[static_cast<std::size_t>(ch)];
+    c.busy = false;
+    --active_hops_;
+    Fetch& f = fetches_[static_cast<std::size_t>(fid)];
+    --f.hops_left;
+    ++transfer_hops_;
+    const bool final_hop = f.hops_left == 0;
+    const int to_node = final_hop ? f.dst : 0;
+    if (opt_.record_trace) {
+      TransferRecord r;
+      r.tile = f.tile;
+      r.from_node = final_hop && f.dst != 0 ? 0 : first_valid_node(f.tile);
+      r.to_node = to_node;
+      r.start = f.hop_start;
+      r.end = now_;
+      trace_.record_transfer(r);
+    }
+    if (final_hop) {
+      make_room(f.dst);
+      data_.add_replica(f.tile, f.dst);
+      f.done = true;
+      active_fetch_.erase({f.tile, f.dst});
+      for (const int w : f.waiting_workers) {
+        WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+        if (--ws.pending_fetches == 0 && ws.state == WorkerState::S::Waiting)
+          start_compute(w);
+      }
+      f.waiting_workers.clear();
+    } else {
+      // Intermediate d2h hop landed in RAM (node 0 is never evicted from).
+      data_.add_replica(f.tile, 0);
+      enqueue_hop(h2d_channel(f.dst), fid);
+    }
+    service_channel(ch);
+  }
+
+  // Evicts LRU clean replicas at `node` until one more tile fits. Replicas
+  // serving as sources of in-flight hops may be evicted; the model treats
+  // the data as already on the wire, a mild optimism documented in
+  // DESIGN.md.
+  void make_room(int node) {
+    if (node == 0) return;  // host RAM is unlimited
+    while (data_.needs_room(node)) {
+      const int victim = data_.pick_eviction_victim(node);
+      if (victim < 0) {
+        ++capacity_overflows_;
+        break;
+      }
+      data_.invalidate(victim, node);
+      ++evictions_;
+    }
+  }
+
+  void prefetch_inputs(int task, int worker) {
+    const int node = platform_.worker(worker).memory_node;
+    if (!platform_.bus().enabled) return;
+    for (const int tile : data_.missing_tiles(graph_.task(task), node))
+      (void)ensure_fetch(tile, node);
+  }
+
+  // Tries to hand a new task to an idle worker; true if one was committed.
+  bool try_start(int worker) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    if (w.state != WorkerState::S::Idle) return false;
+    const int task = sched_.pop_task(*this, worker);
+    if (task < 0) return false;
+
+    // Undo the queued-load accounting made at push time.
+    auto& note = noted_[static_cast<std::size_t>(task)];
+    if (note.first >= 0) {
+      WorkerState& nw = workers_[static_cast<std::size_t>(note.first)];
+      nw.queued_load = std::max(0.0, nw.queued_load - note.second);
+      note.first = -1;
+    }
+
+    w.current_task = task;
+    w.current_est = platform_.worker_time(worker, graph_.task(task).kernel);
+    const int node = platform_.worker(worker).memory_node;
+    // Inputs of a committed task must survive until it finishes.
+    for (const TaskAccess& a : graph_.task(task).accesses)
+      data_.pin(a.tile, node);
+    const std::vector<int> missing =
+        platform_.bus().enabled
+            ? data_.missing_tiles(graph_.task(task), node)
+            : std::vector<int>{};
+    w.pending_fetches = 0;
+    for (const int tile : missing) {
+      const int fid = ensure_fetch(tile, node);
+      if (fid < 0) continue;
+      fetches_[static_cast<std::size_t>(fid)].waiting_workers.push_back(worker);
+      ++w.pending_fetches;
+    }
+    if (w.pending_fetches == 0) {
+      start_compute(worker);
+    } else {
+      w.state = WorkerState::S::Waiting;
+    }
+    return true;
+  }
+
+  void start_compute(int worker) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    const double duration =
+        (w.current_est + opt_.per_task_overhead_s) * noise_factor();
+    w.state = WorkerState::S::Computing;
+    w.current_start = now_;
+    w.busy_until = now_ + duration;
+    events_.push(w.busy_until, EventType::TaskFinish, worker, w.current_task);
+  }
+
+  void on_task_finish(int worker, int task) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    if (opt_.record_trace) {
+      ComputeRecord r;
+      r.worker = worker;
+      r.task = task;
+      r.kernel = graph_.task(task).kernel;
+      r.start = w.current_start;
+      r.end = now_;
+      trace_.record_compute(r);
+    }
+    const int node = platform_.worker(worker).memory_node;
+    for (const TaskAccess& a : graph_.task(task).accesses) {
+      data_.unpin(a.tile, node);
+      if (a.mode != AccessMode::Read)
+        data_.set_only_valid(a.tile, node);
+      else if (data_.valid(a.tile, node))
+        data_.touch(a.tile, node);
+    }
+
+    w.state = WorkerState::S::Idle;
+    w.current_task = -1;
+    ++finished_;
+
+    for (const int succ : graph_.successors(task))
+      if (--pending_preds_[static_cast<std::size_t>(succ)] == 0)
+        sched_.on_task_ready(*this, succ);
+  }
+
+  void try_start_all_idle() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int w = 0; w < platform_.num_workers(); ++w)
+        progress |= try_start(w);
+    }
+  }
+
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  Scheduler& sched_;
+  SimOptions opt_;
+  DataManager data_;
+  Trace trace_;
+  std::mt19937_64 rng_;
+
+  double now_ = 0.0;
+  int finished_ = 0;
+  EventQueue events_;
+  std::vector<WorkerState> workers_;
+  std::vector<Channel> channels_;
+  std::vector<int> pending_preds_;
+  std::vector<std::pair<int, double>> noted_;  // (worker, est) per task
+  std::vector<Fetch> fetches_;
+  std::map<std::pair<int, int>, int> active_fetch_;  // (tile, node) -> fetch
+  std::int64_t transfer_hops_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t capacity_overflows_ = 0;
+  int active_hops_ = 0;  // in-flight hops across all links (contention)
+};
+
+SimResult SimEngine::run() {
+  for (const Task& t : graph_.tasks())
+    if (!platform_.supports(t.kernel))
+      throw std::invalid_argument(
+          std::string("simulate: platform '") + platform_.name() +
+          "' is not calibrated for kernel " + std::string(to_string(t.kernel)));
+  sched_.initialize(*this);
+  for (int id = 0; id < graph_.num_tasks(); ++id)
+    pending_preds_[static_cast<std::size_t>(id)] = graph_.in_degree(id);
+  for (int id = 0; id < graph_.num_tasks(); ++id)
+    if (pending_preds_[static_cast<std::size_t>(id)] == 0)
+      sched_.on_task_ready(*this, id);
+  try_start_all_idle();
+
+  while (finished_ < graph_.num_tasks()) {
+    if (events_.empty())
+      throw std::logic_error(
+          "simulate: deadlock -- scheduler starved ready tasks (policy '" +
+          sched_.name() + "')");
+    const Event e = events_.pop();
+    now_ = e.time;
+    switch (e.type) {
+      case EventType::TaskFinish:
+        on_task_finish(e.a, e.b);
+        break;
+      case EventType::TransferFinish:
+        on_transfer_finish(e.a, e.b);
+        break;
+    }
+    try_start_all_idle();
+  }
+
+  SimResult res;
+  res.makespan_s = now_;
+  res.transfer_hops = transfer_hops_;
+  res.bytes_transferred =
+      static_cast<double>(transfer_hops_) *
+      static_cast<double>(data_.tile_bytes());
+  res.evictions = evictions_;
+  res.capacity_overflows = capacity_overflows_;
+  res.trace = std::move(trace_);
+  return res;
+}
+
+}  // namespace
+
+SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
+                   const SimOptions& opt) {
+  SimEngine engine(g, p, sched, opt);
+  return engine.run();
+}
+
+}  // namespace hetsched

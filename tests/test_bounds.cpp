@@ -1,0 +1,164 @@
+#include "bounds/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cholesky_dag.hpp"
+#include "core/flops.hpp"
+#include "platform/calibration.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(Bounds, HomogeneousAreaBoundIsWorkOverProcessors) {
+  // With one class the area LP is exactly total work / worker count.
+  const Platform p = testutil::tiny_homog(2);
+  const int n = 4;
+  double work = 0.0;
+  for (const Kernel k : kAllKernels)
+    work += static_cast<double>(task_count(k, n)) * p.timings().time(0, k);
+  const AreaBoundSolution b = area_bound(n, p);
+  EXPECT_NEAR(b.makespan_s, work / 2.0, 1e-9);
+}
+
+TEST(Bounds, AreaAllocationCoversAllTasks) {
+  const Platform p = mirage_platform();
+  const AreaBoundSolution b = area_bound(12, p);
+  for (const Kernel k : kAllKernels) {
+    double sum = 0.0;
+    for (int c = 0; c < b.num_classes; ++c) sum += b.tasks_on(c, k);
+    EXPECT_NEAR(sum, static_cast<double>(task_count(k, 12)), 1e-6)
+        << to_string(k);
+  }
+}
+
+TEST(Bounds, MixedBoundAtLeastAreaBound) {
+  const Platform p = mirage_platform();
+  for (const int n : {2, 4, 8, 16, 24, 32}) {
+    EXPECT_GE(mixed_bound(n, p).makespan_s,
+              area_bound(n, p).makespan_s - 1e-9)
+        << "n = " << n;
+  }
+}
+
+TEST(Bounds, MixedBoundAtLeastPotrfChain) {
+  const Platform p = mirage_platform();
+  for (const int n : {2, 4, 8, 16}) {
+    // The chain constraint with POTRFs at their fastest class is a valid
+    // floor for the mixed bound.
+    EXPECT_GE(mixed_bound(n, p).makespan_s,
+              potrf_chain_seconds(n, p.timings()) - 1e-9);
+  }
+}
+
+TEST(Bounds, AreaLpPutsAllPotrfOnCpu) {
+  // Section III-A: "this linear program always decides that all POTRF tasks
+  // should be executed on CPUs" (GPU time is better spent on GEMMs).
+  const Platform p = mirage_platform();
+  const AreaBoundSolution b = area_bound(16, p);
+  EXPECT_NEAR(b.tasks_on(0, Kernel::POTRF), 16.0, 1e-6);
+  EXPECT_NEAR(b.tasks_on(1, Kernel::POTRF), 0.0, 1e-6);
+}
+
+TEST(Bounds, MixedLpMapsTrsmsOnCpus) {
+  // Section V-C3: "a significant portion of the TRSM kernels were mapped
+  // onto CPUs" in the (mixed) bound solution.
+  const Platform p = mirage_platform();
+  const AreaBoundSolution b = mixed_bound(16, p);
+  EXPECT_GT(b.tasks_on(0, Kernel::TRSM), 1.0);
+}
+
+TEST(Bounds, IntegralBoundAtLeastLpBound) {
+  const Platform p = mirage_platform();
+  for (const int n : {2, 4, 8}) {
+    const double lp = mixed_bound(n, p).makespan_s;
+    const double ip = mixed_bound(n, p, /*integral=*/true).makespan_s;
+    EXPECT_GE(ip, lp - 1e-9);
+    // ... and not absurdly larger (one task's worth at most here).
+    EXPECT_LT(ip, lp * 1.5);
+  }
+}
+
+TEST(Bounds, GemmPeakFormula) {
+  // tiny_hetero: nb=8, GEMM flops = 1024; CPUs at 8 s, GPU at 1 s.
+  const Platform p = testutil::tiny_hetero();
+  const double expect = (2.0 * 1024.0 / 8.0 + 1024.0 / 1.0) * 1e-9;
+  EXPECT_NEAR(gemm_peak_gflops(p), expect, 1e-15);
+}
+
+TEST(Bounds, CriticalPathSingleTile) {
+  const TaskGraph g = build_cholesky_dag(1);
+  const Platform p = testutil::tiny_hetero();
+  EXPECT_DOUBLE_EQ(critical_path_seconds(g, p.timings()), 2.0);
+}
+
+TEST(Bounds, CriticalPathTwoTilesByHand) {
+  // POTRF -> TRSM -> SYRK -> POTRF at fastest times: 2 + 1 + 1 + 2 = 6.
+  const TaskGraph g = build_cholesky_dag(2);
+  const Platform p = testutil::tiny_hetero();
+  EXPECT_DOUBLE_EQ(critical_path_seconds(g, p.timings()), 6.0);
+}
+
+TEST(Bounds, CriticalPathTasksFormAPath) {
+  const TaskGraph g = build_cholesky_dag(6);
+  const Platform p = mirage_platform();
+  const std::vector<int> path = critical_path_tasks(g, p.timings());
+  ASSERT_GE(path.size(), 2u);
+  double len = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    len += p.timings().fastest(g.task(path[i]).kernel);
+    if (i + 1 < path.size()) {
+      const auto succ = g.successors(path[i]);
+      EXPECT_NE(std::find(succ.begin(), succ.end(), path[i + 1]), succ.end());
+    }
+  }
+  EXPECT_NEAR(len, critical_path_seconds(g, p.timings()), 1e-9);
+}
+
+TEST(Bounds, CholeskyCriticalPathIsPotrfChain) {
+  // The longest path of the Cholesky DAG at Mirage timings follows the
+  // diagonal: n POTRFs + (n-1) TRSMs + (n-1) SYRKs at fastest times.
+  const int n = 10;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  EXPECT_NEAR(critical_path_seconds(g, p.timings()),
+              potrf_chain_seconds(n, p.timings()), 1e-9);
+}
+
+TEST(Bounds, GflopsUpperBoundsOrderedAsFigure2) {
+  // Figure 2: mixed is the tightest (lowest GFLOP/s), then area, then GEMM
+  // peak, for small/medium sizes.
+  const Platform p = mirage_platform();
+  for (const int n : {4, 8, 12, 16}) {
+    const TaskGraph g = build_cholesky_dag(n);
+    const double mixed_g = bound_gflops(n, p, mixed_bound(n, p).makespan_s);
+    const double area_g = bound_gflops(n, p, area_bound(n, p).makespan_s);
+    const double peak = gemm_peak_gflops(p);
+    EXPECT_LE(mixed_g, area_g + 1e-6) << n;
+    EXPECT_LE(area_g, peak + 1e-6) << n;
+  }
+}
+
+TEST(Bounds, BoundsTightenTowardGemmPeakForLargeN) {
+  const Platform p = mirage_platform();
+  const double g8 = bound_gflops(8, p, mixed_bound(8, p).makespan_s);
+  const double g32 = bound_gflops(32, p, mixed_bound(32, p).makespan_s);
+  EXPECT_GT(g32, g8);  // larger matrices expose more GEMM work
+  EXPECT_LT(g32, gemm_peak_gflops(p));
+}
+
+TEST(Bounds, AreaBoundScalesWithWorkers) {
+  // Doubling the CPU count of a homogeneous platform halves the area bound.
+  const AreaBoundSolution b1 = area_bound(6, homogeneous_platform(4));
+  const AreaBoundSolution b2 = area_bound(6, homogeneous_platform(8));
+  EXPECT_NEAR(b1.makespan_s / b2.makespan_s, 2.0, 1e-9);
+}
+
+TEST(Bounds, InvalidTileCountThrows) {
+  EXPECT_THROW(area_bound(0, mirage_platform()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

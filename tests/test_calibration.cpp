@@ -1,0 +1,86 @@
+#include "platform/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/flops.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(Calibration, AccelerationFactorsMatchPaper) {
+  // Section V-C2 quotes K for matrices of 4..32 tiles. Our Table-I ratios
+  // (2, 11, 26, 29) must reproduce them to the printed precision.
+  const struct {
+    int n;
+    double k;
+  } paper[] = {{4, 17.30},  {8, 22.30},  {12, 24.30}, {16, 25.38},
+               {20, 26.06}, {24, 26.52}, {28, 26.86}, {32, 27.11}};
+  for (const auto& row : paper)
+    EXPECT_NEAR(related_acceleration_factor(row.n), row.k, 0.005)
+        << "n = " << row.n;
+}
+
+TEST(Calibration, AccelerationFactorIncreasesWithSize) {
+  // GEMM share grows with n, so K tends to the GEMM ratio 29.
+  double prev = 0.0;
+  for (int n = 2; n <= 48; n += 2) {
+    const double k = related_acceleration_factor(n);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+  EXPECT_LT(prev, 29.0);
+}
+
+TEST(Calibration, GemmPeakMatchesFigure2Scale) {
+  // Figure 2 shows a GEMM peak slightly below 1000 GFLOP/s.
+  const double peak = gemm_peak_gflops(mirage_platform());
+  EXPECT_NEAR(peak, 990.0, 15.0);
+}
+
+TEST(Calibration, HomogeneousGemmPeak) {
+  // 9 CPU cores at ~10.31 GFLOP/s each.
+  const double peak = gemm_peak_gflops(homogeneous_platform(9));
+  EXPECT_NEAR(peak, 92.8, 1.5);
+}
+
+TEST(Calibration, RelatedPlatformIsUniformlyAccelerated) {
+  const int n = 12;
+  const Platform p = mirage_related_platform(n);
+  const double k = related_acceleration_factor(n);
+  for (const Kernel kern : kAllKernels)
+    EXPECT_NEAR(p.timings().time(0, kern) / p.timings().time(1, kern), k,
+                1e-9);
+}
+
+TEST(Calibration, RelatedAndUnrelatedShareCpuRow) {
+  const Platform rel = mirage_related_platform(8);
+  const Platform unrel = mirage_platform();
+  for (const Kernel k : kAllKernels)
+    EXPECT_DOUBLE_EQ(rel.timings().time(0, k), unrel.timings().time(0, k));
+}
+
+TEST(Calibration, CustomPlatformValidation) {
+  const double cpu[kNumKernels] = {1, 1, 1, 1};
+  const double ratio[kNumKernels] = {2, 2, 2, 2};
+  EXPECT_THROW(custom_platform(0, 1, cpu, ratio), std::invalid_argument);
+  const Platform p = custom_platform(3, 2, cpu, ratio, 32, "t");
+  EXPECT_EQ(p.num_workers(), 5);
+  EXPECT_EQ(p.nb(), 32);
+  EXPECT_DOUBLE_EQ(p.timings().time(1, Kernel::GEMM), 0.5);
+}
+
+TEST(Calibration, CpuTimesAreRealistic) {
+  // Single-core rates implied by the calibration: all within 5..12 GFLOP/s,
+  // the plausible envelope of one Westmere core running MKL.
+  const Platform p = mirage_platform();
+  for (const Kernel k : kAllKernels) {
+    const double rate =
+        kernel_flops(k, p.nb()) / p.timings().time(0, k) * 1e-9;
+    EXPECT_GT(rate, 5.0) << to_string(k);
+    EXPECT_LT(rate, 12.0) << to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

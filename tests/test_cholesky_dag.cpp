@@ -1,0 +1,176 @@
+#include "core/cholesky_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "core/flops.hpp"
+
+namespace hetsched {
+namespace {
+
+bool has_edge(const TaskGraph& g, int from, int to) {
+  const auto s = g.successors(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::map<std::string, int> by_name(const TaskGraph& g) {
+  std::map<std::string, int> m;
+  for (const Task& t : g.tasks()) m[t.name()] = t.id;
+  return m;
+}
+
+TEST(CholeskyDag, SingleTile) {
+  const TaskGraph g = build_cholesky_dag(1);
+  ASSERT_EQ(g.num_tasks(), 1);
+  EXPECT_EQ(g.task(0).kernel, Kernel::POTRF);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CholeskyDag, TwoTilesStructure) {
+  // POTRF_0 -> TRSM_1_0 -> SYRK_1_0 -> POTRF_1.
+  const TaskGraph g = build_cholesky_dag(2);
+  ASSERT_EQ(g.num_tasks(), 4);
+  const auto id = by_name(g);
+  EXPECT_TRUE(has_edge(g, id.at("POTRF_0"), id.at("TRSM_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("TRSM_1_0"), id.at("SYRK_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("SYRK_1_0"), id.at("POTRF_1")));
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(CholeskyDag, Figure1EdgesFor5x5) {
+  const TaskGraph g = build_cholesky_dag(5);
+  const auto id = by_name(g);
+  // Spot-checks against Figure 1 of the paper.
+  EXPECT_TRUE(has_edge(g, id.at("POTRF_0"), id.at("TRSM_4_0")));
+  EXPECT_TRUE(has_edge(g, id.at("TRSM_2_0"), id.at("GEMM_2_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("TRSM_1_0"), id.at("GEMM_2_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("GEMM_2_1_0"), id.at("TRSM_2_1")));
+  EXPECT_TRUE(has_edge(g, id.at("SYRK_1_0"), id.at("POTRF_1")));
+  EXPECT_TRUE(has_edge(g, id.at("POTRF_1"), id.at("TRSM_2_1")));
+  EXPECT_TRUE(has_edge(g, id.at("SYRK_4_2"), id.at("SYRK_4_3")));
+  EXPECT_TRUE(has_edge(g, id.at("GEMM_4_3_2"), id.at("TRSM_4_3")));
+  EXPECT_TRUE(has_edge(g, id.at("TRSM_4_3"), id.at("SYRK_4_3")));
+  EXPECT_TRUE(has_edge(g, id.at("SYRK_4_3"), id.at("POTRF_4")));
+  // And some non-edges.
+  EXPECT_FALSE(has_edge(g, id.at("POTRF_0"), id.at("POTRF_1")));
+  EXPECT_FALSE(has_edge(g, id.at("TRSM_1_0"), id.at("TRSM_2_0")));
+}
+
+TEST(CholeskyDag, SourceAndSink) {
+  const TaskGraph g = build_cholesky_dag(6);
+  const auto srcs = g.sources();
+  ASSERT_EQ(srcs.size(), 1u);
+  EXPECT_EQ(g.task(srcs[0]).name(), "POTRF_0");
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.task(sinks[0]).name(), "POTRF_5");
+}
+
+class CholeskyDagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyDagSweep, KernelCountsMatchClosedForms) {
+  const int n = GetParam();
+  const TaskGraph g = build_cholesky_dag(n);
+  const auto h = g.kernel_histogram();
+  for (const Kernel k : kAllKernels)
+    EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(k))], task_count(k, n))
+        << to_string(k) << " n=" << n;
+  EXPECT_EQ(g.num_tasks(), total_task_count(n));
+}
+
+TEST_P(CholeskyDagSweep, IsDagWithSingleSource) {
+  const int n = GetParam();
+  const TaskGraph g = build_cholesky_dag(n);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST_P(CholeskyDagSweep, EveryNonFinalTaskHasSuccessor) {
+  const int n = GetParam();
+  const TaskGraph g = build_cholesky_dag(n);
+  const auto sinks = g.sinks();
+  for (const Task& t : g.tasks()) {
+    const bool is_sink =
+        std::find(sinks.begin(), sinks.end(), t.id) != sinks.end();
+    EXPECT_EQ(g.out_degree(t.id) == 0, is_sink);
+  }
+}
+
+TEST_P(CholeskyDagSweep, PotrfChainIsOrdered) {
+  // POTRF_k reaches POTRF_{k+1} through TRSM_{k+1}_k -> SYRK_{k+1}_k.
+  const int n = GetParam();
+  if (n < 2) return;
+  const TaskGraph g = build_cholesky_dag(n);
+  const auto id = by_name(g);
+  for (int k = 0; k + 1 < n; ++k) {
+    const std::string ks = std::to_string(k);
+    const std::string k1s = std::to_string(k + 1);
+    EXPECT_TRUE(has_edge(g, id.at("POTRF_" + ks), id.at("TRSM_" + k1s + "_" + ks)));
+    EXPECT_TRUE(has_edge(g, id.at("TRSM_" + k1s + "_" + ks),
+                         id.at("SYRK_" + k1s + "_" + ks)));
+    EXPECT_TRUE(has_edge(g, id.at("SYRK_" + k1s + "_" + ks),
+                         id.at("POTRF_" + k1s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyDagSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 10, 16));
+
+TEST(CholeskyDag, AccessesAreTileHandles) {
+  const TaskGraph g = build_cholesky_dag(3);
+  for (const Task& t : g.tasks()) {
+    switch (t.kernel) {
+      case Kernel::POTRF:
+        ASSERT_EQ(t.accesses.size(), 1u);
+        EXPECT_EQ(t.accesses[0].mode, AccessMode::ReadWrite);
+        break;
+      case Kernel::TRSM:
+      case Kernel::SYRK:
+        ASSERT_EQ(t.accesses.size(), 2u);
+        EXPECT_EQ(t.accesses[0].mode, AccessMode::Read);
+        EXPECT_EQ(t.accesses[1].mode, AccessMode::ReadWrite);
+        break;
+      case Kernel::GEMM:
+        ASSERT_EQ(t.accesses.size(), 3u);
+        EXPECT_EQ(t.accesses[2].mode, AccessMode::ReadWrite);
+        break;
+    }
+    for (const TaskAccess& a : t.accesses) {
+      EXPECT_GE(a.tile, 0);
+      EXPECT_LT(a.tile, num_lower_tiles(3));
+    }
+  }
+}
+
+TEST(CholeskyDag, DiagonalDistance) {
+  const TaskGraph g = build_cholesky_dag(6);
+  for (const Task& t : g.tasks()) {
+    const int d = tile_diagonal_distance(t);
+    switch (t.kernel) {
+      case Kernel::POTRF:
+      case Kernel::SYRK:
+        EXPECT_EQ(d, 0);
+        break;
+      case Kernel::TRSM:
+        EXPECT_EQ(d, t.i - t.k);
+        EXPECT_GE(d, 1);
+        break;
+      case Kernel::GEMM:
+        EXPECT_EQ(d, t.i - t.j);
+        EXPECT_GE(d, 1);
+        break;
+    }
+  }
+}
+
+TEST(CholeskyDag, InvalidArgsThrow) {
+  EXPECT_THROW(build_cholesky_dag(0), std::invalid_argument);
+  EXPECT_THROW(build_cholesky_dag(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

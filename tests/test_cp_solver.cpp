@@ -1,0 +1,86 @@
+#include "cp/cp_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "cp/exact_bb.hpp"
+#include "cp/list_schedule.hpp"
+#include "platform/calibration.hpp"
+#include "sched/priorities.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+using testutil::chain4;
+using testutil::tiny_hetero;
+
+TEST(CpSolver, SmallInstanceProvenOptimal) {
+  const TaskGraph g = chain4();
+  const Platform p = tiny_hetero();
+  CpOptions opt;
+  opt.time_limit_s = 2.0;
+  const CpResult r = cp_solve(g, p, opt);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 6.0);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+}
+
+TEST(CpSolver, MatchesDirectBbOnSmallCholesky) {
+  const TaskGraph g = build_cholesky_dag(3);  // 10 tasks
+  const Platform p = tiny_hetero();
+  CpOptions opt;
+  opt.time_limit_s = 4.0;
+  const CpResult r = cp_solve(g, p, opt);
+  BbOptions bb;
+  bb.time_limit_s = 4.0;
+  bb.seed = list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  const BbResult direct = branch_and_bound(g, p, bb);
+  ASSERT_TRUE(direct.proven_optimal);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.makespan_s, direct.makespan_s, 1e-9);
+}
+
+TEST(CpSolver, LargeInstanceStillValidAndBounded) {
+  const int n = 6;
+  const TaskGraph g = build_cholesky_dag(n);  // 56 tasks: no exact stage
+  const Platform p = mirage_platform();
+  CpOptions opt;
+  opt.time_limit_s = 1.0;
+  opt.seed = 3;
+  const CpResult r = cp_solve(g, p, opt);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_GE(r.makespan_s, mixed_bound(n, p).makespan_s - 1e-9);
+  // No worse than its own HEFT seed.
+  const StaticSchedule seed =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  EXPECT_LE(r.makespan_s, seed.makespan(g, p) + 1e-9);
+}
+
+TEST(CpSolver, BeatsOrTiesHeftSeedOnMediumInstance) {
+  // The whole point of the CP stage in the paper: statically-optimized
+  // schedules improve on HEFT for small/medium matrices.
+  const int n = 5;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  CpOptions opt;
+  opt.time_limit_s = 1.5;
+  const CpResult r = cp_solve(g, p, opt);
+  const StaticSchedule seed =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  EXPECT_LE(r.makespan_s, seed.makespan(g, p) + 1e-9);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+}
+
+TEST(CpSolver, ReportsWinningStage) {
+  const TaskGraph g = chain4();
+  const Platform p = tiny_hetero();
+  const CpResult r = cp_solve(g, p);
+  EXPECT_TRUE(r.winning_stage == "seed" || r.winning_stage == "bb" ||
+              r.winning_stage == "lns");
+}
+
+}  // namespace
+}  // namespace hetsched

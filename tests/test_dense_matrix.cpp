@@ -1,0 +1,71 @@
+#include "core/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+TEST(DenseMatrix, StorageColumnMajor) {
+  DenseMatrix a(3, 2);
+  a(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(a.data()[2 + 1 * 3], 7.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), 7.0);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+}
+
+TEST(DenseMatrix, RandomSpdIsSymmetric) {
+  const DenseMatrix a = DenseMatrix::random_spd(17, 42);
+  for (int j = 0; j < 17; ++j)
+    for (int i = 0; i < 17; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+}
+
+TEST(DenseMatrix, RandomSpdIsDeterministic) {
+  const DenseMatrix a = DenseMatrix::random_spd(8, 7);
+  const DenseMatrix b = DenseMatrix::random_spd(8, 7);
+  EXPECT_DOUBLE_EQ(DenseMatrix::max_abs_diff_lower(a, b), 0.0);
+  const DenseMatrix c = DenseMatrix::random_spd(8, 8);
+  EXPECT_GT(DenseMatrix::max_abs_diff_lower(a, c), 0.0);
+}
+
+TEST(DenseMatrix, CholeskyReconstructs) {
+  const int n = 24;
+  const DenseMatrix a = DenseMatrix::random_spd(n, 3);
+  DenseMatrix l = a;
+  ASSERT_TRUE(l.cholesky_in_place());
+  const DenseMatrix llt = DenseMatrix::multiply_llt(l);
+  EXPECT_LT(DenseMatrix::max_abs_diff_lower(a, llt), 1e-10 * n);
+}
+
+TEST(DenseMatrix, CholeskyDiagonalPositive) {
+  DenseMatrix l = DenseMatrix::random_spd(10, 5);
+  ASSERT_TRUE(l.cholesky_in_place());
+  for (int j = 0; j < 10; ++j) EXPECT_GT(l(j, j), 0.0);
+}
+
+TEST(DenseMatrix, CholeskyRejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 0.0;
+  a(0, 1) = 0.0;
+  a(1, 1) = -1.0;  // negative eigenvalue
+  EXPECT_FALSE(a.cholesky_in_place());
+}
+
+TEST(DenseMatrix, KnownFactor) {
+  // A = [[4, 2], [2, 2]] => L = [[2, 0], [1, 1]].
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 0) = 2.0;
+  a(0, 1) = 2.0;
+  a(1, 1) = 2.0;
+  ASSERT_TRUE(a.cholesky_in_place());
+  EXPECT_NEAR(a(0, 0), 2.0, 1e-15);
+  EXPECT_NEAR(a(1, 0), 1.0, 1e-15);
+  EXPECT_NEAR(a(1, 1), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,131 @@
+#include "core/dependency_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hetsched {
+namespace {
+
+bool has_edge(const TaskGraph& g, int from, int to) {
+  const auto s = g.successors(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+int submit(TaskGraph& g, DependencyTracker& tr,
+           std::vector<TaskAccess> accesses) {
+  const int id =
+      g.add_task(Kernel::GEMM, 0, 0, 0, 1.0, std::move(accesses));
+  tr.submit(g, id);
+  return id;
+}
+
+TEST(DependencyTracker, ReadAfterWrite) {
+  TaskGraph g;
+  DependencyTracker tr(2);
+  const int w = submit(g, tr, {{0, AccessMode::Write}});
+  const int r = submit(g, tr, {{0, AccessMode::Read}});
+  EXPECT_TRUE(has_edge(g, w, r));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DependencyTracker, WriteAfterWrite) {
+  TaskGraph g;
+  DependencyTracker tr(1);
+  const int w1 = submit(g, tr, {{0, AccessMode::Write}});
+  const int w2 = submit(g, tr, {{0, AccessMode::Write}});
+  EXPECT_TRUE(has_edge(g, w1, w2));
+}
+
+TEST(DependencyTracker, WriteAfterRead) {
+  TaskGraph g;
+  DependencyTracker tr(1);
+  const int r1 = submit(g, tr, {{0, AccessMode::Read}});
+  const int r2 = submit(g, tr, {{0, AccessMode::Read}});
+  const int w = submit(g, tr, {{0, AccessMode::Write}});
+  EXPECT_TRUE(has_edge(g, r1, w));
+  EXPECT_TRUE(has_edge(g, r2, w));
+  // Readers of the same value are not ordered among themselves.
+  EXPECT_FALSE(has_edge(g, r1, r2));
+  EXPECT_FALSE(has_edge(g, r2, r1));
+}
+
+TEST(DependencyTracker, ConcurrentReadsNoEdges) {
+  TaskGraph g;
+  DependencyTracker tr(1);
+  submit(g, tr, {{0, AccessMode::Read}});
+  submit(g, tr, {{0, AccessMode::Read}});
+  submit(g, tr, {{0, AccessMode::Read}});
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DependencyTracker, ReadWriteActsAsBoth) {
+  TaskGraph g;
+  DependencyTracker tr(1);
+  const int w = submit(g, tr, {{0, AccessMode::Write}});
+  const int rw = submit(g, tr, {{0, AccessMode::ReadWrite}});
+  const int r = submit(g, tr, {{0, AccessMode::Read}});
+  EXPECT_TRUE(has_edge(g, w, rw));   // RAW/WAW on previous writer
+  EXPECT_TRUE(has_edge(g, rw, r));   // new value read after rw
+  EXPECT_FALSE(has_edge(g, w, r));   // r sees rw's value, not w's
+}
+
+TEST(DependencyTracker, WriterAfterReadersAfterWriter) {
+  // w1 -> {r1, r2} -> w2: w2 must not gain a duplicate WAW edge on w1.
+  TaskGraph g;
+  DependencyTracker tr(1);
+  const int w1 = submit(g, tr, {{0, AccessMode::Write}});
+  const int r1 = submit(g, tr, {{0, AccessMode::Read}});
+  const int r2 = submit(g, tr, {{0, AccessMode::Read}});
+  const int w2 = submit(g, tr, {{0, AccessMode::Write}});
+  EXPECT_TRUE(has_edge(g, r1, w2));
+  EXPECT_TRUE(has_edge(g, r2, w2));
+  EXPECT_TRUE(has_edge(g, w1, w2));  // WAW kept as well (single edge)
+  EXPECT_EQ(g.num_edges(), 5);       // w1->r1, w1->r2, r1->w2, r2->w2, w1->w2
+}
+
+TEST(DependencyTracker, IndependentHandles) {
+  TaskGraph g;
+  DependencyTracker tr(2);
+  const int a = submit(g, tr, {{0, AccessMode::Write}});
+  const int b = submit(g, tr, {{1, AccessMode::Write}});
+  EXPECT_FALSE(has_edge(g, a, b));
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DependencyTracker, MultiAccessTask) {
+  // GEMM-like: reads two tiles, read-writes a third.
+  TaskGraph g;
+  DependencyTracker tr(3);
+  const int wa = submit(g, tr, {{0, AccessMode::Write}});
+  const int wb = submit(g, tr, {{1, AccessMode::Write}});
+  const int wc = submit(g, tr, {{2, AccessMode::Write}});
+  const int gm = submit(g, tr, {{0, AccessMode::Read},
+                                {1, AccessMode::Read},
+                                {2, AccessMode::ReadWrite}});
+  EXPECT_TRUE(has_edge(g, wa, gm));
+  EXPECT_TRUE(has_edge(g, wb, gm));
+  EXPECT_TRUE(has_edge(g, wc, gm));
+}
+
+TEST(DependencyTracker, ResetClearsState) {
+  TaskGraph g;
+  DependencyTracker tr(1);
+  submit(g, tr, {{0, AccessMode::Write}});
+  tr.reset();
+  const int r = submit(g, tr, {{0, AccessMode::Read}});
+  EXPECT_EQ(g.in_degree(r), 0);  // no edge from the pre-reset writer
+}
+
+TEST(DependencyTracker, ProducesDag) {
+  TaskGraph g;
+  DependencyTracker tr(4);
+  for (int step = 0; step < 20; ++step) {
+    submit(g, tr, {{step % 4, AccessMode::ReadWrite},
+                   {(step + 1) % 4, AccessMode::Read}});
+  }
+  EXPECT_TRUE(g.is_dag());
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(3.0, EventType::TaskFinish, 1, 10);
+  q.push(1.0, EventType::TaskFinish, 2, 20);
+  q.push(2.0, EventType::TransferFinish, 3, 30);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+  EventQueue q;
+  q.push(5.0, EventType::TaskFinish, 0, 100);
+  q.push(5.0, EventType::TaskFinish, 1, 200);
+  q.push(5.0, EventType::TaskFinish, 2, 300);
+  EXPECT_EQ(q.pop().b, 100);
+  EXPECT_EQ(q.pop().b, 200);
+  EXPECT_EQ(q.pop().b, 300);
+}
+
+TEST(EventQueue, PayloadPreserved) {
+  EventQueue q;
+  q.push(1.5, EventType::TransferFinish, 7, 42);
+  const Event e = q.pop();
+  EXPECT_EQ(e.type, EventType::TransferFinish);
+  EXPECT_EQ(e.a, 7);
+  EXPECT_EQ(e.b, 42);
+  EXPECT_DOUBLE_EQ(e.time, 1.5);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.push(1.0, EventType::TaskFinish, 0, 0);
+  EXPECT_DOUBLE_EQ(q.peek().time, 1.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(10.0, EventType::TaskFinish, 0, 0);
+  q.push(4.0, EventType::TaskFinish, 0, 1);
+  EXPECT_EQ(q.pop().b, 1);
+  q.push(6.0, EventType::TaskFinish, 0, 2);
+  q.push(5.0, EventType::TaskFinish, 0, 3);
+  EXPECT_EQ(q.pop().b, 3);
+  EXPECT_EQ(q.pop().b, 2);
+  EXPECT_EQ(q.pop().b, 0);
+}
+
+}  // namespace
+}  // namespace hetsched

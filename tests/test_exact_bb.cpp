@@ -1,0 +1,121 @@
+#include "cp/exact_bb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "cp/list_schedule.hpp"
+#include "platform/calibration.hpp"
+#include "sched/priorities.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+using testutil::chain4;
+using testutil::fork_join;
+using testutil::independent_gemms;
+using testutil::tiny_hetero;
+using testutil::tiny_homog;
+
+TEST(ExactBb, ChainOptimum) {
+  const TaskGraph g = chain4();
+  const Platform p = tiny_hetero();
+  const BbResult r = branch_and_bound(g, p);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+  // Optimal: POTRF 2 + TRSM 1 + SYRK 1 + POTRF 2 = 6.
+  EXPECT_DOUBLE_EQ(r.makespan_s, 6.0);
+}
+
+TEST(ExactBb, IndependentTasksOptimum) {
+  // 3 GEMMs on {2 CPUs (8 s), 1 GPU (1 s)}: GPU runs all three -> 3 s.
+  const TaskGraph g = independent_gemms(3);
+  const Platform p = tiny_hetero();
+  const BbResult r = branch_and_bound(g, p);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 3.0);
+}
+
+TEST(ExactBb, MixOfWorkersOptimum) {
+  // 10 GEMMs: GPU 1 s each, CPU 8 s. Optimal = 9: GPU does 9 (9 s >= 8 s of
+  // one CPU task)? Candidates: GPU k tasks, CPUs split the rest;
+  // makespan = max(k, 8 * ceil((10-k)/2)). k=10 -> 10; k=9 -> max(9,8)=9;
+  // k=8 -> max(8, 8)= 8. Optimum 8.
+  const TaskGraph g = independent_gemms(10);
+  const Platform p = tiny_hetero();
+  BbOptions opt;
+  opt.time_limit_s = 10.0;
+  opt.seed = list_schedule(g, p);
+  const BbResult r = branch_and_bound(g, p, opt);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+  EXPECT_DOUBLE_EQ(r.makespan_s, 8.0);
+}
+
+TEST(ExactBb, ForkJoinOptimum) {
+  // fork_join(2) on tiny_hetero: POTRF 2 (any), two GEMMs (GPU 1 s each,
+  // serialized: 2 s; or 1 GPU + 1 CPU: max(1, 8)), SYRK 1 on GPU.
+  // Optimal: 2 + 2 + 1 = 5.
+  const TaskGraph g = fork_join(2);
+  const Platform p = tiny_hetero();
+  const BbResult r = branch_and_bound(g, p);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 5.0);
+}
+
+TEST(ExactBb, NeverWorseThanSeed) {
+  const TaskGraph g = build_cholesky_dag(3);  // 10 tasks
+  const Platform p = tiny_hetero();
+  const StaticSchedule seed =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  BbOptions opt;
+  opt.seed = seed;
+  opt.time_limit_s = 5.0;
+  const BbResult r = branch_and_bound(g, p, opt);
+  EXPECT_LE(r.makespan_s, seed.makespan(g, p) + 1e-9);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+}
+
+TEST(ExactBb, RespectsLowerBounds) {
+  const TaskGraph g = build_cholesky_dag(3);
+  const Platform p = mirage_platform();
+  BbOptions opt;
+  opt.time_limit_s = 5.0;
+  const BbResult r = branch_and_bound(g, p, opt);
+  EXPECT_GE(r.makespan_s, mixed_bound(3, p).makespan_s - 1e-9);
+  EXPECT_GE(r.makespan_s, critical_path_seconds(g, p.timings()) - 1e-9);
+}
+
+TEST(ExactBb, TimeLimitIsAnytime) {
+  // A large instance with a microscopic budget still returns the seed (or
+  // better) and reports non-optimality.
+  const TaskGraph g = build_cholesky_dag(6);
+  const Platform p = mirage_platform();
+  BbOptions opt;
+  opt.time_limit_s = 0.02;
+  opt.seed = list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  const BbResult r = branch_and_bound(g, p, opt);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+  EXPECT_LE(r.makespan_s, opt.seed.makespan(g, p) + 1e-9);
+}
+
+TEST(ExactBb, SingleTaskTrivial) {
+  const TaskGraph g = independent_gemms(1);
+  const Platform p = tiny_hetero();
+  const BbResult r = branch_and_bound(g, p);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 1.0);
+}
+
+TEST(ExactBb, HomogeneousTwoTileCholesky) {
+  // 2x2 Cholesky is a pure chain: 2 + 4 + 4 + 2 = 12 on CPUs.
+  const TaskGraph g = build_cholesky_dag(2);
+  const Platform p = tiny_homog(2);
+  const BbResult r = branch_and_bound(g, p);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
+}
+
+}  // namespace
+}  // namespace hetsched

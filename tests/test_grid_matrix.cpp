@@ -1,0 +1,61 @@
+#include "core/grid_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(GridMatrix, Dimensions) {
+  const GridMatrix g(3, 8);
+  EXPECT_EQ(g.n_tiles(), 3);
+  EXPECT_EQ(g.nb(), 8);
+  EXPECT_EQ(g.n_elems(), 24);
+  EXPECT_EQ(g.handle(2, 1), 7);
+}
+
+TEST(GridMatrix, InvalidDimensionsThrow) {
+  EXPECT_THROW(GridMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(GridMatrix(2, 0), std::invalid_argument);
+}
+
+TEST(GridMatrix, TileBoundsChecked) {
+  GridMatrix g(2, 4);
+  EXPECT_THROW(g.tile(2, 0), std::out_of_range);
+  EXPECT_THROW(g.tile(0, -1), std::out_of_range);
+}
+
+TEST(GridMatrix, DenseRoundTrip) {
+  const int n = 3, nb = 5;
+  DenseMatrix a(n * nb, n * nb);
+  for (int j = 0; j < n * nb; ++j)
+    for (int i = 0; i < n * nb; ++i) a(i, j) = i * 100.0 + j;
+  const GridMatrix g = GridMatrix::from_dense(a, n, nb);
+  const DenseMatrix back = g.to_dense();
+  for (int j = 0; j < n * nb; ++j)
+    for (int i = 0; i < n * nb; ++i) EXPECT_DOUBLE_EQ(back(i, j), a(i, j));
+  // Upper tiles are stored too (unlike the symmetric TileMatrix).
+  EXPECT_DOUBLE_EQ(g.tile(0, 2)[0], a(0, 2 * nb));
+}
+
+TEST(GridMatrix, DiagonallyDominantIsLuSafe) {
+  const GridMatrix g = GridMatrix::random_diagonally_dominant(2, 6, 3);
+  const DenseMatrix d = g.to_dense();
+  for (int i = 0; i < d.rows(); ++i) {
+    double off = 0.0;
+    for (int j = 0; j < d.cols(); ++j)
+      if (i != j) off += std::abs(d(i, j));
+    EXPECT_GT(std::abs(d(i, i)), off);
+  }
+}
+
+TEST(GridMatrix, RandomIsDeterministic) {
+  const GridMatrix a = GridMatrix::random(2, 4, 9);
+  const GridMatrix b = GridMatrix::random(2, 4, 9);
+  const DenseMatrix da = a.to_dense(), db = b.to_dense();
+  for (int j = 0; j < da.cols(); ++j)
+    for (int i = 0; i < da.rows(); ++i)
+      EXPECT_DOUBLE_EQ(da(i, j), db(i, j));
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,246 @@
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/dense_matrix.hpp"
+
+namespace hetsched {
+namespace {
+
+// Fills an nb x nb column-major tile with deterministic noise.
+std::vector<double> random_tile(int nb, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> t(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  for (double& x : t) x = dist(rng);
+  return t;
+}
+
+std::vector<double> spd_tile(int nb, unsigned seed) {
+  const DenseMatrix a = DenseMatrix::random_spd(nb, seed);
+  std::vector<double> t(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      t[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) *
+                                          static_cast<std::size_t>(nb)] =
+          a(i, j);
+  return t;
+}
+
+double at(const std::vector<double>& t, int nb, int i, int j) {
+  return t[static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)];
+}
+
+class KernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSweep, GemmMatchesNaive) {
+  const int nb = GetParam();
+  const auto a = random_tile(nb, 1);
+  const auto b = random_tile(nb, 2);
+  auto c = random_tile(nb, 3);
+  const auto c0 = c;
+  kernels::gemm(nb, a.data(), nb, b.data(), nb, c.data(), nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) {
+      double expect = at(c0, nb, i, j);
+      for (int p = 0; p < nb; ++p)
+        expect -= at(a, nb, i, p) * at(b, nb, j, p);
+      EXPECT_NEAR(at(c, nb, i, j), expect, 1e-11 * nb);
+    }
+}
+
+TEST_P(KernelSweep, SyrkMatchesNaiveOnLowerTriangle) {
+  const int nb = GetParam();
+  const auto a = random_tile(nb, 4);
+  auto c = random_tile(nb, 5);
+  const auto c0 = c;
+  kernels::syrk(nb, a.data(), nb, c.data(), nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) {
+      if (i < j) {
+        // Strict upper triangle untouched.
+        EXPECT_DOUBLE_EQ(at(c, nb, i, j), at(c0, nb, i, j));
+        continue;
+      }
+      double expect = at(c0, nb, i, j);
+      for (int p = 0; p < nb; ++p)
+        expect -= at(a, nb, i, p) * at(a, nb, j, p);
+      EXPECT_NEAR(at(c, nb, i, j), expect, 1e-11 * nb);
+    }
+}
+
+TEST_P(KernelSweep, TrsmSolvesRightLowerTranspose) {
+  const int nb = GetParam();
+  // L: lower triangular with safe diagonal.
+  auto l = random_tile(nb, 6);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < j; ++i)
+      l[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)] = 0.0;
+    l[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] +=
+        4.0;  // diagonal dominance
+  }
+  const auto a0 = random_tile(nb, 7);
+  auto x = a0;
+  kernels::trsm(nb, l.data(), nb, x.data(), nb);
+  // Check X * L^T == A0: (X L^T)(i,j) = sum_p X(i,p) L(j,p).
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) {
+      double got = 0.0;
+      for (int p = 0; p <= j; ++p) got += at(x, nb, i, p) * at(l, nb, j, p);
+      EXPECT_NEAR(got, at(a0, nb, i, j), 1e-10 * nb);
+    }
+}
+
+TEST_P(KernelSweep, PotrfMatchesReference) {
+  const int nb = GetParam();
+  auto a = spd_tile(nb, 8);
+  DenseMatrix ref(nb, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) ref(i, j) = at(a, nb, i, j);
+  ASSERT_TRUE(kernels::potrf(nb, a.data(), nb));
+  ASSERT_TRUE(ref.cholesky_in_place());
+  for (int j = 0; j < nb; ++j)
+    for (int i = j; i < nb; ++i)
+      EXPECT_NEAR(at(a, nb, i, j), ref(i, j), 1e-9);
+}
+
+// Sizes straddle the internal POTRF blocking (64): below, at, above, and a
+// non-multiple.
+INSTANTIATE_TEST_SUITE_P(TileSizes, KernelSweep,
+                         ::testing::Values(1, 2, 5, 16, 63, 64, 65, 96, 130));
+
+
+// ---- Tile-QR kernels: orthogonal-invariance properties ---------------------
+
+class QrKernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrKernelSweep, GeqrtPreservesColumnNorms) {
+  // R = Q^T A with Q orthogonal: every column keeps its 2-norm.
+  const int nb = GetParam();
+  auto a = random_tile(nb, 61);
+  std::vector<double> norms(static_cast<std::size_t>(nb), 0.0);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      norms[static_cast<std::size_t>(j)] += at(a, nb, i, j) * at(a, nb, i, j);
+  std::vector<double> tau(static_cast<std::size_t>(nb));
+  kernels::geqrt(nb, a.data(), nb, tau.data());
+  for (int j = 0; j < nb; ++j) {
+    double rj = 0.0;
+    for (int i = 0; i <= j; ++i) rj += at(a, nb, i, j) * at(a, nb, i, j);
+    EXPECT_NEAR(rj, norms[static_cast<std::size_t>(j)],
+                1e-10 * (1.0 + norms[static_cast<std::size_t>(j)]));
+  }
+}
+
+TEST_P(QrKernelSweep, OrmqrPreservesColumnNorms) {
+  const int nb = GetParam();
+  auto v = random_tile(nb, 62);
+  std::vector<double> tau(static_cast<std::size_t>(nb));
+  kernels::geqrt(nb, v.data(), nb, tau.data());
+
+  auto c = random_tile(nb, 63);
+  std::vector<double> norms(static_cast<std::size_t>(nb), 0.0);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      norms[static_cast<std::size_t>(j)] += at(c, nb, i, j) * at(c, nb, i, j);
+  kernels::ormqr(nb, v.data(), nb, tau.data(), c.data(), nb);
+  for (int j = 0; j < nb; ++j) {
+    double nj = 0.0;
+    for (int i = 0; i < nb; ++i) nj += at(c, nb, i, j) * at(c, nb, i, j);
+    EXPECT_NEAR(nj, norms[static_cast<std::size_t>(j)],
+                1e-9 * (1.0 + norms[static_cast<std::size_t>(j)]));
+  }
+}
+
+TEST_P(QrKernelSweep, TsqrtAbsorbsStackedColumnNorms) {
+  // After TSQRT of [R; A], the new R column norm must equal the stacked
+  // one: ||R'(:,j)||^2 = ||R(:,j)||^2 + ||A(:,j)||^2.
+  const int nb = GetParam();
+  auto r = random_tile(nb, 64);
+  for (int j = 0; j < nb; ++j)  // make it upper triangular
+    for (int i = j + 1; i < nb; ++i)
+      r[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)] = 0.0;
+  auto a = random_tile(nb, 65);
+  std::vector<double> stacked(static_cast<std::size_t>(nb), 0.0);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      stacked[static_cast<std::size_t>(j)] +=
+          at(r, nb, i, j) * at(r, nb, i, j) + at(a, nb, i, j) * at(a, nb, i, j);
+  std::vector<double> tau(static_cast<std::size_t>(nb));
+  kernels::tsqrt(nb, r.data(), nb, a.data(), nb, tau.data());
+  for (int j = 0; j < nb; ++j) {
+    double rj = 0.0;
+    for (int i = 0; i <= j; ++i) rj += at(r, nb, i, j) * at(r, nb, i, j);
+    EXPECT_NEAR(rj, stacked[static_cast<std::size_t>(j)],
+                1e-9 * (1.0 + stacked[static_cast<std::size_t>(j)]));
+  }
+}
+
+TEST_P(QrKernelSweep, TsmqrPreservesStackedColumnNorms) {
+  const int nb = GetParam();
+  auto r = random_tile(nb, 66);
+  auto v = random_tile(nb, 67);
+  std::vector<double> tau(static_cast<std::size_t>(nb));
+  kernels::tsqrt(nb, r.data(), nb, v.data(), nb, tau.data());
+
+  auto ct = random_tile(nb, 68);
+  auto cb = random_tile(nb, 69);
+  std::vector<double> norms(static_cast<std::size_t>(nb), 0.0);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      norms[static_cast<std::size_t>(j)] += at(ct, nb, i, j) * at(ct, nb, i, j) +
+                                            at(cb, nb, i, j) * at(cb, nb, i, j);
+  kernels::tsmqr(nb, v.data(), nb, tau.data(), ct.data(), nb, cb.data(), nb);
+  for (int j = 0; j < nb; ++j) {
+    double nj = 0.0;
+    for (int i = 0; i < nb; ++i)
+      nj += at(ct, nb, i, j) * at(ct, nb, i, j) +
+            at(cb, nb, i, j) * at(cb, nb, i, j);
+    EXPECT_NEAR(nj, norms[static_cast<std::size_t>(j)],
+                1e-9 * (1.0 + norms[static_cast<std::size_t>(j)]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, QrKernelSweep,
+                         ::testing::Values(1, 2, 5, 16, 33));
+
+TEST(Kernels, PotrfRejectsNonSpd) {
+  const int nb = 8;
+  std::vector<double> a(64, 0.0);
+  for (int j = 0; j < nb; ++j)
+    a[static_cast<std::size_t>(j) * 9] = -1.0;  // negative diagonal
+  EXPECT_FALSE(kernels::potrf(nb, a.data(), nb));
+}
+
+TEST(Kernels, RespectsLeadingDimension) {
+  // Operate on an nb x nb view inside a larger lda x nb buffer.
+  const int nb = 5, lda = 9;
+  auto big_a = random_tile(lda, 10);
+  auto big_b = random_tile(lda, 11);
+  auto big_c = random_tile(lda, 12);
+  const auto c0 = big_c;
+  kernels::gemm(nb, big_a.data(), lda, big_b.data(), lda, big_c.data(), lda);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      double expect = at(c0, lda, i, j);
+      for (int p = 0; p < nb; ++p)
+        expect -= at(big_a, lda, i, p) * at(big_b, lda, j, p);
+      EXPECT_NEAR(at(big_c, lda, i, j), expect, 1e-12 * nb);
+    }
+    // Rows nb..lda-1 of each touched column untouched.
+    for (int i = nb; i < lda; ++i)
+      EXPECT_DOUBLE_EQ(at(big_c, lda, i, j), at(c0, lda, i, j));
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

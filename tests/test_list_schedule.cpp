@@ -1,0 +1,72 @@
+#include "cp/list_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "platform/calibration.hpp"
+#include "sched/priorities.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+using testutil::chain4;
+using testutil::fork_join;
+using testutil::independent_gemms;
+using testutil::tiny_hetero;
+using testutil::tiny_homog;
+
+TEST(ListSchedule, ChainIsSerialized) {
+  const TaskGraph g = chain4();
+  const Platform p = tiny_hetero();
+  const StaticSchedule s = list_schedule(g, p);
+  EXPECT_EQ(s.validate(g, p), "");
+  // Fastest possible chain: POTRF 2 (either), TRSM 1, SYRK 1, POTRF 2 (GPU
+  // or CPU) -> 6 s.
+  EXPECT_DOUBLE_EQ(s.makespan(g, p), 6.0);
+}
+
+TEST(ListSchedule, BalancesIndependentTasks) {
+  const TaskGraph g = independent_gemms(4);
+  const Platform p = tiny_homog(2);
+  const StaticSchedule s = list_schedule(g, p);
+  EXPECT_EQ(s.validate(g, p), "");
+  EXPECT_DOUBLE_EQ(s.makespan(g, p), 16.0);
+}
+
+TEST(ListSchedule, UsesPriorities) {
+  // Two ready tasks, single worker: the higher-priority one goes first.
+  const TaskGraph g = independent_gemms(2);
+  const Platform p = tiny_homog(1);
+  const StaticSchedule s = list_schedule(g, p, {1.0, 5.0});
+  EXPECT_LT(s.entry_for(1).start, s.entry_for(0).start);
+}
+
+class ListScheduleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListScheduleSweep, ValidAndAboveBounds) {
+  const int n = GetParam();
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  const StaticSchedule s =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  ASSERT_EQ(s.validate(g, p), "");
+  const double mk = s.makespan(g, p);
+  EXPECT_GE(mk, mixed_bound(n, p).makespan_s - 1e-9);
+  EXPECT_GE(mk, critical_path_seconds(g, p.timings()) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ListScheduleSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+TEST(ListSchedule, ForkJoinUsesBothWorkers) {
+  const TaskGraph g = fork_join(2);
+  const Platform p = tiny_homog(2);
+  const StaticSchedule s = list_schedule(g, p);
+  EXPECT_EQ(s.validate(g, p), "");
+  EXPECT_DOUBLE_EQ(s.makespan(g, p), 14.0);  // 2 + 8 || 8 + 4
+}
+
+}  // namespace
+}  // namespace hetsched

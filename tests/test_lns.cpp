@@ -1,0 +1,80 @@
+#include "cp/lns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cholesky_dag.hpp"
+#include "cp/list_schedule.hpp"
+#include "platform/calibration.hpp"
+#include "sched/priorities.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+using testutil::independent_gemms;
+using testutil::tiny_hetero;
+using testutil::tiny_homog;
+
+// A deliberately bad but valid schedule: everything serialized on worker 0.
+StaticSchedule all_on_one_worker(const TaskGraph& g, const Platform& p) {
+  StaticSchedule s;
+  double t = 0.0;
+  for (const int id : g.topological_order()) {
+    s.entries.push_back({id, 0, t});
+    t += p.worker_time(0, g.task(id).kernel);
+  }
+  return s;
+}
+
+TEST(Lns, NeverWorseThanSeed) {
+  const TaskGraph g = build_cholesky_dag(4);
+  const Platform p = mirage_platform();
+  const StaticSchedule seed =
+      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+  LnsOptions opt;
+  opt.time_limit_s = 0.3;
+  const LnsResult r = lns_improve(g, p, seed, opt);
+  EXPECT_LE(r.makespan_s, seed.makespan(g, p) + 1e-9);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+}
+
+TEST(Lns, ImprovesBadSeedSubstantially) {
+  // Serialized-on-one-CPU seed on a 3-worker platform: LNS must cut the
+  // makespan by a lot (the GPU is 8x faster on GEMMs alone).
+  const TaskGraph g = independent_gemms(8);
+  const Platform p = tiny_hetero();
+  const StaticSchedule seed = all_on_one_worker(g, p);  // 64 s
+  LnsOptions opt;
+  opt.time_limit_s = 0.5;
+  opt.seed = 1;
+  const LnsResult r = lns_improve(g, p, seed, opt);
+  EXPECT_EQ(r.schedule.validate(g, p), "");
+  EXPECT_LT(r.makespan_s, seed.makespan(g, p) * 0.5);
+  EXPECT_GT(r.improvements, 0);
+}
+
+TEST(Lns, DeterministicForFixedSeed) {
+  const TaskGraph g = build_cholesky_dag(3);
+  const Platform p = tiny_hetero();
+  const StaticSchedule seed = list_schedule(g, p);
+  LnsOptions opt;
+  opt.time_limit_s = 0.15;
+  opt.seed = 42;
+  const double a = lns_improve(g, p, seed, opt).makespan_s;
+  // Iteration counts depend on wall clock, so only the invariant holds:
+  // the result is a valid schedule no worse than the seed.
+  EXPECT_LE(a, seed.makespan(g, p) + 1e-9);
+}
+
+TEST(Lns, ZeroBudgetReturnsSeed) {
+  const TaskGraph g = build_cholesky_dag(3);
+  const Platform p = tiny_hetero();
+  const StaticSchedule seed = list_schedule(g, p);
+  LnsOptions opt;
+  opt.time_limit_s = 0.0;
+  const LnsResult r = lns_improve(g, p, seed, opt);
+  EXPECT_NEAR(r.makespan_s, seed.makespan(g, p), 1e-9);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,188 @@
+#include "core/lu_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "bounds/bounds.hpp"
+#include "core/flops.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched {
+namespace {
+
+std::map<std::string, int> by_name(const TaskGraph& g) {
+  std::map<std::string, int> m;
+  for (const Task& t : g.tasks()) m[t.name()] = t.id;
+  return m;
+}
+
+bool has_edge(const TaskGraph& g, int from, int to) {
+  const auto s = g.successors(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+class LuDagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuDagSweep, KernelCountsMatchClosedForms) {
+  const int n = GetParam();
+  const TaskGraph g = build_lu_dag(n);
+  const auto h = g.kernel_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::GETRF))],
+            lu_task_count(Kernel::GETRF, n));
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::TRSM))],
+            lu_task_count(Kernel::TRSM, n));
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::GEMM))],
+            lu_task_count(Kernel::GEMM, n));
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::POTRF))], 0);
+}
+
+TEST_P(LuDagSweep, IsDagWithSingleSourceAndSink) {
+  const int n = GetParam();
+  const TaskGraph g = build_lu_dag(n);
+  EXPECT_TRUE(g.is_dag());
+  ASSERT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.task(g.sources()[0]).kernel, Kernel::GETRF);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.task(g.sinks()[0]).kernel, Kernel::GETRF);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuDagSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(LuDag, TwoTileStructure) {
+  // GETRF_0 -> {TRSM_0_1 (row), TRSM_1_0 (col)} -> GEMM_1_1_0 -> GETRF_1.
+  const TaskGraph g = build_lu_dag(2);
+  ASSERT_EQ(g.num_tasks(), 5);
+  const auto id = by_name(g);
+  EXPECT_TRUE(has_edge(g, id.at("GETRF_0"), id.at("TRSM_1_0")));    // column
+  EXPECT_TRUE(has_edge(g, id.at("GETRF_0"), id.at("TRSML_1_0")));   // row
+  EXPECT_TRUE(has_edge(g, id.at("TRSM_1_0"), id.at("GEMM_1_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("TRSML_1_0"), id.at("GEMM_1_1_0")));
+  EXPECT_TRUE(has_edge(g, id.at("GEMM_1_1_0"), id.at("GETRF_1")));
+}
+
+TEST(LuNumeric, DenseReferenceReconstructs) {
+  DenseMatrix a(12, 12);
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < 12; ++i) a(i, j) = dist(rng) + (i == j ? 24.0 : 0.0);
+  DenseMatrix packed = a;
+  ASSERT_TRUE(dense_lu_nopiv(packed));
+  const DenseMatrix lu = multiply_lu(packed);
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < 12; ++i) EXPECT_NEAR(lu(i, j), a(i, j), 1e-10);
+}
+
+struct LuCase {
+  int n_tiles;
+  int nb;
+};
+
+class LuNumericSweep : public ::testing::TestWithParam<LuCase> {};
+
+TEST_P(LuNumericSweep, TiledMatchesDense) {
+  const auto [n, nb] = GetParam();
+  const GridMatrix a0 = GridMatrix::random_diagonally_dominant(n, nb, 17);
+  GridMatrix tiled = a0;
+  ASSERT_TRUE(tiled_lu_sequential(tiled));
+  DenseMatrix ref = a0.to_dense();
+  ASSERT_TRUE(dense_lu_nopiv(ref));
+  const DenseMatrix got = tiled.to_dense();
+  for (int j = 0; j < ref.cols(); ++j)
+    for (int i = 0; i < ref.rows(); ++i)
+      EXPECT_NEAR(got(i, j), ref(i, j), 1e-9) << i << "," << j;
+}
+
+TEST_P(LuNumericSweep, FactorsReconstructMatrix) {
+  const auto [n, nb] = GetParam();
+  const GridMatrix a0 = GridMatrix::random_diagonally_dominant(n, nb, 18);
+  GridMatrix tiled = a0;
+  ASSERT_TRUE(tiled_lu_sequential(tiled));
+  const DenseMatrix lu = multiply_lu(tiled.to_dense());
+  const DenseMatrix orig = a0.to_dense();
+  for (int j = 0; j < orig.cols(); ++j)
+    for (int i = 0; i < orig.rows(); ++i)
+      EXPECT_NEAR(lu(i, j), orig(i, j), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuNumericSweep,
+                         ::testing::Values(LuCase{1, 8}, LuCase{2, 6},
+                                           LuCase{3, 8}, LuCase{4, 5}));
+
+TEST(LuNumeric, AnyTopologicalOrderGivesSameFactor) {
+  const int n = 3, nb = 6;
+  const GridMatrix a0 = GridMatrix::random_diagonally_dominant(n, nb, 19);
+  const TaskGraph g = build_lu_dag(n, nb);
+
+  GridMatrix ref = a0;
+  ASSERT_TRUE(tiled_lu_sequential(ref));
+  const DenseMatrix ref_dense = ref.to_dense();
+
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<int> pending(static_cast<std::size_t>(g.num_tasks()));
+    std::vector<int> ready;
+    for (int id = 0; id < g.num_tasks(); ++id) {
+      pending[static_cast<std::size_t>(id)] = g.in_degree(id);
+      if (pending[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+    }
+    GridMatrix m = a0;
+    while (!ready.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, ready.size() - 1);
+      const std::size_t at = pick(rng);
+      const int t = ready[at];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(at));
+      ASSERT_TRUE(execute_lu_task(m, g.task(t)));
+      for (const int s : g.successors(t))
+        if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+    const DenseMatrix got = m.to_dense();
+    for (int j = 0; j < got.cols(); ++j)
+      for (int i = 0; i < got.rows(); ++i)
+        EXPECT_NEAR(got(i, j), ref_dense(i, j), 1e-10);
+  }
+}
+
+TEST(LuNumeric, ZeroPivotFails) {
+  GridMatrix z(2, 4);  // all-zero matrix
+  EXPECT_FALSE(tiled_lu_sequential(z));
+}
+
+TEST(LuSched, SimulatedOnMirageRespectsBounds) {
+  const int n = 8;
+  const TaskGraph g = build_lu_dag(n);
+  const Platform p = mirage_platform();
+  DmdaScheduler dmdas = make_dmdas(g, p);
+  const SimResult r = simulate(g, p, dmdas);
+  EXPECT_GE(r.makespan_s,
+            area_bound_for(lu_histogram(n), p).makespan_s - 1e-9);
+  EXPECT_GE(r.makespan_s, lu_mixed_bound(n, p).makespan_s - 1e-9);
+  EXPECT_GE(r.makespan_s, critical_path_seconds(g, p.timings()) - 1e-9);
+}
+
+TEST(LuBounds, MixedAtLeastArea) {
+  const Platform p = mirage_platform();
+  for (const int n : {2, 4, 8, 16}) {
+    EXPECT_GE(lu_mixed_bound(n, p).makespan_s,
+              area_bound_for(lu_histogram(n), p).makespan_s - 1e-9);
+  }
+}
+
+TEST(LuBounds, CriticalPathIsDiagonalChain) {
+  const int n = 8;
+  const TaskGraph g = build_lu_dag(n);
+  const TimingTable& t = mirage_platform().timings();
+  const double chain = static_cast<double>(n) * t.fastest(Kernel::GETRF) +
+                       static_cast<double>(n - 1) *
+                           (t.fastest(Kernel::TRSM) +
+                            t.fastest(Kernel::GEMM));
+  EXPECT_NEAR(critical_path_seconds(g, t), chain, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,105 @@
+#include "bounds/mip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+using Rel = LinearProgram::Rel;
+using Sense = LinearProgram::Sense;
+
+TEST(Mip, FractionalLpRoundsToInteger) {
+  // max x st 2x <= 5 -> LP x = 2.5, MIP x = 2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1.0};
+  lp.add_constraint({2.0}, Rel::LE, 5.0);
+  const MipSolution s = solve_mip(lp, {0});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Mip, SmallKnapsack) {
+  // max 5a + 4b st 6a + 5b <= 10, a <= 1, b <= 2, integer.
+  // Candidates: (1,0) = 5, (0,2) = 8 -> optimum is (0,2).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.sense = Sense::Maximize;
+  lp.objective = {5.0, 4.0};
+  lp.add_constraint({6.0, 5.0}, Rel::LE, 10.0);
+  lp.add_constraint({1.0, 0.0}, Rel::LE, 1.0);
+  lp.add_constraint({0.0, 1.0}, Rel::LE, 2.0);
+  const MipSolution s = solve_mip(lp, {0, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(Mip, MixedIntegerKeepsContinuousVars) {
+  // min y st y >= x/2, x >= 3.5, x integer -> x=4, y=2.
+  LinearProgram lp;
+  lp.num_vars = 2;  // x, y
+  lp.objective = {0.0, 1.0};
+  lp.add_constraint({0.5, -1.0}, Rel::LE, 0.0);
+  lp.add_constraint({1.0, 0.0}, Rel::GE, 3.5);
+  const MipSolution s = solve_mip(lp, {0});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Mip, InfeasibleIntegerRestriction) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({1.0}, Rel::GE, 0.4);
+  lp.add_constraint({1.0}, Rel::LE, 0.6);
+  EXPECT_EQ(solve_mip(lp, {0}).status, MipSolution::Status::Infeasible);
+}
+
+TEST(Mip, BoundOrderingVersusLp) {
+  // Minimization: LP relaxation <= MIP optimum.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 2.0};
+  lp.add_constraint({1.0, 1.0}, Rel::GE, 3.3);
+  const LpSolution rel = solve_lp(lp);
+  const MipSolution mip = solve_mip(lp, {0, 1});
+  ASSERT_TRUE(rel.optimal());
+  ASSERT_TRUE(mip.optimal());
+  EXPECT_LE(rel.objective, mip.objective + 1e-9);
+  EXPECT_NEAR(mip.objective, 8.0, 1e-9);  // x=0, y=4
+}
+
+TEST(Mip, AllIntegerLpNeedsNoBranching) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({1.0, 0.0}, Rel::LE, 3.0);
+  lp.add_constraint({0.0, 1.0}, Rel::LE, 2.0);
+  const MipSolution s = solve_mip(lp, {0, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Mip, SolutionIsIntegral) {
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1.0, 1.3, 0.9};
+  lp.add_constraint({1.0, 2.0, 1.5}, Rel::LE, 7.7);
+  lp.add_constraint({1.0, 0.0, 1.0}, Rel::LE, 4.2);
+  const MipSolution s = solve_mip(lp, {0, 1, 2});
+  ASSERT_TRUE(s.optimal());
+  for (const double v : s.x)
+    EXPECT_NEAR(v, std::round(v), 1e-6);
+}
+
+}  // namespace
+}  // namespace hetsched

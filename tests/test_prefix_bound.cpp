@@ -1,0 +1,100 @@
+// Tests of the prefix bound extension (see bounds.hpp): validity against
+// exact/simulated schedules and dominance relations with the paper's
+// bounds.
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "cp/exact_bb.hpp"
+#include "cp/list_schedule.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sched/priorities.hpp"
+#include "sim/simulator.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(PrefixBound, SingleTileIsOnePotrf) {
+  const Platform p = mirage_platform();
+  EXPECT_NEAR(prefix_bound(1, p), p.timings().fastest(Kernel::POTRF), 1e-12);
+}
+
+TEST(PrefixBound, ValidAgainstExactOptimum) {
+  // On instances small enough for the exact solver, the bound must not
+  // exceed the provably optimal makespan.
+  for (const int n : {2, 3}) {
+    const TaskGraph g = build_cholesky_dag(n);
+    const Platform p = testutil::tiny_hetero();
+    BbOptions opt;
+    opt.time_limit_s = 5.0;
+    opt.seed = list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+    const BbResult exact = branch_and_bound(g, p, opt);
+    ASSERT_TRUE(exact.proven_optimal);
+    EXPECT_LE(prefix_bound(n, p), exact.makespan_s + 1e-9) << "n = " << n;
+  }
+}
+
+class PrefixBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixBoundSweep, ValidAgainstSimulatedSchedules) {
+  const int n = GetParam();
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  DmdaScheduler dmda = make_dmda();
+  DmdaScheduler dmdas = make_dmdas(g, p);
+  EXPECT_LE(prefix_bound(n, p), simulate(g, p, dmda).makespan_s + 1e-9);
+  EXPECT_LE(prefix_bound(n, p), simulate(g, p, dmdas).makespan_s + 1e-9);
+}
+
+TEST_P(PrefixBoundSweep, DominatesMixedBound) {
+  // With the tail chain constraint, the s = 0 term already subsumes the
+  // paper's mixed bound on this platform.
+  const int n = GetParam();
+  const Platform p = mirage_platform();
+  EXPECT_GE(prefix_bound(n, p), mixed_bound(n, p).makespan_s - 1e-6);
+}
+
+TEST_P(PrefixBoundSweep, DominatesAreaBound) {
+  // prefix(s = 0) already adds one POTRF ahead of (almost all of) the
+  // area workload, so the max over prefixes beats the plain area bound.
+  const int n = GetParam();
+  const Platform p = mirage_platform();
+  EXPECT_GE(prefix_bound(n, p), area_bound(n, p).makespan_s - 1e-6);
+}
+
+TEST_P(PrefixBoundSweep, AtLeastThePotrfChain) {
+  const int n = GetParam();
+  const Platform p = mirage_platform();
+  EXPECT_GE(prefix_bound(n, p),
+            potrf_chain_seconds(n, p.timings()) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixBoundSweep,
+                         ::testing::Values(2, 4, 6, 8, 12, 16, 24, 32));
+
+TEST(PrefixBound, TightensMediumSizesBeyondMixed) {
+  // The motivation for the extension: somewhere in the small/medium range
+  // the prefix bound must strictly beat the paper's mixed bound.
+  const Platform p = mirage_platform();
+  bool strictly_tighter = false;
+  for (int n = 2; n <= 16; ++n)
+    strictly_tighter |=
+        prefix_bound(n, p) > mixed_bound(n, p).makespan_s * 1.001;
+  EXPECT_TRUE(strictly_tighter);
+}
+
+TEST(PrefixBound, HomogeneousReducesGracefully) {
+  // Also valid (and useful) on the homogeneous platform.
+  const int n = 8;
+  const Platform p = homogeneous_platform(9);
+  const TaskGraph g = build_cholesky_dag(n);
+  DmdaScheduler dmdas = make_dmdas(g, p);
+  const double sim = simulate(g, p, dmdas).makespan_s;
+  EXPECT_LE(prefix_bound(n, p), sim + 1e-9);
+  EXPECT_GE(prefix_bound(n, p), area_bound(n, p).makespan_s - 1e-6);
+}
+
+}  // namespace
+}  // namespace hetsched

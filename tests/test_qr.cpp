@@ -1,0 +1,204 @@
+#include "core/qr_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "bounds/bounds.hpp"
+#include "core/flops.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched {
+namespace {
+
+// ||A^T A - R^T R||_max: since A = Q R with Q orthogonal, the two Gram
+// matrices must coincide -- a sign-robust correctness check that needs no
+// explicit Q.
+double gram_residual(const DenseMatrix& a, const DenseMatrix& r) {
+  const int n = a.rows();
+  double worst = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      double ata = 0.0, rtr = 0.0;
+      for (int k = 0; k < n; ++k) {
+        ata += a(k, i) * a(k, j);
+        rtr += r(k, i) * r(k, j);
+      }
+      worst = std::max(worst, std::abs(ata - rtr));
+    }
+  return worst;
+}
+
+class QrDagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrDagSweep, KernelCountsMatchClosedForms) {
+  const int n = GetParam();
+  const TaskGraph g = build_qr_dag(n);
+  const auto h = g.kernel_histogram();
+  for (const Kernel k : kQrKernels)
+    EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(k))],
+              qr_task_count(k, n))
+        << to_string(k);
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::GEMM))], 0);
+}
+
+TEST_P(QrDagSweep, IsDag) {
+  const int n = GetParam();
+  const TaskGraph g = build_qr_dag(n);
+  EXPECT_TRUE(g.is_dag());
+  ASSERT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.task(g.sources()[0]).kernel, Kernel::GEQRT);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrDagSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+struct QrCase {
+  int n_tiles;
+  int nb;
+};
+
+class QrNumericSweep : public ::testing::TestWithParam<QrCase> {};
+
+TEST_P(QrNumericSweep, RFactorIsUpperAndGramMatches) {
+  const auto [n, nb] = GetParam();
+  const GridMatrix a0 = GridMatrix::random(n, nb, 51);
+  QrFactor f(a0);
+  tiled_qr_sequential(f);
+  const DenseMatrix r = f.r_factor();
+  const DenseMatrix orig = a0.to_dense();
+  // R is upper triangular by construction of r_factor(); check the Gram
+  // identity A^T A = R^T R to machine precision.
+  const double res = gram_residual(orig, r);
+  const double scale = static_cast<double>(n) * nb;
+  EXPECT_LT(res, 1e-11 * scale * scale);
+  // Diagonal of R nonzero for a random (full-rank) matrix.
+  for (int i = 0; i < r.rows(); ++i) EXPECT_GT(std::abs(r(i, i)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrNumericSweep,
+                         ::testing::Values(QrCase{1, 6}, QrCase{2, 5},
+                                           QrCase{3, 8}, QrCase{4, 4}));
+
+TEST(QrNumeric, MatchesDenseHouseholderR) {
+  // Compare |R| entries against a plain dense Householder QR (R is unique
+  // up to row signs for a full-rank matrix).
+  const int n = 2, nb = 6, N = n * nb;
+  const GridMatrix a0 = GridMatrix::random(n, nb, 52);
+  QrFactor f(a0);
+  tiled_qr_sequential(f);
+  const DenseMatrix r_tiled = f.r_factor();
+
+  // Dense reference.
+  DenseMatrix a = a0.to_dense();
+  for (int j = 0; j < N; ++j) {
+    double alpha = a(j, j), norm2 = 0.0;
+    for (int i = j + 1; i < N; ++i) norm2 += a(i, j) * a(i, j);
+    if (norm2 == 0.0) continue;
+    const double beta = alpha >= 0 ? -std::sqrt(alpha * alpha + norm2)
+                                   : std::sqrt(alpha * alpha + norm2);
+    const double tau = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    std::vector<double> v(static_cast<std::size_t>(N), 0.0);
+    v[static_cast<std::size_t>(j)] = 1.0;
+    for (int i = j + 1; i < N; ++i)
+      v[static_cast<std::size_t>(i)] = a(i, j) * scale;
+    for (int c = j; c < N; ++c) {
+      double w = 0.0;
+      for (int i = j; i < N; ++i) w += v[static_cast<std::size_t>(i)] * a(i, c);
+      w *= tau;
+      for (int i = j; i < N; ++i) a(i, c) -= v[static_cast<std::size_t>(i)] * w;
+    }
+  }
+  for (int j = 0; j < N; ++j)
+    for (int i = 0; i <= j; ++i)
+      EXPECT_NEAR(std::abs(r_tiled(i, j)), std::abs(a(i, j)), 1e-9)
+          << i << "," << j;
+}
+
+TEST(QrNumeric, AnyTopologicalOrderGivesSameR) {
+  const int n = 3, nb = 5;
+  const GridMatrix a0 = GridMatrix::random(n, nb, 53);
+  const TaskGraph g = build_qr_dag(n, nb);
+
+  QrFactor ref(a0);
+  tiled_qr_sequential(ref);
+  const DenseMatrix r_ref = ref.r_factor();
+
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<int> pending(static_cast<std::size_t>(g.num_tasks()));
+    std::vector<int> ready;
+    for (int id = 0; id < g.num_tasks(); ++id) {
+      pending[static_cast<std::size_t>(id)] = g.in_degree(id);
+      if (pending[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+    }
+    QrFactor f(a0);
+    while (!ready.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, ready.size() - 1);
+      const std::size_t at = pick(rng);
+      const int t = ready[at];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(at));
+      execute_qr_task(f, g.task(t));
+      for (const int s : g.successors(t))
+        if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+    const DenseMatrix r = f.r_factor();
+    for (int j = 0; j < r.cols(); ++j)
+      for (int i = 0; i <= j; ++i)
+        EXPECT_NEAR(r(i, j), r_ref(i, j), 1e-10);
+  }
+}
+
+TEST(QrSched, SimulatedOnMirageRespectsBounds) {
+  const int n = 8;
+  const TaskGraph g = build_qr_dag(n);
+  const Platform p = mirage_platform();
+  DmdaScheduler dmdas = make_dmdas(g, p);
+  const SimResult r = simulate(g, p, dmdas);
+  EXPECT_GE(r.makespan_s,
+            area_bound_for(qr_histogram(n), p).makespan_s - 1e-9);
+  EXPECT_GE(r.makespan_s, qr_mixed_bound(n, p).makespan_s - 1e-9);
+  EXPECT_GE(r.makespan_s, critical_path_seconds(g, p.timings()) - 1e-9);
+}
+
+TEST(QrBounds, MixedAtLeastArea) {
+  const Platform p = mirage_platform();
+  for (const int n : {2, 4, 8, 16}) {
+    EXPECT_GE(qr_mixed_bound(n, p).makespan_s,
+              area_bound_for(qr_histogram(n), p).makespan_s - 1e-9);
+  }
+}
+
+TEST(QrBounds, CriticalPathAtLeastDiagonalChain) {
+  // Unlike Cholesky, the flat-tree QR critical path is longer than the
+  // plain diagonal chain (TSQRTs of one panel serialize on the diagonal
+  // tile), so the chain is a strict lower bound here.
+  const int n = 6;
+  const TaskGraph g = build_qr_dag(n);
+  const TimingTable& t = mirage_platform().timings();
+  const double chain = static_cast<double>(n) * t.fastest(Kernel::GEQRT) +
+                       static_cast<double>(n - 1) *
+                           (t.fastest(Kernel::TSQRT) +
+                            t.fastest(Kernel::TSMQR));
+  EXPECT_GE(critical_path_seconds(g, t), chain - 1e-9);
+  // The panel-serialization makes it strictly longer for n >= 3.
+  EXPECT_GT(critical_path_seconds(g, t), chain * 1.01);
+}
+
+TEST(QrSched, UncalibratedPlatformRejected) {
+  // tiny custom platforms only carry Cholesky timings.
+  const double cpu[kNumKernels] = {2.0, 4.0, 4.0, 8.0};
+  const double ratio[kNumKernels] = {1.0, 4.0, 4.0, 8.0};
+  const Platform p = custom_platform(2, 1, cpu, ratio, 8, "chol-only");
+  const TaskGraph g = build_qr_dag(2);
+  DmdaScheduler dmda = make_dmda();
+  EXPECT_THROW(simulate(g, p, dmda), std::invalid_argument);
+  EXPECT_THROW(area_bound_for(qr_histogram(2), p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,157 @@
+#include "exec/scheduled_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cholesky_dag.hpp"
+#include "core/dense_matrix.hpp"
+#include "core/tiled_cholesky.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager_sched.hpp"
+#include "sched/random_sched.hpp"
+#include "sched/ws_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched {
+namespace {
+
+void expect_correct_factor(const TaskGraph& g, Scheduler& sched, int threads,
+                           const Platform& calib, int n, int nb) {
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 77);
+  TileMatrix seq = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(seq));
+
+  TileMatrix par = TileMatrix::from_dense(a, n, nb);
+  const ExecResult r = execute_with_scheduler(par, g, calib, sched, threads);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(DenseMatrix::max_abs_diff_lower(seq.to_dense(), par.to_dense()),
+            1e-11);
+  EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
+}
+
+TEST(ScheduledExecutor, EagerPolicyProducesCorrectFactor) {
+  const int n = 5, nb = 16, threads = 3;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  EagerScheduler sched;
+  expect_correct_factor(g, sched, threads, homogeneous_platform(threads), n,
+                        nb);
+}
+
+TEST(ScheduledExecutor, DmdaPolicyProducesCorrectFactor) {
+  const int n = 6, nb = 16, threads = 4;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  DmdaScheduler sched = make_dmda();
+  expect_correct_factor(g, sched, threads, homogeneous_platform(threads), n,
+                        nb);
+}
+
+TEST(ScheduledExecutor, DmdasPolicyProducesCorrectFactor) {
+  const int n = 6, nb = 16, threads = 4;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  const Platform calib = homogeneous_platform(threads);
+  DmdaScheduler sched = make_dmdas(g, calib);
+  expect_correct_factor(g, sched, threads, calib, n, nb);
+}
+
+TEST(ScheduledExecutor, WorkStealingProducesCorrectFactor) {
+  const int n = 4, nb = 16, threads = 2;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  WorkStealingScheduler sched;
+  expect_correct_factor(g, sched, threads, homogeneous_platform(threads), n,
+                        nb);
+}
+
+TEST(ScheduledExecutor, RandomPolicyProducesCorrectFactor) {
+  const int n = 4, nb = 16, threads = 3;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  RandomScheduler sched(5);
+  expect_correct_factor(g, sched, threads, homogeneous_platform(threads), n,
+                        nb);
+}
+
+TEST(ScheduledExecutor, TraceRespectsDependencies) {
+  const int n = 5, nb = 8, threads = 4;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  TileMatrix a = TileMatrix::random_spd(n, nb, 78);
+  DmdaScheduler sched = make_dmda();
+  const ExecResult r = execute_with_scheduler(
+      a, g, homogeneous_platform(threads), sched, threads);
+  ASSERT_TRUE(r.success);
+  std::vector<double> start(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<double> end(static_cast<std::size_t>(g.num_tasks()));
+  for (const ComputeRecord& c : r.trace.compute()) {
+    start[static_cast<std::size_t>(c.task)] = c.start;
+    end[static_cast<std::size_t>(c.task)] = c.end;
+  }
+  for (int id = 0; id < g.num_tasks(); ++id)
+    for (const int s : g.successors(id))
+      EXPECT_LE(end[static_cast<std::size_t>(id)],
+                start[static_cast<std::size_t>(s)] + 1e-6);
+}
+
+TEST(ScheduledExecutor, MismatchedCalibrationRejected) {
+  const TaskGraph g = build_cholesky_dag(2, 8);
+  TileMatrix a = TileMatrix::random_spd(2, 8, 79);
+  EagerScheduler sched;
+  EXPECT_THROW(execute_with_scheduler(a, g, homogeneous_platform(4), sched, 2),
+               std::invalid_argument);
+  EXPECT_THROW(execute_with_scheduler(a, g, homogeneous_platform(2), sched, 0),
+               std::invalid_argument);
+}
+
+TEST(ScheduledExecutor, NonSpdFailsCleanly) {
+  const TaskGraph g = build_cholesky_dag(2, 8);
+  TileMatrix a(2, 8);  // zeros
+  EagerScheduler sched;
+  const ExecResult r =
+      execute_with_scheduler(a, g, homogeneous_platform(2), sched, 2);
+  EXPECT_FALSE(r.success);
+}
+
+
+TEST(EmulatedExecutor, HeterogeneousWallClockTracksSimulation) {
+  // Real threads sleeping for calibrated durations: the wall-clock
+  // makespan must land near the (no-comm) simulated one -- within a
+  // generous envelope that absorbs OS scheduling jitter.
+  const int n = 6;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform().without_communication();
+  const double scale = 0.05;
+
+  DmdaScheduler sim_sched = make_dmdas(g, p);
+  const double sim_mk = simulate(g, p, sim_sched).makespan_s;
+
+  DmdaScheduler emu_sched = make_dmdas(g, p);
+  const ExecResult r = emulate_with_scheduler(g, p, emu_sched, scale);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
+  EXPECT_GT(r.wall_seconds, sim_mk * scale * 0.9);
+  EXPECT_LT(r.wall_seconds, sim_mk * scale * 1.6);
+}
+
+TEST(EmulatedExecutor, GpuWorkersRunShorterTasks) {
+  // In the emulated trace a GPU worker's GEMM slot must be ~29x shorter
+  // than a CPU worker's (Table I).
+  const int n = 5;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform().without_communication();
+  DmdaScheduler sched = make_dmda();
+  const ExecResult r = emulate_with_scheduler(g, p, sched, 0.02);
+  ASSERT_TRUE(r.success);
+  for (const ComputeRecord& c : r.trace.compute()) {
+    const double expect = p.worker_time(c.worker, c.kernel) * 0.02;
+    EXPECT_GT(c.end - c.start, expect * 0.8);
+    EXPECT_LT(c.end - c.start, expect + 0.05);  // jitter allowance
+  }
+}
+
+TEST(EmulatedExecutor, RejectsBadScale) {
+  const TaskGraph g = build_cholesky_dag(2);
+  const Platform p = mirage_platform();
+  EagerScheduler sched;
+  EXPECT_THROW(emulate_with_scheduler(g, p, sched, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,211 @@
+#include "bounds/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+using Rel = LinearProgram::Rel;
+using Sense = LinearProgram::Sense;
+
+TEST(Simplex, SimpleMaximize) {
+  // max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.sense = Sense::Maximize;
+  lp.objective = {3.0, 2.0};
+  lp.add_constraint({1.0, 1.0}, Rel::LE, 4.0);
+  lp.add_constraint({1.0, 3.0}, Rel::LE, 6.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, SimpleMinimizeWithGe) {
+  // min 2x + 3y st x + y >= 10, x <= 6 -> x=6, y=4, obj=24.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.sense = Sense::Minimize;
+  lp.objective = {2.0, 3.0};
+  lp.add_constraint({1.0, 1.0}, Rel::GE, 10.0);
+  lp.add_constraint({1.0, 0.0}, Rel::LE, 6.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 24.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 6.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y st x + 2y = 8, x >= 0 -> y=4, x=0, obj=4.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({1.0, 2.0}, Rel::EQ, 8.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, Infeasible) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({1.0}, Rel::LE, 1.0);
+  lp.add_constraint({1.0}, Rel::GE, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpSolution::Status::Infeasible);
+}
+
+TEST(Simplex, Unbounded) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1.0};
+  lp.add_constraint({-1.0}, Rel::LE, 0.0);  // x >= 0, no upper limit
+  EXPECT_EQ(solve_lp(lp).status, LpSolution::Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x <= -3  <=>  x >= 3; min x -> 3.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({-1.0}, Rel::LE, -3.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateDoesNotCycle) {
+  // Classic degenerate LP (multiple constraints active at the optimum).
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.sense = Sense::Maximize;
+  lp.objective = {10.0, -57.0, -9.0};
+  lp.add_constraint({0.5, -5.5, -2.5}, Rel::LE, 0.0);
+  lp.add_constraint({0.5, -1.5, -0.5}, Rel::LE, 0.0);
+  lp.add_constraint({1.0, 0.0, 0.0}, Rel::LE, 1.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, RedundantConstraints) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({1.0, 1.0}, Rel::LE, 5.0);
+  lp.add_constraint({2.0, 2.0}, Rel::LE, 10.0);  // same halfplane
+  lp.add_constraint({1.0, 1.0}, Rel::EQ, 5.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibility) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 0.0};
+  lp.add_constraint({1.0, 1.0}, Rel::EQ, 3.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0] + s.x[1], 3.0, 1e-9);
+}
+
+TEST(Simplex, ConstraintWidthMismatchThrows) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  EXPECT_THROW(lp.add_constraint({1.0}, Rel::LE, 1.0), std::invalid_argument);
+  LinearProgram bad;
+  bad.num_vars = 2;
+  bad.objective = {1.0};
+  EXPECT_THROW(solve_lp(bad), std::invalid_argument);
+}
+
+class SimplexDuality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplexDuality, StrongDualityOnRandomLps) {
+  // Random primal:  max c^T x  st  A x <= b (b > 0 so x = 0 is feasible,
+  // and c <= componentwise column caps keep it bounded via extra x_i <= u).
+  // Dual:           min b^T y  st  A^T y >= c, y >= 0.
+  // Strong duality: both optima must coincide -- a complete end-to-end
+  // check of the solver on LPs it did not see during development.
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coeff(0.1, 2.0);
+  const int n = 4, m = 5;
+
+  LinearProgram primal;
+  primal.num_vars = n;
+  primal.sense = Sense::Maximize;
+  std::vector<std::vector<double>> A;
+  std::vector<double> b;
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> row(static_cast<std::size_t>(n));
+    for (double& v : row) v = coeff(rng);
+    const double rhs = coeff(rng) * 5.0;
+    A.push_back(row);
+    b.push_back(rhs);
+    primal.add_constraint(std::move(row), Rel::LE, rhs);
+  }
+  primal.objective.resize(static_cast<std::size_t>(n));
+  for (double& v : primal.objective) v = coeff(rng);
+
+  LinearProgram dual;
+  dual.num_vars = m;
+  dual.sense = Sense::Minimize;
+  dual.objective = b;
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> row(static_cast<std::size_t>(m));
+    for (int r = 0; r < m; ++r)
+      row[static_cast<std::size_t>(r)] = A[static_cast<std::size_t>(r)]
+                                          [static_cast<std::size_t>(j)];
+    dual.add_constraint(std::move(row), Rel::GE,
+                        primal.objective[static_cast<std::size_t>(j)]);
+  }
+
+  const LpSolution ps = solve_lp(primal);
+  const LpSolution ds = solve_lp(dual);
+  ASSERT_TRUE(ps.optimal());
+  ASSERT_TRUE(ds.optimal());
+  EXPECT_NEAR(ps.objective, ds.objective,
+              1e-7 * (1.0 + std::abs(ps.objective)));
+  // Primal feasibility of the returned point.
+  for (int r = 0; r < m; ++r) {
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j)
+      lhs += A[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] *
+             ps.x[static_cast<std::size_t>(j)];
+    EXPECT_LE(lhs, b[static_cast<std::size_t>(r)] + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexDuality,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+TEST(Simplex, LargerRandomLpAgainstKnownStructure) {
+  // min sum x_i st x_i >= i for i = 1..8 -> obj = 36.
+  LinearProgram lp;
+  lp.num_vars = 8;
+  lp.objective.assign(8, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> row(8, 0.0);
+    row[static_cast<std::size_t>(i)] = 1.0;
+    lp.add_constraint(std::move(row), Rel::GE, i + 1.0);
+  }
+  const LpSolution s = solve_lp(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace hetsched

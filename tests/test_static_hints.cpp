@@ -1,0 +1,130 @@
+#include "sched/static_hints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cholesky_dag.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sim/simulator.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+Task make_task(Kernel k, int kk, int i, int j) {
+  Task t;
+  t.kernel = k;
+  t.k = kk;
+  t.i = i;
+  t.j = j;
+  return t;
+}
+
+TEST(Hints, NoneAllowsEverything) {
+  const Platform p = mirage_platform();
+  const WorkerFilter f = hints::none();
+  const Task t = make_task(Kernel::GEMM, 0, 3, 1);
+  for (const Worker& w : p.workers()) EXPECT_TRUE(f(t, w));
+}
+
+TEST(Hints, ForceKernelToClass) {
+  const Platform p = mirage_platform();
+  const int gpu = p.class_index("GPU");
+  const WorkerFilter f = hints::force_kernel_to_class(Kernel::GEMM, gpu);
+  const Task gemm = make_task(Kernel::GEMM, 0, 3, 1);
+  const Task trsm = make_task(Kernel::TRSM, 0, 3, -1);
+  for (const Worker& w : p.workers()) {
+    EXPECT_EQ(f(gemm, w), w.cls == gpu);
+    EXPECT_TRUE(f(trsm, w));  // other kernels unrestricted
+  }
+}
+
+TEST(Hints, TrsmDistanceRule) {
+  const Platform p = mirage_platform();
+  const int cpu = p.class_index("CPU");
+  const WorkerFilter f = hints::force_trsm_distance_to_class(3, cpu);
+  const Task near_diag = make_task(Kernel::TRSM, 2, 4, -1);   // distance 2
+  const Task far_diag = make_task(Kernel::TRSM, 1, 4, -1);    // distance 3
+  const Task gemm = make_task(Kernel::GEMM, 0, 9, 1);         // not a TRSM
+  for (const Worker& w : p.workers()) {
+    EXPECT_TRUE(f(near_diag, w));
+    EXPECT_EQ(f(far_diag, w), w.cls == cpu);
+    EXPECT_TRUE(f(gemm, w));
+  }
+}
+
+TEST(Hints, ForceTaskClasses) {
+  const Platform p = mirage_platform();
+  Task t0 = make_task(Kernel::GEMM, 0, 2, 1);
+  t0.id = 0;
+  Task t1 = make_task(Kernel::GEMM, 0, 3, 1);
+  t1.id = 1;
+  Task t9 = make_task(Kernel::GEMM, 0, 4, 1);
+  t9.id = 9;  // beyond the mapping: unrestricted
+  const WorkerFilter f = hints::force_task_classes({1, -1});
+  for (const Worker& w : p.workers()) {
+    EXPECT_EQ(f(t0, w), w.cls == 1);
+    EXPECT_TRUE(f(t1, w));
+    EXPECT_TRUE(f(t9, w));
+  }
+}
+
+TEST(Hints, CombineIsLogicalAnd) {
+  const Platform p = mirage_platform();
+  const WorkerFilter f = hints::combine(
+      hints::force_kernel_to_class(Kernel::GEMM, 1),
+      hints::force_kernel_to_class(Kernel::SYRK, 1));
+  const Task gemm = make_task(Kernel::GEMM, 0, 3, 1);
+  const Task syrk = make_task(Kernel::SYRK, 0, -1, 3);
+  const Task potrf = make_task(Kernel::POTRF, 0, -1, -1);
+  for (const Worker& w : p.workers()) {
+    EXPECT_EQ(f(gemm, w), w.cls == 1);
+    EXPECT_EQ(f(syrk, w), w.cls == 1);
+    EXPECT_TRUE(f(potrf, w));
+  }
+}
+
+TEST(Hints, SimulationHonoursTrsmRule) {
+  // Every TRSM at distance >= 2 must execute on a CPU worker (Figure 9).
+  const int n = 8;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  const int cpu = p.class_index("CPU");
+  DmdaScheduler sched =
+      make_dmdas(g, p, hints::force_trsm_distance_to_class(2, cpu));
+  const SimResult r = simulate(g, p, sched);
+  for (const ComputeRecord& c : r.trace.compute()) {
+    const Task& t = g.task(c.task);
+    if (t.kernel == Kernel::TRSM && tile_diagonal_distance(t) >= 2)
+      EXPECT_EQ(p.worker(c.worker).cls, cpu) << t.name();
+  }
+}
+
+TEST(Hints, SimulationHonoursGemmSyrkOnGpuRule) {
+  const int n = 6;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  const int gpu = p.class_index("GPU");
+  DmdaScheduler sched = make_dmda(
+      hints::combine(hints::force_kernel_to_class(Kernel::GEMM, gpu),
+                     hints::force_kernel_to_class(Kernel::SYRK, gpu)));
+  const SimResult r = simulate(g, p, sched);
+  for (const ComputeRecord& c : r.trace.compute()) {
+    const Kernel k = g.task(c.task).kernel;
+    if (k == Kernel::GEMM || k == Kernel::SYRK)
+      EXPECT_EQ(p.worker(c.worker).cls, gpu);
+  }
+}
+
+TEST(Hints, ImpossibleFilterFallsBackToAllWorkers) {
+  // A filter rejecting every worker must not deadlock the simulation.
+  const TaskGraph g = testutil::chain4();
+  const Platform p = testutil::tiny_homog(2);
+  DmdaScheduler sched =
+      make_dmda([](const Task&, const Worker&) { return false; });
+  const SimResult r = simulate(g, p, sched);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,129 @@
+#include "core/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(TaskGraph, AddAndQuery) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 10.0);
+  const int b = g.add_task(Kernel::TRSM, 0, 1, -1, 20.0);
+  EXPECT_EQ(g.num_tasks(), 2);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(g.task(a).kernel, Kernel::POTRF);
+  EXPECT_DOUBLE_EQ(g.task(b).flops, 20.0);
+  EXPECT_EQ(g.num_edges(), 0);
+
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1);
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], b);
+  ASSERT_EQ(g.predecessors(b).size(), 1u);
+  EXPECT_EQ(g.predecessors(b)[0], a);
+  EXPECT_EQ(g.in_degree(b), 1);
+  EXPECT_EQ(g.out_degree(a), 1);
+}
+
+TEST(TaskGraph, DuplicateEdgesIgnored) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  const int b = g.add_task(Kernel::TRSM, 0, 1, -1, 1.0);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(TaskGraph, SelfLoopThrows) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  EXPECT_THROW(g.add_edge(a, a), std::logic_error);
+}
+
+TEST(TaskGraph, BadVertexThrows) {
+  TaskGraph g;
+  g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  const int b = g.add_task(Kernel::TRSM, 0, 1, -1, 1.0);
+  const int c = g.add_task(Kernel::SYRK, 0, -1, 1, 1.0);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  EXPECT_EQ(g.sources(), std::vector<int>({a}));
+  EXPECT_EQ(g.sinks(), std::vector<int>({b, c}));
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  const int b = g.add_task(Kernel::TRSM, 0, 1, -1, 1.0);
+  const int c = g.add_task(Kernel::SYRK, 0, -1, 1, 1.0);
+  const int d = g.add_task(Kernel::GEMM, 0, 2, 1, 1.0);
+  g.add_edge(b, c);
+  g.add_edge(a, b);
+  g.add_edge(c, d);
+  const std::vector<int> order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  EXPECT_LT(pos[static_cast<std::size_t>(a)], pos[static_cast<std::size_t>(b)]);
+  EXPECT_LT(pos[static_cast<std::size_t>(b)], pos[static_cast<std::size_t>(c)]);
+  EXPECT_LT(pos[static_cast<std::size_t>(c)], pos[static_cast<std::size_t>(d)]);
+  EXPECT_TRUE(g.is_dag());
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const int a = g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  const int b = g.add_task(Kernel::TRSM, 0, 1, -1, 1.0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(TaskGraph, KernelHistogram) {
+  TaskGraph g;
+  g.add_task(Kernel::POTRF, 0, -1, -1, 1.0);
+  g.add_task(Kernel::GEMM, 0, 2, 1, 1.0);
+  g.add_task(Kernel::GEMM, 1, 3, 2, 1.0);
+  const auto h = g.kernel_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::POTRF))], 1);
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::TRSM))], 0);
+  EXPECT_EQ(h[static_cast<std::size_t>(kernel_index(Kernel::GEMM))], 2);
+}
+
+TEST(TaskGraph, TaskNamesMatchFigure1Convention) {
+  TaskGraph g;
+  const int p = g.add_task(Kernel::POTRF, 4, -1, -1, 1.0);
+  const int t = g.add_task(Kernel::TRSM, 2, 4, -1, 1.0);
+  const int s = g.add_task(Kernel::SYRK, 1, -1, 4, 1.0);
+  const int m = g.add_task(Kernel::GEMM, 1, 4, 2, 1.0);
+  EXPECT_EQ(g.task(p).name(), "POTRF_4");
+  EXPECT_EQ(g.task(t).name(), "TRSM_4_2");
+  EXPECT_EQ(g.task(s).name(), "SYRK_4_1");
+  EXPECT_EQ(g.task(m).name(), "GEMM_4_2_1");
+}
+
+TEST(TaskGraph, TileLinearIndex) {
+  EXPECT_EQ(tile_linear_index(0, 0), 0);
+  EXPECT_EQ(tile_linear_index(1, 0), 1);
+  EXPECT_EQ(tile_linear_index(1, 1), 2);
+  EXPECT_EQ(tile_linear_index(2, 0), 3);
+  EXPECT_EQ(num_lower_tiles(1), 1);
+  EXPECT_EQ(num_lower_tiles(4), 10);
+  // Dense enumeration: indices are a bijection onto [0, num_lower_tiles).
+  int expect = 0;
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j <= i; ++j) EXPECT_EQ(tile_linear_index(i, j), expect++);
+  EXPECT_EQ(expect, num_lower_tiles(6));
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,113 @@
+#include "core/tiled_cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/cholesky_dag.hpp"
+#include "core/dense_matrix.hpp"
+
+namespace hetsched {
+namespace {
+
+struct SizeCase {
+  int n_tiles;
+  int nb;
+};
+
+class TiledCholeskySweep : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(TiledCholeskySweep, MatchesDenseReference) {
+  const auto [n, nb] = GetParam();
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 21);
+  TileMatrix t = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(t));
+  DenseMatrix ref = a;
+  ASSERT_TRUE(ref.cholesky_in_place());
+  EXPECT_LT(DenseMatrix::max_abs_diff_lower(t.to_dense(), ref), 1e-9);
+}
+
+TEST_P(TiledCholeskySweep, FactorReconstructsMatrix) {
+  const auto [n, nb] = GetParam();
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 22);
+  TileMatrix t = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(t));
+  const DenseMatrix llt = DenseMatrix::multiply_llt(t.to_dense());
+  EXPECT_LT(DenseMatrix::max_abs_diff_lower(a, llt), 1e-9 * n * nb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TiledCholeskySweep,
+                         ::testing::Values(SizeCase{1, 8}, SizeCase{2, 4},
+                                           SizeCase{3, 16}, SizeCase{5, 8},
+                                           SizeCase{4, 24}, SizeCase{6, 10}));
+
+TEST(TiledCholesky, ExecuteTaskDispatch) {
+  // Running every DAG task in topological order must equal the sequential
+  // driver exactly (same kernel calls in a compatible order).
+  const int n = 4, nb = 8;
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 23);
+  TileMatrix seq = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(seq));
+
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  TileMatrix dag = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(execute_in_order(dag, g, g.topological_order()));
+  EXPECT_LT(
+      DenseMatrix::max_abs_diff_lower(seq.to_dense(), dag.to_dense()),
+      1e-12);
+}
+
+TEST(TiledCholesky, AnyTopologicalOrderGivesSameFactor) {
+  // Shuffle-based property test: schedule-independence of the result.
+  const int n = 5, nb = 6;
+  const DenseMatrix a = DenseMatrix::random_spd(n * nb, 24);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+
+  TileMatrix ref = TileMatrix::from_dense(a, n, nb);
+  ASSERT_TRUE(tiled_cholesky_sequential(ref));
+  const DenseMatrix ref_dense = ref.to_dense();
+
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random topological order: repeatedly pick a random ready task.
+    std::vector<int> pending(static_cast<std::size_t>(g.num_tasks()));
+    std::vector<int> ready;
+    for (int id = 0; id < g.num_tasks(); ++id) {
+      pending[static_cast<std::size_t>(id)] = g.in_degree(id);
+      if (pending[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+    }
+    std::vector<int> order;
+    while (!ready.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, ready.size() - 1);
+      const std::size_t at = pick(rng);
+      const int t = ready[at];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(at));
+      order.push_back(t);
+      for (const int s : g.successors(t))
+        if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(g.num_tasks()));
+
+    TileMatrix m = TileMatrix::from_dense(a, n, nb);
+    ASSERT_TRUE(execute_in_order(m, g, order));
+    EXPECT_LT(DenseMatrix::max_abs_diff_lower(ref_dense, m.to_dense()), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(TiledCholesky, RejectsNonSpd) {
+  const int n = 2, nb = 4;
+  DenseMatrix a(8, 8);  // zero matrix: not positive definite
+  TileMatrix t = TileMatrix::from_dense(a, n, nb);
+  EXPECT_FALSE(tiled_cholesky_sequential(t));
+}
+
+TEST(TiledCholesky, OrderSizeMismatchThrows) {
+  const TaskGraph g = build_cholesky_dag(2, 4);
+  TileMatrix t = TileMatrix::random_spd(2, 4, 1);
+  EXPECT_THROW(execute_in_order(t, g, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,76 @@
+#include "sched/ws_sched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bounds/bounds.hpp"
+#include "sched/dmda.hpp"
+#include "core/cholesky_dag.hpp"
+#include "platform/calibration.hpp"
+#include "sim/simulator.hpp"
+#include "tests/test_util.hpp"
+
+namespace hetsched {
+namespace {
+
+using testutil::chain4;
+using testutil::independent_gemms;
+using testutil::tiny_homog;
+
+TEST(WsSched, CompletesChain) {
+  const TaskGraph g = chain4();
+  WorkStealingScheduler ws;
+  const SimResult r = simulate(g, tiny_homog(2), ws);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
+}
+
+TEST(WsSched, StealsBalanceLoad) {
+  // Round-robin home assignment + stealing: 8 equal tasks on 2 CPUs must
+  // finish in exactly 4 waves regardless of the deal order.
+  const TaskGraph g = independent_gemms(8);
+  WorkStealingScheduler ws;
+  const SimResult r = simulate(g, tiny_homog(2), ws);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 4 * 8.0);
+  std::map<int, int> count;
+  for (const ComputeRecord& c : r.trace.compute()) ++count[c.worker];
+  EXPECT_EQ(count[0], 4);
+  EXPECT_EQ(count[1], 4);
+}
+
+TEST(WsSched, IdleWorkerStealsFromLoadedVictim) {
+  // All tasks become ready at once and are dealt round-robin over 4
+  // workers, but only 2 exist... instead: single ready wave on 3 workers,
+  // chain forces serialization; the point: steals() counter moves when a
+  // worker empties its deque while others still hold work.
+  const TaskGraph g = independent_gemms(9);
+  WorkStealingScheduler ws;
+  const SimResult r = simulate(g, tiny_homog(3), ws);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 3 * 8.0);
+  EXPECT_GE(ws.steals(), 0);
+}
+
+TEST(WsSched, RespectsBoundsOnCholesky) {
+  const int n = 8;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform();
+  WorkStealingScheduler ws;
+  const SimResult r = simulate(g, p, ws);
+  EXPECT_GE(r.makespan_s, mixed_bound(n, p).makespan_s - 1e-9);
+}
+
+TEST(WsSched, AffinityBlindnessCostsOnHeterogeneous) {
+  // ws deals tasks blindly, so on the heterogeneous machine it must lose
+  // clearly to dmda (which sends GEMMs to GPUs).
+  const int n = 10;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform().without_communication();
+  WorkStealingScheduler ws;
+  const double ws_mk = simulate(g, p, ws).makespan_s;
+  DmdaScheduler dmda = make_dmda();
+  const double dmda_mk = simulate(g, p, dmda).makespan_s;
+  EXPECT_GT(ws_mk, dmda_mk * 1.3);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,275 @@
+// hetsched_cli -- run the paper's experiments from the command line.
+//
+//   hetsched_cli bounds   --algo=cholesky|lu|qr --tiles=N [--integral]
+//                         [--platform=mirage|related|homogeneous] [--prefix]
+//   hetsched_cli simulate --algo=... --tiles=N
+//                         --sched=random|eager|ws|dmda|dmdar|dmdas
+//                         [--no-comm] [--trsm-cpu-k=K] [--gemm-syrk-gpu]
+//                         [--overhead=SECONDS] [--noise=CV] [--seed=S]
+//                         [--memory-tiles=M] [--trace]
+//   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
+//   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
+//
+// Every command prints a short human-readable report; exit code 0 on
+// success, 2 on bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_dag.hpp"
+#include "core/flops.hpp"
+#include "core/lu_dag.hpp"
+#include "core/qr_dag.hpp"
+#include "cp/cp_solver.hpp"
+#include "platform/calibration.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager_sched.hpp"
+#include "sched/fixed_sched.hpp"
+#include "sched/random_sched.hpp"
+#include "sched/ws_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+struct Args {
+  std::string command;
+  std::string algo = "cholesky";
+  std::string sched = "dmdas";
+  std::string platform = "mirage";
+  int tiles = 8;
+  int max_tiles = 32;
+  bool integral = false;
+  bool prefix = false;
+  bool no_comm = false;
+  bool gemm_syrk_gpu = false;
+  bool trace = false;
+  bool inject = false;
+  int trsm_cpu_k = 0;
+  int memory_tiles = 0;
+  double overhead = 0.0;
+  double noise = 0.0;
+  double budget = 2.0;
+  unsigned seed = 0;
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n", why);
+  std::fprintf(stderr,
+               "usage: hetsched_cli bounds|simulate|solve|sweep [--key=value ...]\n"
+               "       (see the header of tools/hetsched_cli.cpp)\n");
+  std::exit(2);
+}
+
+bool parse_flag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (parse_flag(arg, "algo", &v)) a.algo = v;
+    else if (parse_flag(arg, "sched", &v)) a.sched = v;
+    else if (parse_flag(arg, "platform", &v)) a.platform = v;
+    else if (parse_flag(arg, "tiles", &v)) a.tiles = std::atoi(v.c_str());
+    else if (parse_flag(arg, "max-tiles", &v)) a.max_tiles = std::atoi(v.c_str());
+    else if (parse_flag(arg, "trsm-cpu-k", &v)) a.trsm_cpu_k = std::atoi(v.c_str());
+    else if (parse_flag(arg, "memory-tiles", &v)) a.memory_tiles = std::atoi(v.c_str());
+    else if (parse_flag(arg, "overhead", &v)) a.overhead = std::atof(v.c_str());
+    else if (parse_flag(arg, "noise", &v)) a.noise = std::atof(v.c_str());
+    else if (parse_flag(arg, "budget", &v)) a.budget = std::atof(v.c_str());
+    else if (parse_flag(arg, "seed", &v))
+      a.seed = static_cast<unsigned>(std::atoi(v.c_str()));
+    else if (arg == "--integral") a.integral = true;
+    else if (arg == "--prefix") a.prefix = true;
+    else if (arg == "--no-comm") a.no_comm = true;
+    else if (arg == "--gemm-syrk-gpu") a.gemm_syrk_gpu = true;
+    else if (arg == "--trace") a.trace = true;
+    else if (arg == "--inject") a.inject = true;
+    else usage(("unknown option " + arg).c_str());
+  }
+  if (a.tiles <= 0) usage("--tiles must be positive");
+  return a;
+}
+
+TaskGraph build_graph(const Args& a, int n) {
+  if (a.algo == "cholesky") return build_cholesky_dag(n);
+  if (a.algo == "lu") return build_lu_dag(n);
+  if (a.algo == "qr") return build_qr_dag(n);
+  usage("unknown --algo (cholesky|lu|qr)");
+}
+
+double algo_gflops(const Args& a, int n, int nb, double seconds) {
+  if (a.algo == "lu") return lu_gflops(n, nb, seconds);
+  if (a.algo == "qr") return qr_gflops(n, nb, seconds);
+  return gflops(n, nb, seconds);
+}
+
+AreaBoundSolution algo_area(const Args& a, int n, const Platform& p) {
+  if (a.algo == "lu") return area_bound_for(lu_histogram(n), p, a.integral);
+  if (a.algo == "qr") return area_bound_for(qr_histogram(n), p, a.integral);
+  return area_bound(n, p, a.integral);
+}
+
+AreaBoundSolution algo_mixed(const Args& a, int n, const Platform& p) {
+  if (a.algo == "lu") return lu_mixed_bound(n, p, a.integral);
+  if (a.algo == "qr") return qr_mixed_bound(n, p, a.integral);
+  return mixed_bound(n, p, a.integral);
+}
+
+Platform build_platform(const Args& a, int n) {
+  Platform p = a.platform == "related" ? mirage_related_platform(n)
+               : a.platform == "homogeneous" ? homogeneous_platform(9)
+               : a.platform == "mirage" ? mirage_platform()
+                                        : (usage("unknown --platform"), mirage_platform());
+  return a.no_comm ? p.without_communication() : p;
+}
+
+std::unique_ptr<Scheduler> build_scheduler(const Args& a, const TaskGraph& g,
+                                           const Platform& p) {
+  WorkerFilter filter = hints::none();
+  if (a.trsm_cpu_k > 0)
+    filter = hints::combine(
+        filter, hints::force_trsm_distance_to_class(a.trsm_cpu_k,
+                                                    p.class_index("CPU")));
+  if (a.gemm_syrk_gpu) {
+    const int gpu = p.class_index("GPU");
+    if (gpu < 0) usage("--gemm-syrk-gpu needs a platform with GPUs");
+    filter = hints::combine(
+        hints::combine(filter, hints::force_kernel_to_class(Kernel::GEMM, gpu)),
+        hints::force_kernel_to_class(Kernel::SYRK, gpu));
+  }
+  if (a.sched == "random") return std::make_unique<RandomScheduler>(a.seed);
+  if (a.sched == "eager") return std::make_unique<EagerScheduler>();
+  if (a.sched == "ws") return std::make_unique<WorkStealingScheduler>();
+  if (a.sched == "dmda")
+    return std::make_unique<DmdaScheduler>(make_dmda(std::move(filter)));
+  if (a.sched == "dmdar")
+    return std::make_unique<DmdaScheduler>(make_dmdar(std::move(filter)));
+  if (a.sched == "dmdas")
+    return std::make_unique<DmdaScheduler>(make_dmdas(g, p, std::move(filter)));
+  usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas)");
+}
+
+int cmd_bounds(const Args& a) {
+  const Platform p = build_platform(a, a.tiles);
+  const TaskGraph g = build_graph(a, a.tiles);
+  const int nb = p.nb();
+  std::printf("bounds for %s, %dx%d tiles of %d on %s%s:\n", a.algo.c_str(),
+              a.tiles, a.tiles, nb, p.name().c_str(),
+              a.integral ? " (integral)" : "");
+  const double cp = critical_path_seconds(g, p.timings());
+  const double area = algo_area(a, a.tiles, p).makespan_s;
+  const double mixed = algo_mixed(a, a.tiles, p).makespan_s;
+  std::printf("  critical path : %10.4f s  (%8.1f GFLOP/s)\n", cp,
+              algo_gflops(a, a.tiles, nb, cp));
+  std::printf("  area bound    : %10.4f s  (%8.1f GFLOP/s)\n", area,
+              algo_gflops(a, a.tiles, nb, area));
+  std::printf("  mixed bound   : %10.4f s  (%8.1f GFLOP/s)\n", mixed,
+              algo_gflops(a, a.tiles, nb, mixed));
+  if (a.prefix && a.algo == "cholesky") {
+    const double pre = prefix_bound(a.tiles, p);
+    std::printf("  prefix bound  : %10.4f s  (%8.1f GFLOP/s)\n", pre,
+                algo_gflops(a, a.tiles, nb, pre));
+  }
+  std::printf("  gemm peak     : %8.1f GFLOP/s\n", gemm_peak_gflops(p));
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  const Platform p = build_platform(a, a.tiles);
+  const TaskGraph g = build_graph(a, a.tiles);
+  auto sched = build_scheduler(a, g, p);
+  SimOptions opt;
+  opt.per_task_overhead_s = a.overhead;
+  opt.noise_cv = a.noise;
+  opt.noise_seed = a.seed;
+  if (a.memory_tiles > 0)
+    opt.accel_memory_bytes = static_cast<std::size_t>(a.memory_tiles) *
+                             static_cast<std::size_t>(p.nb()) *
+                             static_cast<std::size_t>(p.nb()) * sizeof(double);
+  const SimResult r = simulate(g, p, *sched, opt);
+  std::printf("%s on %s (%s, %d tasks): makespan %.4f s = %.1f GFLOP/s\n",
+              sched->name().c_str(), p.name().c_str(), a.algo.c_str(),
+              g.num_tasks(), r.makespan_s,
+              algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
+  std::printf("transfers: %lld hops, %.2f GB; evictions %lld, overflows %lld\n",
+              static_cast<long long>(r.transfer_hops),
+              r.bytes_transferred / 1e9, static_cast<long long>(r.evictions),
+              static_cast<long long>(r.capacity_overflows));
+  const double bound = algo_mixed(a, a.tiles, p).makespan_s;
+  std::printf("mixed bound: %.4f s -> efficiency %.1f%%\n", bound,
+              bound / r.makespan_s * 100.0);
+  if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  if (a.algo != "cholesky")
+    std::printf("note: solving the %s graph\n", a.algo.c_str());
+  const Platform p = build_platform(a, a.tiles).without_communication();
+  const TaskGraph g = build_graph(a, a.tiles);
+  CpOptions opt;
+  opt.time_limit_s = a.budget;
+  opt.seed = a.seed;
+  const CpResult res = cp_solve(g, p, opt);
+  std::printf("static solve of %d tasks in %.1fs budget: makespan %.4f s "
+              "(%.1f GFLOP/s), stage=%s%s\n",
+              g.num_tasks(), a.budget, res.makespan_s,
+              algo_gflops(a, a.tiles, p.nb(), res.makespan_s),
+              res.winning_stage.c_str(),
+              res.proven_optimal ? ", PROVEN OPTIMAL" : "");
+  const std::string err = res.schedule.validate(g, p);
+  std::printf("schedule validity: %s\n", err.empty() ? "OK" : err.c_str());
+  if (a.inject) {
+    FixedScheduleScheduler replay(res.schedule);
+    const SimResult sim = simulate(g, p, replay);
+    std::printf("injected into the simulator: %.4f s (%.2f%% of the CP "
+                "value)\n",
+                sim.makespan_s, sim.makespan_s / res.makespan_s * 100.0);
+  }
+  return err.empty() ? 0 : 1;
+}
+
+int cmd_sweep(const Args& a) {
+  std::printf("# sweep: %s / %s%s\n", a.algo.c_str(), a.sched.c_str(),
+              a.no_comm ? " (no comm)" : "");
+  std::printf("%-8s %12s %12s %12s %12s\n", "tiles", "makespan", "GFLOP/s",
+              "mixed_bnd", "efficiency");
+  for (int n = 1; n <= a.max_tiles; n = n < 4 ? n + 1 : n + 4) {
+    Args an = a;
+    an.tiles = n;
+    const Platform p = build_platform(an, n);
+    const TaskGraph g = build_graph(an, n);
+    auto sched = build_scheduler(an, g, p);
+    const SimResult r = simulate(g, p, *sched);
+    const double bound = algo_mixed(an, n, p).makespan_s;
+    std::printf("%-8d %12.4f %12.1f %12.1f %11.1f%%\n", n, r.makespan_s,
+                algo_gflops(an, n, p.nb(), r.makespan_s),
+                algo_gflops(an, n, p.nb(), bound),
+                bound / r.makespan_s * 100.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "bounds") return cmd_bounds(a);
+  if (a.command == "simulate") return cmd_simulate(a);
+  if (a.command == "solve") return cmd_solve(a);
+  if (a.command == "sweep") return cmd_sweep(a);
+  usage(("unknown command " + a.command).c_str());
+}
