@@ -52,11 +52,12 @@ void syrk_ln(int n, int k, double alpha, const double* a, int lda, double* c,
 }
 
 // Unblocked right-looking lower Cholesky of the n x n leading block.
-bool potrf_unblocked(int n, double* a, int lda) {
+// Returns 0 on success, else the 1-based index of the failing pivot.
+int potrf_unblocked(int n, double* a, int lda) {
   for (int j = 0; j < n; ++j) {
     double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
     double d = aj[j];
-    if (d <= 0.0 || !std::isfinite(d)) return false;
+    if (d <= 0.0 || !std::isfinite(d)) return j + 1;
     const double ljj = std::sqrt(d);
     aj[j] = ljj;
     const double inv = 1.0 / ljj;
@@ -69,18 +70,21 @@ bool potrf_unblocked(int n, double* a, int lda) {
       for (int i = t; i < n; ++i) at[i] -= aj[i] * ajt;
     }
   }
-  return true;
+  return 0;
 }
 
 constexpr int kPotrfBlock = 64;
 
 }  // namespace
 
-bool potrf(int nb, double* a, int lda) {
+bool potrf(int nb, double* a, int lda) { return potrf_info(nb, a, lda) == 0; }
+
+int potrf_info(int nb, double* a, int lda) {
   for (int k = 0; k < nb; k += kPotrfBlock) {
     const int kb = std::min(kPotrfBlock, nb - k);
     double* akk = a + k + static_cast<std::ptrdiff_t>(k) * lda;
-    if (!potrf_unblocked(kb, akk, lda)) return false;
+    if (const int info = potrf_unblocked(kb, akk, lda); info != 0)
+      return k + info;
     const int m = nb - k - kb;  // rows below the diagonal block
     if (m > 0) {
       double* apanel = a + (k + kb) + static_cast<std::ptrdiff_t>(k) * lda;
@@ -92,7 +96,7 @@ bool potrf(int nb, double* a, int lda) {
       syrk_ln(m, kb, -1.0, apanel, lda, atrail, lda);
     }
   }
-  return true;
+  return 0;
 }
 
 void trsm(int nb, const double* l, int ldl, double* a, int lda) {

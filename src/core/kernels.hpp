@@ -14,6 +14,13 @@ namespace hetsched::kernels {
 /// Blocked right-looking algorithm; only the lower triangle is touched.
 bool potrf(int nb, double* a, int lda);
 
+/// Like potrf(), but reports *which* pivot failed: returns 0 on success or
+/// the 1-based index of the first non-positive (or non-finite) pivot
+/// (LAPACK dpotrf `info` convention). The tile contents left of the
+/// failing pivot are the partial factorization, as in LAPACK; nothing
+/// downstream should consume them.
+int potrf_info(int nb, double* a, int lda);
+
 /// Triangular solve X * L^T = A (BLAS dtrsm, side=Right, uplo=Lower,
 /// trans=Trans, diag=NonUnit): overwrites the nb x nb tile `a` with
 /// A * L^{-T}, where `l` holds the lower-triangular POTRF result.

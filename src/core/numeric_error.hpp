@@ -1,0 +1,43 @@
+// Structured numeric failure of a tile kernel (non-SPD pivot, zero LU
+// pivot). Lives in core -- not in src/fault -- so the numeric execution
+// path can throw it without a dependency on the fault subsystem.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/kernel_types.hpp"
+
+namespace hetsched {
+
+/// A kernel met a numerically invalid pivot. Carries the tile coordinates
+/// and the 1-based pivot index within the tile (LAPACK `info` convention),
+/// so a failed parallel run aborts with a deterministic diagnosis instead
+/// of racing NaNs through the trailing updates.
+class NumericError : public std::runtime_error {
+ public:
+  NumericError(Kernel kernel, int tile_i, int tile_j, int pivot)
+      : std::runtime_error(std::string(to_string(kernel)) + " on tile (" +
+                           std::to_string(tile_i) + ", " +
+                           std::to_string(tile_j) +
+                           "): non-positive-definite pivot " +
+                           std::to_string(pivot)),
+        kernel_(kernel),
+        tile_i_(tile_i),
+        tile_j_(tile_j),
+        pivot_(pivot) {}
+
+  Kernel kernel() const noexcept { return kernel_; }
+  int tile_i() const noexcept { return tile_i_; }
+  int tile_j() const noexcept { return tile_j_; }
+  /// 1-based index of the failing pivot within the tile.
+  int pivot() const noexcept { return pivot_; }
+
+ private:
+  Kernel kernel_;
+  int tile_i_;
+  int tile_j_;
+  int pivot_;
+};
+
+}  // namespace hetsched

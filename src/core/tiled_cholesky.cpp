@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/kernels.hpp"
+#include "core/numeric_error.hpp"
 
 namespace hetsched {
 
@@ -10,7 +11,7 @@ bool execute_task(TileMatrix& a, const Task& t) {
   const int nb = a.nb();
   switch (t.kernel) {
     case Kernel::POTRF:
-      return kernels::potrf(nb, a.tile(t.k, t.k), nb);
+      return kernels::potrf_info(nb, a.tile(t.k, t.k), nb) == 0;
     case Kernel::TRSM:
       kernels::trsm(nb, a.tile(t.k, t.k), nb, a.tile(t.i, t.k), nb);
       return true;
@@ -27,6 +28,15 @@ bool execute_task(TileMatrix& a, const Task& t) {
       throw std::logic_error("execute_task: non-Cholesky kernel " +
                              std::string(to_string(t.kernel)));
   }
+}
+
+void execute_task_checked(TileMatrix& a, const Task& t) {
+  if (t.kernel == Kernel::POTRF) {
+    const int info = kernels::potrf_info(a.nb(), a.tile(t.k, t.k), a.nb());
+    if (info != 0) throw NumericError(Kernel::POTRF, t.k, t.k, info);
+    return;
+  }
+  (void)execute_task(a, t);
 }
 
 bool tiled_cholesky_sequential(TileMatrix& a) {

@@ -11,6 +11,12 @@ namespace hetsched {
 /// Returns false only for POTRF on a non-SPD diagonal tile.
 bool execute_task(TileMatrix& a, const Task& t);
 
+/// Like execute_task(), but a POTRF failure throws NumericError (see
+/// core/numeric_error.hpp) carrying the tile coordinates and failing pivot
+/// index -- the structured form the parallel executors propagate so a
+/// non-SPD input aborts deterministically instead of racing NaNs.
+void execute_task_checked(TileMatrix& a, const Task& t);
+
 /// Sequential tiled Cholesky (Algorithm 1): factorizes `a` in place into its
 /// lower Cholesky factor. Returns false if the matrix is not positive
 /// definite.

@@ -7,6 +7,7 @@
 #include <queue>
 #include <thread>
 
+#include "core/numeric_error.hpp"
 #include "core/tiled_cholesky.hpp"
 
 namespace hetsched {
@@ -42,6 +43,7 @@ class Runtime {
     res.wall_seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     res.trace = std::move(trace_);
+    res.error = error_;
     return res;
   }
 
@@ -75,7 +77,14 @@ class Runtime {
 
       const double start =
           std::chrono::duration<double>(Clock::now() - t0).count();
-      const bool ok = execute_task(a_, g_.task(task));
+      // Numeric failures (non-SPD pivots) abort deterministically with the
+      // tile coordinates and pivot of the first offending POTRF.
+      std::string error;
+      try {
+        execute_task_checked(a_, g_.task(task));
+      } catch (const NumericError& e) {
+        error = e.what();
+      }
       const double end =
           std::chrono::duration<double>(Clock::now() - t0).count();
 
@@ -83,7 +92,8 @@ class Runtime {
       if (opt_.record_trace)
         trace_.record_compute(
             {worker, task, g_.task(task).kernel, start, end});
-      if (!ok) {
+      if (!error.empty()) {
+        if (error_.empty()) error_ = error;
         failed_.store(true);
         cv_.notify_all();
         return;
@@ -106,6 +116,7 @@ class Runtime {
   std::vector<int> pending_;
   int done_ = 0;
   std::atomic<bool> failed_{false};
+  std::string error_;  // first numeric failure (guarded by mu_)
 };
 
 }  // namespace

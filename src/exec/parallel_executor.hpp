@@ -8,10 +8,12 @@
 // those are emulated in the simulator (see DESIGN.md substitution table).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/trace.hpp"
 
 namespace hetsched {
@@ -28,6 +30,11 @@ struct ExecResult {
   bool success = false;      ///< false if a POTRF hit a non-SPD pivot
   double wall_seconds = 0.0;
   Trace trace{0};
+  /// Structured description of the failure ("" on success), e.g. the tile
+  /// coordinates and pivot of a non-SPD POTRF.
+  std::string error;
+  /// Fault injection / recovery accounting (all zero without a plan).
+  FaultStats faults;
 };
 
 /// Factorizes `a` in place by executing the tasks of `g` on a thread pool.

@@ -1,14 +1,19 @@
 #include "exec/scheduled_executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <random>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/numeric_error.hpp"
 #include "core/tiled_cholesky.hpp"
 
 namespace hetsched {
@@ -24,6 +29,7 @@ class WallClockHost final : public SchedulerHost {
       : graph_(g), platform_(p), t0_(t0) {
     queued_load_.assign(static_cast<std::size_t>(p.num_workers()), 0.0);
     busy_until_.assign(static_cast<std::size_t>(p.num_workers()), 0.0);
+    alive_.assign(static_cast<std::size_t>(p.num_workers()), 1);
     noted_.assign(static_cast<std::size_t>(g.num_tasks()), {-1, 0.0});
   }
 
@@ -32,6 +38,10 @@ class WallClockHost final : public SchedulerHost {
   }
   const Platform& platform() const override { return platform_; }
   const TaskGraph& graph() const override { return graph_; }
+
+  bool worker_alive(int worker) const override {
+    return alive_[static_cast<std::size_t>(worker)] != 0;
+  }
 
   double expected_available(int worker) const override {
     return std::max(now(), busy_until_[static_cast<std::size_t>(worker)]) +
@@ -63,23 +73,85 @@ class WallClockHost final : public SchedulerHost {
         now() + platform_.worker_time(worker, graph_.task(task).kernel);
   }
 
+  void set_dead(int worker) {
+    alive_[static_cast<std::size_t>(worker)] = 0;
+  }
+
  private:
   const TaskGraph& graph_;
   const Platform& platform_;
   Clock::time_point t0_;
   std::vector<double> queued_load_;
   std::vector<double> busy_until_;
+  std::vector<char> alive_;
   std::vector<std::pair<int, double>> noted_;
 };
 
-// Executes `body(worker, task)` on `num_threads` threads under `sched`.
+// The body of one task attempt. `cancel` is non-null only for cancellable
+// (emulated) attempts; a numeric error is reported through `error` and a
+// false return.
+using Body =
+    std::function<bool(int, int, const std::atomic<bool>*, std::string*)>;
+
+// Shared mutable fault state; everything is guarded by the runtime mutex
+// except the `cancel` flags, which cross the unlocked body call.
+struct FaultRuntime {
+  explicit FaultRuntime(const FaultPlan& p, int num_workers)
+      : plan(p), rng(p.seed) {
+    dead.assign(static_cast<std::size_t>(num_workers), 0);
+    running.assign(static_cast<std::size_t>(num_workers), {});
+    alive = num_workers;
+    deaths = p.deaths;
+    std::stable_sort(deaths.begin(), deaths.end(),
+                     [](const WorkerDeath& x, const WorkerDeath& y) {
+                       return x.time_s < y.time_s;
+                     });
+  }
+
+  struct Running {
+    int task = -1;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    bool timed_out = false;  // cancelled by the watchdog, not a death
+  };
+
+  const FaultPlan& plan;
+  std::mt19937_64 rng;
+  std::vector<WorkerDeath> deaths;  // sorted by time
+  std::size_t next_death = 0;
+  std::vector<char> dead;
+  std::vector<Running> running;  // per worker
+  std::vector<int> attempts;     // per task, sized lazily by run_threaded
+  struct DelayedPush {
+    Clock::time_point when;
+    int task;
+  };
+  std::vector<DelayedPush> delayed;  // unsorted; the service scans it
+  int alive = 0;
+  bool stop_service = false;
+  FaultStats stats;
+};
+
+// Executes `body(worker, task, cancel, error)` on `num_threads` threads
+// under `sched`. `faults`, when non-null, activates the fault-injection /
+// recovery machinery (watchdog service thread, retries with backoff,
+// cooperative or cancelling deaths); `cancellable` tells whether in-flight
+// attempts can be aborted (emulated sleeps can, numeric kernels cannot).
 ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
                         Scheduler& sched, int num_threads, bool record_trace,
-                        const std::function<bool(int, int)>& body) {
+                        const FaultPlan* faults, bool cancellable,
+                        const Body& body) {
   for (const Task& t : g.tasks())
     if (!calibration.supports(t.kernel))
       throw std::invalid_argument(
           "scheduled executor: kernel not calibrated");
+  if (faults != nullptr) {
+    const std::string err = faults->validate(num_threads);
+    if (!err.empty())
+      throw std::invalid_argument("scheduled executor: bad fault plan: " +
+                                  err);
+  }
 
   const auto t0 = Clock::now();
   WallClockHost host(g, calibration, t0);
@@ -90,6 +162,13 @@ ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
   std::vector<int> pending(static_cast<std::size_t>(g.num_tasks()));
   int done = 0;
   std::atomic<bool> failed{false};
+  std::string error;
+
+  std::unique_ptr<FaultRuntime> fr;
+  if (faults != nullptr) {
+    fr = std::make_unique<FaultRuntime>(*faults, num_threads);
+    fr->attempts.assign(static_cast<std::size_t>(g.num_tasks()), 0);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -101,30 +180,108 @@ ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
     }
   }
 
+  // Records a failed attempt and either schedules a retry after backoff or
+  // aborts the run with a structured message. Caller holds the mutex.
+  const auto retry_or_abort = [&](int task, const char* why) {
+    const int att = ++fr->attempts[static_cast<std::size_t>(task)];
+    if (att > fr->plan.retry.max_retries) {
+      error = "retry budget exhausted: task " + std::to_string(task) +
+              " failed " + std::to_string(att) + " times (last: " + why + ")";
+      failed.store(true);
+      cv.notify_all();
+      return;
+    }
+    ++fr->stats.retries;
+    const double delay = fr->plan.backoff_s(att);
+    fr->stats.recovery_time_s += delay;
+    fr->delayed.push_back(
+        {Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delay)),
+         task});
+    cv.notify_all();  // wake the service thread to re-arm its timer
+  };
+
   const auto worker_loop = [&](int worker) {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       if (done == g.num_tasks() || failed.load()) return;
+      if (fr && fr->dead[static_cast<std::size_t>(worker)] != 0) return;
       const int task = sched.pop_task(host, worker);
       if (task < 0) {
         cv.wait(lock);
         continue;
       }
       host.on_pop(task);
+      // Injected transient failure, drawn *before* execution so the
+      // attempt is side-effect free on both backends.
+      if (fr && fr->plan.transient_failure_prob > 0.0) {
+        std::bernoulli_distribution fail(fr->plan.transient_failure_prob);
+        if (fail(fr->rng)) {
+          ++fr->stats.transient_failures;
+          retry_or_abort(task, "injected transient failure");
+          continue;
+        }
+      }
       host.on_start(worker, task);
+      const std::atomic<bool>* cancel_flag = nullptr;
+      if (fr) {
+        auto& run = fr->running[static_cast<std::size_t>(worker)];
+        run.task = task;
+        run.timed_out = false;
+        if (cancellable) {
+          run.cancel = std::make_shared<std::atomic<bool>>(false);
+          cancel_flag = run.cancel.get();
+          run.has_deadline = fr->plan.watchdog_timeout_factor > 0.0;
+          if (run.has_deadline) {
+            const double est =
+                calibration.worker_time(worker, g.task(task).kernel) *
+                fr->plan.watchdog_timeout_factor;
+            run.deadline =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(est));
+          }
+          cv.notify_all();  // the service re-arms on the new deadline
+        }
+      }
       lock.unlock();
 
       const double start =
           std::chrono::duration<double>(Clock::now() - t0).count();
-      const bool ok = body(worker, task);
+      std::string attempt_error;
+      const bool ok = body(worker, task, cancel_flag, &attempt_error);
       const double end =
           std::chrono::duration<double>(Clock::now() - t0).count();
 
       lock.lock();
+      bool cancelled = false;
+      bool timed_out = false;
+      if (fr) {
+        auto& run = fr->running[static_cast<std::size_t>(worker)];
+        cancelled = run.cancel && run.cancel->load();
+        timed_out = run.timed_out;
+        run.task = -1;
+        run.cancel.reset();
+        run.has_deadline = false;
+      }
       if (record_trace)
         trace.record_compute({worker, task, g.task(task).kernel, start, end});
       if (!ok) {
+        if (error.empty()) error = attempt_error;
         failed.store(true);
+        cv.notify_all();
+        return;
+      }
+      if (cancelled) {
+        if (timed_out) {
+          // Watchdog cancel: the attempt overran its deadline.
+          ++fr->stats.watchdog_timeouts;
+          retry_or_abort(task, "watchdog timeout");
+          continue;
+        }
+        // Death cancel: the attempt is orphaned; re-enqueue it through
+        // the (already degraded) live scheduler and retire this thread.
+        ++fr->stats.tasks_requeued;
+        sched.on_task_ready(host, task);
         cv.notify_all();
         return;
       }
@@ -133,18 +290,101 @@ ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
         if (--pending[static_cast<std::size_t>(s)] == 0)
           sched.on_task_ready(host, s);
       cv.notify_all();
+      // Cooperative death: a non-cancellable worker finishes its in-flight
+      // task (the kernels are non-idempotent) and only then retires.
+      if (fr && fr->dead[static_cast<std::size_t>(worker)] != 0) return;
     }
   };
 
+  // Watchdog / fault service: injects deaths at their planned wall time,
+  // re-pushes retries when their backoff elapses, and cancels attempts
+  // that overrun their deadline.
+  const auto service_loop = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (fr->stop_service || failed.load()) return;
+      const auto now_tp = Clock::now();
+      // Planned deaths due now.
+      while (fr->next_death < fr->deaths.size()) {
+        const WorkerDeath& d = fr->deaths[fr->next_death];
+        if (t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(d.time_s)) >
+            now_tp)
+          break;
+        ++fr->next_death;
+        if (fr->dead[static_cast<std::size_t>(d.worker)] != 0) continue;
+        fr->dead[static_cast<std::size_t>(d.worker)] = 1;
+        host.set_dead(d.worker);
+        --fr->alive;
+        ++fr->stats.worker_deaths;
+        fr->stats.degraded = true;
+        auto& run = fr->running[static_cast<std::size_t>(d.worker)];
+        if (run.task >= 0 && run.cancel) run.cancel->store(true);
+        for (const int t : sched.on_worker_dead(host, d.worker)) {
+          ++fr->stats.tasks_requeued;
+          sched.on_task_ready(host, t);
+        }
+        if (fr->alive == 0 && done < g.num_tasks()) {
+          if (error.empty()) error = "every worker died before completion";
+          failed.store(true);
+        }
+        cv.notify_all();
+      }
+      // Backed-off retries due now.
+      for (std::size_t i = 0; i < fr->delayed.size();) {
+        if (fr->delayed[i].when <= now_tp) {
+          const int t = fr->delayed[i].task;
+          fr->delayed[i] = fr->delayed.back();
+          fr->delayed.pop_back();
+          sched.on_task_ready(host, t);
+          cv.notify_all();
+        } else {
+          ++i;
+        }
+      }
+      // Deadline overruns.
+      for (auto& run : fr->running)
+        if (run.task >= 0 && run.has_deadline && !run.timed_out &&
+            run.deadline <= now_tp && run.cancel) {
+          run.timed_out = true;
+          run.cancel->store(true);
+        }
+      // Sleep until the earliest upcoming trigger (or a state change).
+      auto wake = now_tp + std::chrono::milliseconds(50);
+      if (fr->next_death < fr->deaths.size())
+        wake = std::min(
+            wake, t0 + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               fr->deaths[fr->next_death].time_s)));
+      for (const auto& d : fr->delayed) wake = std::min(wake, d.when);
+      for (const auto& run : fr->running)
+        if (run.task >= 0 && run.has_deadline && !run.timed_out)
+          wake = std::min(wake, run.deadline);
+      cv.wait_until(lock, wake);
+    }
+  };
+
+  std::thread service;
+  if (fr) service = std::thread(service_loop);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads));
   for (int w = 0; w < num_threads; ++w) threads.emplace_back(worker_loop, w);
   for (std::thread& t : threads) t.join();
+  if (fr) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fr->stop_service = true;
+    }
+    cv.notify_all();
+    service.join();
+  }
 
   ExecResult res;
-  res.success = !failed.load();
+  res.success = !failed.load() && done == g.num_tasks();
   res.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   res.trace = std::move(trace);
+  res.error = error;
+  if (fr) res.faults = fr->stats;
   return res;
 }
 
@@ -153,7 +393,7 @@ ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
 ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
                                   const Platform& calibration,
                                   Scheduler& sched, int num_threads,
-                                  bool record_trace) {
+                                  bool record_trace, const FaultPlan& faults) {
   if (num_threads <= 0)
     throw std::invalid_argument("execute_with_scheduler: num_threads <= 0");
   if (calibration.num_workers() != num_threads)
@@ -161,24 +401,48 @@ ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
         "execute_with_scheduler: calibration platform must model exactly "
         "num_threads workers (policies may queue tasks on any modeled "
         "worker)");
-  return run_threaded(g, calibration, sched, num_threads, record_trace,
-                      [&a, &g](int, int task) {
-                        return execute_task(a, g.task(task));
-                      });
+  const FaultPlan* plan = faults.empty() ? nullptr : &faults;
+  return run_threaded(
+      g, calibration, sched, num_threads, record_trace, plan,
+      /*cancellable=*/false,
+      [&a, &g](int, int task, const std::atomic<bool>*, std::string* error) {
+        try {
+          execute_task_checked(a, g.task(task));
+        } catch (const NumericError& e) {
+          *error = e.what();
+          return false;
+        }
+        return true;
+      });
 }
 
 ExecResult emulate_with_scheduler(const TaskGraph& g,
                                   const Platform& calibration,
                                   Scheduler& sched, double time_scale,
-                                  bool record_trace) {
+                                  bool record_trace, const FaultPlan& faults) {
   if (time_scale <= 0.0)
     throw std::invalid_argument("emulate_with_scheduler: time_scale <= 0");
+  const FaultPlan* plan = faults.empty() ? nullptr : &faults;
   return run_threaded(
-      g, calibration, sched, calibration.num_workers(), record_trace,
-      [&g, &calibration, time_scale](int worker, int task) {
-        const double seconds =
+      g, calibration, sched, calibration.num_workers(), record_trace, plan,
+      /*cancellable=*/true,
+      [&g, &calibration, time_scale](int worker, int task,
+                                     const std::atomic<bool>* cancel,
+                                     std::string*) {
+        double seconds =
             calibration.worker_time(worker, g.task(task).kernel) * time_scale;
-        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        if (cancel == nullptr) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+          return true;
+        }
+        // Sliced sleep so the watchdog (or a death) can abort the attempt.
+        constexpr double kSlice = 200e-6;
+        while (seconds > 0.0) {
+          if (cancel->load()) return true;  // aborted; caller handles it
+          const double s = std::min(seconds, kSlice);
+          std::this_thread::sleep_for(std::chrono::duration<double>(s));
+          seconds -= s;
+        }
         return true;
       });
 }

@@ -13,6 +13,7 @@
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
 #include "exec/parallel_executor.hpp"
+#include "fault/fault_plan.hpp"
 #include "platform/platform.hpp"
 #include "sim/scheduler.hpp"
 
@@ -23,10 +24,18 @@ namespace hetsched {
 /// from `calibration`). The calibration platform must model exactly
 /// `num_threads` workers -- a policy may queue tasks on any worker it can
 /// see, and every modeled worker must exist for the queue to drain.
+///
+/// With a non-empty `faults` plan, a watchdog thread injects the planned
+/// worker deaths (cooperative: the numeric kernels are non-idempotent, so
+/// a dying worker finishes its in-flight task before retiring) and
+/// pre-execution transient failures absorbed by the retry policy; the
+/// watchdog per-task timeout only applies to emulated runs. An empty plan
+/// (the default) takes exactly the seed code path.
 ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
                                   const Platform& calibration,
                                   Scheduler& sched, int num_threads,
-                                  bool record_trace = true);
+                                  bool record_trace = true,
+                                  const FaultPlan& faults = {});
 
 /// Timing-emulation run: every worker thread *sleeps* for its calibrated
 /// task duration (scaled by `time_scale`) instead of computing, so a
@@ -35,9 +44,15 @@ ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
 /// This is the closest thing to the paper's actual heterogeneous runs that
 /// is possible without the hardware (transfers are not emulated; compare
 /// against no-communication simulations). One thread per platform worker.
+///
+/// With a non-empty `faults` plan, the watchdog additionally cancels
+/// attempts overrunning calibrated-duration x watchdog_timeout_factor
+/// (emulated sleeps are sliced, hence cancellable) and deaths abort the
+/// in-flight attempt, which is re-enqueued through the live scheduler.
 ExecResult emulate_with_scheduler(const TaskGraph& g,
                                   const Platform& calibration,
                                   Scheduler& sched, double time_scale = 1.0,
-                                  bool record_trace = true);
+                                  bool record_trace = true,
+                                  const FaultPlan& faults = {});
 
 }  // namespace hetsched

@@ -1,0 +1,62 @@
+#include "fault/fault_error.hpp"
+
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+std::string scheduler_message(const std::string& policy, int stuck_task,
+                              int ready_count,
+                              const std::vector<int>& depths) {
+  std::ostringstream os;
+  os << "scheduler starvation (policy '" << policy << "'): " << ready_count
+     << " ready task(s) will never run";
+  if (stuck_task >= 0) os << ", first stuck task " << stuck_task;
+  os << "; queue depths [";
+  for (std::size_t w = 0; w < depths.size(); ++w)
+    os << (w ? " " : "") << depths[w];
+  os << "]";
+  return os.str();
+}
+
+std::string fault_message(FaultError::Kind kind, int task, int tile,
+                          int attempts) {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultError::Kind::RetryBudgetExhausted:
+      os << "task " << task << " failed " << attempts
+         << " time(s), retry budget exhausted";
+      break;
+    case FaultError::Kind::AllWorkersDead:
+      os << "every worker is dead with unfinished tasks remaining";
+      break;
+    case FaultError::Kind::UnrecoverableDataLoss:
+      os << "sole copy of tile " << tile
+         << " lost with a dead memory node; lineage recomputation is "
+            "disabled or impossible";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SchedulerError::SchedulerError(std::string policy_name, int stuck_task_id,
+                               int ready_tasks,
+                               std::vector<int> per_worker_queue_depths)
+    : std::logic_error(scheduler_message(policy_name, stuck_task_id,
+                                         ready_tasks,
+                                         per_worker_queue_depths)),
+      policy_(std::move(policy_name)),
+      stuck_task_(stuck_task_id),
+      ready_count_(ready_tasks),
+      depths_(std::move(per_worker_queue_depths)) {}
+
+FaultError::FaultError(Kind kind, int task_id, int tile_handle, int attempts)
+    : std::runtime_error(fault_message(kind, task_id, tile_handle, attempts)),
+      kind_(kind),
+      task_(task_id),
+      tile_(tile_handle),
+      attempts_(attempts) {}
+
+}  // namespace hetsched

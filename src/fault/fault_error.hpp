@@ -1,0 +1,64 @@
+// Structured errors of the fault/recovery subsystem.
+//
+// SchedulerError replaces the bare std::logic_error the simulator used to
+// throw on scheduler starvation; it still derives from std::logic_error so
+// existing catch sites keep working, but carries enough state (stuck task,
+// ready-set size, per-worker queue depths) for a caller to diagnose the
+// deadlock. FaultError reports unrecoverable injected faults: retry budget
+// exhaustion, every worker dead, or data loss that lineage recomputation
+// cannot repair. Numeric (non-SPD) errors live in core/numeric_error.hpp
+// so the numeric kernels can throw them without depending on this module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+/// The scheduling policy starved ready tasks: the runtime ran out of events
+/// (or workers) while unfinished tasks remained.
+class SchedulerError : public std::logic_error {
+ public:
+  SchedulerError(std::string policy_name, int stuck_task_id, int ready_tasks,
+                 std::vector<int> per_worker_queue_depths);
+
+  const std::string& policy() const noexcept { return policy_; }
+  /// One ready-but-never-run task (-1 if none was identifiable).
+  int stuck_task() const noexcept { return stuck_task_; }
+  /// Number of ready, unfinished, not-running tasks at detection time.
+  int ready_count() const noexcept { return ready_count_; }
+  /// Tasks noted (note_task_queued) per worker and not yet popped.
+  const std::vector<int>& queue_depths() const noexcept { return depths_; }
+
+ private:
+  std::string policy_;
+  int stuck_task_;
+  int ready_count_;
+  std::vector<int> depths_;
+};
+
+/// An injected fault the recovery layer could not absorb.
+class FaultError : public std::runtime_error {
+ public:
+  enum class Kind {
+    RetryBudgetExhausted,   ///< task failed more than max_retries times
+    AllWorkersDead,         ///< no alive worker remains
+    UnrecoverableDataLoss,  ///< sole-copy tile lost, lineage inputs gone
+  };
+
+  FaultError(Kind kind, int task_id, int tile_handle, int attempts);
+
+  Kind kind() const noexcept { return kind_; }
+  int task() const noexcept { return task_; }       ///< -1 if n/a
+  int tile() const noexcept { return tile_; }       ///< -1 if n/a
+  int attempts() const noexcept { return attempts_; }
+
+ private:
+  Kind kind_;
+  int task_;
+  int tile_;
+  int attempts_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,55 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace hetsched {
+
+bool FaultPlan::empty() const {
+  return deaths.empty() && slowdowns.empty() &&
+         transient_failure_prob <= 0.0 && potrf_fail_step < 0 &&
+         watchdog_timeout_factor <= 0.0;
+}
+
+std::string FaultPlan::validate(int num_workers) const {
+  std::ostringstream err;
+  for (const WorkerDeath& d : deaths) {
+    if (d.worker < 0 || d.worker >= num_workers) {
+      err << "death of unknown worker " << d.worker;
+      return err.str();
+    }
+    if (d.time_s < 0.0) return "death at negative time";
+  }
+  for (const SlowdownWindow& s : slowdowns) {
+    if (s.worker < 0 || s.worker >= num_workers) {
+      err << "slowdown of unknown worker " << s.worker;
+      return err.str();
+    }
+    if (s.factor <= 0.0) return "non-positive slowdown factor";
+    if (s.end_s <= s.start_s) return "empty slowdown window";
+  }
+  if (transient_failure_prob < 0.0 || transient_failure_prob > 1.0)
+    return "transient failure probability outside [0, 1]";
+  if (retry.max_retries < 0) return "negative retry budget";
+  if (retry.backoff_base_s < 0.0) return "negative backoff base";
+  if (retry.backoff_multiplier < 1.0) return "backoff multiplier < 1";
+  if (watchdog_timeout_factor < 0.0) return "negative watchdog factor";
+  return {};
+}
+
+double FaultPlan::slowdown_factor(int worker, double time_s) const {
+  double f = 1.0;
+  for (const SlowdownWindow& s : slowdowns)
+    if (s.worker == worker && time_s >= s.start_s && time_s < s.end_s)
+      f *= s.factor;
+  return f;
+}
+
+double FaultPlan::backoff_s(int failed_attempts) const {
+  if (failed_attempts <= 0) return 0.0;
+  return retry.backoff_base_s *
+         std::pow(retry.backoff_multiplier,
+                  static_cast<double>(failed_attempts - 1));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,24 @@
+#include "fault/recovery.hpp"
+
+#include "bounds/bounds.hpp"
+
+namespace hetsched {
+
+Platform degraded_platform(const Platform& p,
+                           const std::vector<int>& dead_workers) {
+  return p.without_workers(dead_workers);
+}
+
+double degraded_mixed_bound_s(int n_tiles, const Platform& p,
+                              const std::vector<int>& dead_workers) {
+  return mixed_bound(n_tiles, degraded_platform(p, dead_workers)).makespan_s;
+}
+
+double degraded_efficiency(int n_tiles, const Platform& p,
+                           const std::vector<int>& dead_workers,
+                           double makespan_s) {
+  if (makespan_s <= 0.0) return 0.0;
+  return degraded_mixed_bound_s(n_tiles, p, dead_workers) / makespan_s;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,35 @@
+// Degraded-platform yardstick (read-only reuse of src/bounds).
+//
+// After a permanent worker death the paper's bound machinery still applies:
+// recomputing the mixed/area bound on the platform *minus the dead workers*
+// gives a principled lower bound on what any scheduler could achieve on the
+// degraded machine, and makespan-vs-degraded-bound is the recovery-quality
+// ratio reported by `hetsched_cli faults` and bench_ablation_faults. The
+// yardstick is optimistic (it prices the whole run at degraded capacity,
+// including the healthy prefix before the failure), so the ratio is a
+// conservative upper estimate of the recovery overhead.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+/// The platform with the listed workers removed (see
+/// Platform::without_workers). Throws std::invalid_argument if every
+/// worker would be removed.
+Platform degraded_platform(const Platform& p,
+                           const std::vector<int>& dead_workers);
+
+/// Mixed bound (seconds) of an n_tiles Cholesky on the degraded platform.
+double degraded_mixed_bound_s(int n_tiles, const Platform& p,
+                              const std::vector<int>& dead_workers);
+
+/// Recovery-quality ratio: degraded mixed bound / achieved makespan
+/// (1.0 = the recovered run is as good as the degraded platform allows).
+double degraded_efficiency(int n_tiles, const Platform& p,
+                           const std::vector<int>& dead_workers,
+                           double makespan_s);
+
+}  // namespace hetsched

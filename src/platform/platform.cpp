@@ -111,4 +111,35 @@ Platform Platform::with_shared_bus(double bytes_per_s) const {
   return p;
 }
 
+Platform Platform::without_workers(
+    const std::vector<int>& dead_worker_ids) const {
+  std::vector<int> dead_per_class(classes_.size(), 0);
+  std::vector<char> seen(workers_.size(), 0);
+  for (const int id : dead_worker_ids) {
+    if (id < 0 || id >= num_workers())
+      throw std::invalid_argument("without_workers: unknown worker id");
+    if (seen[static_cast<std::size_t>(id)]) continue;  // duplicates are fine
+    seen[static_cast<std::size_t>(id)] = 1;
+    ++dead_per_class[static_cast<std::size_t>(
+        workers_[static_cast<std::size_t>(id)].cls)];
+  }
+  std::vector<ResourceClass> kept;
+  std::vector<int> kept_src_cls;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    ResourceClass rc = classes_[c];
+    rc.count -= dead_per_class[c];
+    if (rc.count <= 0) continue;
+    kept.push_back(std::move(rc));
+    kept_src_cls.push_back(static_cast<int>(c));
+  }
+  if (kept.empty())
+    throw std::invalid_argument("without_workers: no worker would remain");
+  TimingTable t(static_cast<int>(kept.size()));
+  for (std::size_t c = 0; c < kept.size(); ++c)
+    for (const Kernel k : kAllKernels)
+      t.set_time(static_cast<int>(c), k, timings_.time(kept_src_cls[c], k));
+  return Platform(std::move(kept), std::move(t), bus_, nb_,
+                  name_ + "-degraded");
+}
+
 }  // namespace hetsched

@@ -154,6 +154,13 @@ class Platform {
   /// (see BusModel::shared_bandwidth_Bps).
   Platform with_shared_bus(double bytes_per_s) const;
 
+  /// Returns a copy with the listed workers removed: each dead worker
+  /// shrinks its resource class, classes left empty disappear, and worker
+  /// ids / memory nodes are renumbered. Used to re-evaluate bounds on the
+  /// post-failure platform (fault recovery yardstick). Throws
+  /// std::invalid_argument on an unknown id or if no worker would remain.
+  Platform without_workers(const std::vector<int>& dead_worker_ids) const;
+
  private:
   std::string name_;
   int nb_;

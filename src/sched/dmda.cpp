@@ -22,6 +22,7 @@ void DmdaScheduler::on_task_ready(SchedulerHost& host, int task) {
     // pass 0 honours the filter; pass 1 is the safety fallback in case a
     // filter excluded every worker for this task.
     for (const Worker& w : p.workers()) {
+      if (!host.worker_alive(w.id)) continue;
       if (pass == 0 && opt_.filter && !opt_.filter(t, w)) continue;
       const double ect = std::max(host.expected_available(w.id), host.now()) +
                          host.estimated_transfer_seconds(task, w.id) +
@@ -45,6 +46,15 @@ void DmdaScheduler::on_task_ready(SchedulerHost& host, int task) {
     q.push_back(task);
   }
   host.note_task_queued(task, best_w);
+}
+
+std::vector<int> DmdaScheduler::on_worker_dead(SchedulerHost& host,
+                                               int worker) {
+  (void)host;
+  auto& q = queues_[static_cast<std::size_t>(worker)];
+  std::vector<int> stranded(q.begin(), q.end());
+  q.clear();
+  return stranded;
 }
 
 int DmdaScheduler::pop_task(SchedulerHost& host, int worker) {

@@ -8,14 +8,78 @@ void FixedScheduleScheduler::initialize(SchedulerHost& host) {
   order_ = schedule_.per_worker_order(nw);
   next_index_.assign(static_cast<std::size_t>(nw), 0);
   ready_.assign(static_cast<std::size_t>(nt), 0);
+  popped_.assign(static_cast<std::size_t>(nt), 0);
   assigned_worker_.assign(static_cast<std::size_t>(nt), -1);
-  for (const StaticSchedule::Entry& e : schedule_.entries)
+  starts_.assign(static_cast<std::size_t>(nt), 0.0);
+  for (const StaticSchedule::Entry& e : schedule_.entries) {
     assigned_worker_[static_cast<std::size_t>(e.task)] = e.worker;
+    starts_[static_cast<std::size_t>(e.task)] = e.start;
+  }
+}
+
+void FixedScheduleScheduler::insert_pending(int worker, int task) {
+  auto& seq = order_[static_cast<std::size_t>(worker)];
+  std::size_t pos = next_index_[static_cast<std::size_t>(worker)];
+  const double s = starts_[static_cast<std::size_t>(task)];
+  while (pos < seq.size() && starts_[static_cast<std::size_t>(seq[pos])] <= s)
+    ++pos;
+  seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(pos), task);
+}
+
+int FixedScheduleScheduler::pick_alive(SchedulerHost& host, int cls) const {
+  const Platform& p = host.platform();
+  int best = -1;
+  bool best_same = false;
+  for (const Worker& w : p.workers()) {
+    if (!host.worker_alive(w.id)) continue;
+    const bool same = w.cls == cls;
+    if (best < 0 || (same && !best_same) ||
+        (same == best_same &&
+         host.expected_available(w.id) < host.expected_available(best))) {
+      best = w.id;
+      best_same = same;
+    }
+  }
+  return best;
 }
 
 void FixedScheduleScheduler::on_task_ready(SchedulerHost& host, int task) {
   ready_[static_cast<std::size_t>(task)] = 1;
-  host.note_task_queued(task, assigned_worker_[static_cast<std::size_t>(task)]);
+  int w = assigned_worker_[static_cast<std::size_t>(task)];
+  if (w < 0 || !host.worker_alive(w)) {
+    // Prescribed worker is gone: degrade gracefully by appending the task
+    // to the sequence of a surviving worker (same class preferred).
+    const int cls = w >= 0 ? host.platform().worker(w).cls : 0;
+    w = pick_alive(host, cls);
+    assigned_worker_[static_cast<std::size_t>(task)] = w;
+    insert_pending(w, task);
+    popped_[static_cast<std::size_t>(task)] = 0;
+  } else if (popped_[static_cast<std::size_t>(task)] != 0) {
+    // Re-push of a task already handed out once (orphaned attempt or
+    // transient retry): line it up again in its worker's pending order.
+    insert_pending(w, task);
+    popped_[static_cast<std::size_t>(task)] = 0;
+  }
+  host.note_task_queued(task, w);
+}
+
+std::vector<int> FixedScheduleScheduler::on_worker_dead(SchedulerHost& host,
+                                                        int worker) {
+  // Remap the dead worker's remaining prescribed sequence onto survivors,
+  // preserving its relative order. Already-ready tasks need no re-push:
+  // their new home pops them when its sequence reaches them.
+  const auto& seq = order_[static_cast<std::size_t>(worker)];
+  const int cls = host.platform().worker(worker).cls;
+  for (std::size_t i = next_index_[static_cast<std::size_t>(worker)];
+       i < seq.size(); ++i) {
+    const int task = seq[i];
+    const int w = pick_alive(host, cls);
+    assigned_worker_[static_cast<std::size_t>(task)] = w;
+    insert_pending(w, task);
+  }
+  next_index_[static_cast<std::size_t>(worker)] =
+      order_[static_cast<std::size_t>(worker)].size();
+  return {};
 }
 
 int FixedScheduleScheduler::pop_task(SchedulerHost& /*host*/, int worker) {
@@ -26,6 +90,7 @@ int FixedScheduleScheduler::pop_task(SchedulerHost& /*host*/, int worker) {
   // Strict order: the worker waits until its next prescribed task is ready.
   if (ready_[static_cast<std::size_t>(task)] == 0) return -1;
   ++idx;
+  popped_[static_cast<std::size_t>(task)] = 1;
   return task;
 }
 

@@ -23,15 +23,29 @@ class FixedScheduleScheduler final : public Scheduler {
 
   void initialize(SchedulerHost& host) override;
   void on_task_ready(SchedulerHost& host, int task) override;
+  std::vector<int> on_worker_dead(SchedulerHost& host, int worker) override;
   int pop_task(SchedulerHost& host, int worker) override;
   std::string name() const override { return "fixed-schedule"; }
 
  private:
+  /// Alive worker to inherit work from one of class `cls`: same class
+  /// preferred, earliest expected availability as tie-break.
+  int pick_alive(SchedulerHost& host, int cls) const;
+
+  /// Inserts `task` into `worker`'s pending sequence ordered by prescribed
+  /// start time. Appending instead can deadlock the strict-order pop: an
+  /// earlier pending task may depend on the inserted one. Start-time order
+  /// is dependency-consistent because the source schedule is feasible
+  /// (end(i) <= start(j) for every edge i -> j).
+  void insert_pending(int worker, int task);
+
   StaticSchedule schedule_;
+  std::vector<double> starts_;             // per-task prescribed start
   std::vector<std::vector<int>> order_;    // per-worker prescribed sequence
   std::vector<std::size_t> next_index_;    // per-worker progress
   std::vector<int> assigned_worker_;       // per task
   std::vector<char> ready_;                // per task
+  std::vector<char> popped_;               // per task: handed out once already
 };
 
 }  // namespace hetsched

@@ -25,10 +25,24 @@ void RandomScheduler::initialize(SchedulerHost& host) {
 }
 
 void RandomScheduler::on_task_ready(SchedulerHost& host, int task) {
-  std::discrete_distribution<int> pick(weights_.begin(), weights_.end());
-  const int w = pick(rng_);
-  queues_[static_cast<std::size_t>(w)].push_back(task);
-  host.note_task_queued(task, w);
+  // Dead workers draw with weight zero (no-op while everyone is alive).
+  std::vector<double> w(weights_);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    if (!host.worker_alive(static_cast<int>(i))) w[i] = 0.0;
+  std::discrete_distribution<int> pick(w.begin(), w.end());
+  const int chosen = pick(rng_);
+  queues_[static_cast<std::size_t>(chosen)].push_back(task);
+  host.note_task_queued(task, chosen);
+}
+
+std::vector<int> RandomScheduler::on_worker_dead(SchedulerHost& host,
+                                                 int worker) {
+  (void)host;
+  weights_[static_cast<std::size_t>(worker)] = 0.0;
+  auto& q = queues_[static_cast<std::size_t>(worker)];
+  std::vector<int> stranded(q.begin(), q.end());
+  q.clear();
+  return stranded;
 }
 
 int RandomScheduler::pop_task(SchedulerHost& /*host*/, int worker) {

@@ -19,6 +19,7 @@ class RandomScheduler final : public Scheduler {
 
   void initialize(SchedulerHost& host) override;
   void on_task_ready(SchedulerHost& host, int task) override;
+  std::vector<int> on_worker_dead(SchedulerHost& host, int worker) override;
   int pop_task(SchedulerHost& host, int worker) override;
   std::string name() const override { return "random"; }
 

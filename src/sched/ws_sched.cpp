@@ -9,10 +9,23 @@ void WorkStealingScheduler::initialize(SchedulerHost& host) {
 }
 
 void WorkStealingScheduler::on_task_ready(SchedulerHost& host, int task) {
-  const int w = next_home_;
-  next_home_ = (next_home_ + 1) % host.platform().num_workers();
+  const int nw = host.platform().num_workers();
+  // Round-robin deal, skipping dead homes (a no-op while everyone lives).
+  int w = next_home_;
+  for (int tries = 0; tries < nw && !host.worker_alive(w); ++tries)
+    w = (w + 1) % nw;
+  next_home_ = (w + 1) % nw;
   deques_[static_cast<std::size_t>(w)].push_back(task);
   host.note_task_queued(task, w);
+}
+
+std::vector<int> WorkStealingScheduler::on_worker_dead(SchedulerHost& host,
+                                                       int worker) {
+  (void)host;
+  auto& q = deques_[static_cast<std::size_t>(worker)];
+  std::vector<int> stranded(q.begin(), q.end());
+  q.clear();
+  return stranded;
 }
 
 int WorkStealingScheduler::pop_task(SchedulerHost& /*host*/, int worker) {

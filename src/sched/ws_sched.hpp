@@ -16,6 +16,7 @@ class WorkStealingScheduler final : public Scheduler {
  public:
   void initialize(SchedulerHost& host) override;
   void on_task_ready(SchedulerHost& host, int task) override;
+  std::vector<int> on_worker_dead(SchedulerHost& host, int worker) override;
   int pop_task(SchedulerHost& host, int worker) override;
   std::string name() const override { return "ws"; }
 

@@ -53,6 +53,11 @@ void DataManager::invalidate(int tile, int node) {
   set_valid(tile, node, false);
 }
 
+void DataManager::lose_replica(int tile, int node) {
+  pin_count_.at(idx(tile, node)) = 0;
+  set_valid(tile, node, false);
+}
+
 std::vector<int> DataManager::missing_tiles(const Task& t, int node) const {
   std::vector<int> out;
   for (const TaskAccess& a : t.accesses) {

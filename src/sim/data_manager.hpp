@@ -40,6 +40,13 @@ class DataManager {
   /// valid at some other node.
   void invalidate(int tile, int node);
 
+  /// Drops the replica of `tile` at `node` unconditionally -- fault path
+  /// only (a dead memory node loses its contents): unlike invalidate(),
+  /// this may leave the tile valid *nowhere* and clears any pins at the
+  /// node. Callers own the consequences (see the simulator's sole-copy
+  /// recovery).
+  void lose_replica(int tile, int node);
+
   /// Tiles accessed by `t` that are not valid at `node` (each listed once).
   std::vector<int> missing_tiles(const Task& t, int node) const;
 

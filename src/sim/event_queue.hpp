@@ -15,6 +15,9 @@ namespace hetsched {
 enum class EventType : std::uint8_t {
   TaskFinish,      ///< a := worker id, b := task id
   TransferFinish,  ///< a := channel id, b := fetch id (hop completion)
+  WorkerDeath,     ///< a := worker id (fault injection)
+  RetryRelease,    ///< a := task id (backoff elapsed, re-push to scheduler)
+  RecoveryFinish,  ///< a := worker id, b := tile (lineage recompute done)
 };
 
 /// One scheduled event.

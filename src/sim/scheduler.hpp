@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/task_graph.hpp"
 #include "platform/platform.hpp"
@@ -37,6 +38,13 @@ class SchedulerHost {
   /// Schedulers MUST call this when they commit a pushed task to a specific
   /// worker queue, so expected_available(worker) accounts for it.
   virtual void note_task_queued(int task, int worker) = 0;
+
+  /// False once `worker` died permanently (fault injection). Policies must
+  /// not commit tasks to dead workers; the default (no faults) is alive.
+  virtual bool worker_alive(int worker) const {
+    (void)worker;
+    return true;
+  }
 };
 
 /// Abstract scheduling policy.
@@ -53,6 +61,18 @@ class Scheduler {
   /// Called when `worker` is idle; returns the next task for it, or -1.
   /// A returned task is committed: it will run on that worker.
   virtual int pop_task(SchedulerHost& host, int worker) = 0;
+
+  /// Called when `worker` dies permanently. The policy must stop routing
+  /// work to it and either (a) return the *ready* tasks stranded in its
+  /// queue -- the runtime re-pushes each through on_task_ready so the
+  /// policy re-places them on alive workers -- or (b) remap internally
+  /// (e.g. a fixed schedule splicing its per-worker sequences) and return
+  /// an empty vector. Policies with central queues need no override.
+  virtual std::vector<int> on_worker_dead(SchedulerHost& host, int worker) {
+    (void)host;
+    (void)worker;
+    return {};
+  }
 
   /// Policy name used in reports ("random", "dmda", "dmdas", ...).
   virtual std::string name() const = 0;

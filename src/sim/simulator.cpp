@@ -5,10 +5,13 @@
 #include <deque>
 #include <map>
 #include <random>
+#include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/numeric_error.hpp"
+#include "fault/fault_error.hpp"
 #include "sim/data_manager.hpp"
 #include "sim/event_queue.hpp"
 
@@ -23,17 +26,33 @@ class SimEngine final : public SchedulerHost {
         platform_(p),
         sched_(sched),
         opt_(opt),
+        has_faults_(!opt.faults.empty()),
         data_(max_tile_handle(g) + 1, p.num_memory_nodes(), tile_bytes(p)),
         trace_(p.num_workers()),
-        rng_(opt.noise_seed) {
+        rng_(opt.noise_seed),
+        fault_rng_(opt.faults.seed) {
     workers_.resize(static_cast<std::size_t>(p.num_workers()));
     channels_.resize(static_cast<std::size_t>(
         2 * std::max(0, p.num_memory_nodes() - 1)));
     pending_preds_.resize(static_cast<std::size_t>(g.num_tasks()));
     noted_.assign(static_cast<std::size_t>(g.num_tasks()), {-1, 0.0});
+    task_done_.assign(static_cast<std::size_t>(g.num_tasks()), 0);
     if (opt.accel_memory_bytes > 0)
       for (int node = 1; node < p.num_memory_nodes(); ++node)
         data_.set_node_capacity(node, opt.accel_memory_bytes);
+    alive_workers_ = p.num_workers();
+    if (has_faults_) {
+      attempts_.assign(static_cast<std::size_t>(g.num_tasks()), 0);
+      node_dead_.assign(static_cast<std::size_t>(p.num_memory_nodes()), 0);
+      pending_recovery_.resize(static_cast<std::size_t>(p.num_workers()));
+      writers_by_tile_.resize(static_cast<std::size_t>(data_.num_tiles()));
+      // Task ids are submission order, hence version order per tile.
+      for (const Task& t : g.tasks())
+        for (const TaskAccess& a : t.accesses)
+          if (a.mode != AccessMode::Read)
+            writers_by_tile_[static_cast<std::size_t>(a.tile)].push_back(
+                t.id);
+    }
   }
 
   SimResult run();
@@ -42,6 +61,10 @@ class SimEngine final : public SchedulerHost {
   double now() const override { return now_; }
   const Platform& platform() const override { return platform_; }
   const TaskGraph& graph() const override { return graph_; }
+
+  bool worker_alive(int worker) const override {
+    return workers_[static_cast<std::size_t>(worker)].alive;
+  }
 
   double expected_available(int worker) const override {
     const WorkerState& w = workers_[static_cast<std::size_t>(worker)];
@@ -79,6 +102,7 @@ class SimEngine final : public SchedulerHost {
   }
 
   void note_task_queued(int task, int worker) override {
+    if (!workers_[static_cast<std::size_t>(worker)].alive) return;
     const double est =
         platform_.worker_time(worker, graph_.task(task).kernel);
     workers_[static_cast<std::size_t>(worker)].queued_load += est;
@@ -89,7 +113,9 @@ class SimEngine final : public SchedulerHost {
  private:
   struct WorkerState {
     enum class S { Idle, Waiting, Computing } state = S::Idle;
+    bool alive = true;
     int current_task = -1;
+    int recovering_tile = -1;  ///< tile being rebuilt by this worker
     double current_start = 0.0;
     double current_est = 0.0;
     double busy_until = 0.0;
@@ -109,6 +135,11 @@ class SimEngine final : public SchedulerHost {
     double hop_start = 0.0;
     bool done = false;
     std::vector<int> waiting_workers;
+  };
+
+  struct RecoveryJob {
+    int tile = -1;
+    double seconds = 0.0;
   };
 
   static int max_tile_handle(const TaskGraph& g) {
@@ -138,6 +169,10 @@ class SimEngine final : public SchedulerHost {
     if (opt_.noise_cv <= 0.0) return 1.0;
     std::normal_distribution<double> dist(1.0, opt_.noise_cv);
     return std::max(0.25, dist(rng_));
+  }
+
+  bool tile_lost(int tile) const {
+    return has_faults_ && lost_tiles_.count(tile) != 0;
   }
 
   // Ensures a fetch of `tile` to `node` exists; returns its id, or -1 if the
@@ -199,12 +234,18 @@ class SimEngine final : public SchedulerHost {
       trace_.record_transfer(r);
     }
     if (final_hop) {
-      make_room(f.dst);
-      data_.add_replica(f.tile, f.dst);
+      const bool dst_dead =
+          has_faults_ && node_dead_[static_cast<std::size_t>(f.dst)] != 0;
+      if (!dst_dead) {
+        make_room(f.dst);
+        data_.add_replica(f.tile, f.dst);
+        if (tile_lost(f.tile)) restore_tile(f.tile);
+      }
       f.done = true;
       active_fetch_.erase({f.tile, f.dst});
       for (const int w : f.waiting_workers) {
         WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+        if (!ws.alive) continue;
         if (--ws.pending_fetches == 0 && ws.state == WorkerState::S::Waiting)
           start_compute(w);
       }
@@ -212,6 +253,7 @@ class SimEngine final : public SchedulerHost {
     } else {
       // Intermediate d2h hop landed in RAM (node 0 is never evicted from).
       data_.add_replica(f.tile, 0);
+      if (tile_lost(f.tile)) restore_tile(f.tile);
       enqueue_hop(h2d_channel(f.dst), fid);
     }
     service_channel(ch);
@@ -237,14 +279,22 @@ class SimEngine final : public SchedulerHost {
   void prefetch_inputs(int task, int worker) {
     const int node = platform_.worker(worker).memory_node;
     if (!platform_.bus().enabled) return;
-    for (const int tile : data_.missing_tiles(graph_.task(task), node))
+    for (const int tile : data_.missing_tiles(graph_.task(task), node)) {
+      if (tile_lost(tile)) continue;  // restored (then fetched) after repair
       (void)ensure_fetch(tile, node);
+    }
   }
 
   // Tries to hand a new task to an idle worker; true if one was committed.
   bool try_start(int worker) {
     WorkerState& w = workers_[static_cast<std::size_t>(worker)];
-    if (w.state != WorkerState::S::Idle) return false;
+    if (!w.alive || w.state != WorkerState::S::Idle) return false;
+    // Lineage recomputation of lost tiles preempts regular work.
+    if (has_faults_ &&
+        !pending_recovery_[static_cast<std::size_t>(worker)].empty()) {
+      start_recovery(worker);
+      return true;
+    }
     const int task = sched_.pop_task(*this, worker);
     if (task < 0) return false;
 
@@ -262,12 +312,26 @@ class SimEngine final : public SchedulerHost {
     // Inputs of a committed task must survive until it finishes.
     for (const TaskAccess& a : graph_.task(task).accesses)
       data_.pin(a.tile, node);
+    w.pending_fetches = 0;
+    // Inputs whose sole copy died with a node block the task until their
+    // lineage recomputation restores them (then a regular fetch follows).
+    if (has_faults_ && !lost_tiles_.empty()) {
+      std::vector<int> seen;
+      for (const TaskAccess& a : graph_.task(task).accesses) {
+        if (!tile_lost(a.tile)) continue;
+        if (std::find(seen.begin(), seen.end(), a.tile) != seen.end())
+          continue;
+        seen.push_back(a.tile);
+        waiting_on_lost_[a.tile].push_back(worker);
+        ++w.pending_fetches;
+      }
+    }
     const std::vector<int> missing =
         platform_.bus().enabled
             ? data_.missing_tiles(graph_.task(task), node)
             : std::vector<int>{};
-    w.pending_fetches = 0;
     for (const int tile : missing) {
+      if (tile_lost(tile)) continue;  // counted as a lost-tile wait above
       const int fid = ensure_fetch(tile, node);
       if (fid < 0) continue;
       fetches_[static_cast<std::size_t>(fid)].waiting_workers.push_back(worker);
@@ -283,8 +347,14 @@ class SimEngine final : public SchedulerHost {
 
   void start_compute(int worker) {
     WorkerState& w = workers_[static_cast<std::size_t>(worker)];
-    const double duration =
-        (w.current_est + opt_.per_task_overhead_s) * noise_factor();
+    double duration = (w.current_est + opt_.per_task_overhead_s) * noise_factor();
+    if (has_faults_) {
+      const double slow = opt_.faults.slowdown_factor(worker, now_);
+      if (slow != 1.0) {
+        duration *= slow;
+        ++fstats_.slowdown_hits;
+      }
+    }
     w.state = WorkerState::S::Computing;
     w.current_start = now_;
     w.busy_until = now_ + duration;
@@ -293,6 +363,18 @@ class SimEngine final : public SchedulerHost {
 
   void on_task_finish(int worker, int task) {
     WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    // Stale event: the worker died (attempt aborted) after this was queued.
+    if (!w.alive || w.current_task != task) return;
+    if (has_faults_ && opt_.faults.potrf_fail_step >= 0) {
+      const Task& t = graph_.task(task);
+      if (t.kernel == Kernel::POTRF && t.k == opt_.faults.potrf_fail_step)
+        throw NumericError(Kernel::POTRF, t.k, t.k, 1);
+    }
+    bool attempt_failed = false;
+    if (has_faults_ && opt_.faults.transient_failure_prob > 0.0) {
+      std::bernoulli_distribution fail(opt_.faults.transient_failure_prob);
+      attempt_failed = fail(fault_rng_);
+    }
     if (opt_.record_trace) {
       ComputeRecord r;
       r.worker = worker;
@@ -303,21 +385,269 @@ class SimEngine final : public SchedulerHost {
       trace_.record_compute(r);
     }
     const int node = platform_.worker(worker).memory_node;
-    for (const TaskAccess& a : graph_.task(task).accesses) {
+    for (const TaskAccess& a : graph_.task(task).accesses)
       data_.unpin(a.tile, node);
-      if (a.mode != AccessMode::Read)
+    if (attempt_failed) {
+      ++fstats_.transient_failures;
+      const int att = ++attempts_[static_cast<std::size_t>(task)];
+      if (att > opt_.faults.retry.max_retries)
+        throw FaultError(FaultError::Kind::RetryBudgetExhausted, task, -1,
+                         att);
+      ++fstats_.retries;
+      const double delay = opt_.faults.backoff_s(att);
+      fstats_.recovery_time_s += delay;
+      events_.push(now_ + delay, EventType::RetryRelease, task, 0);
+      w.state = WorkerState::S::Idle;
+      w.current_task = -1;
+      return;
+    }
+    for (const TaskAccess& a : graph_.task(task).accesses) {
+      if (a.mode != AccessMode::Read) {
         data_.set_only_valid(a.tile, node);
-      else if (data_.valid(a.tile, node))
+        if (tile_lost(a.tile)) restore_tile(a.tile);
+      } else if (data_.valid(a.tile, node)) {
         data_.touch(a.tile, node);
+      }
     }
 
     w.state = WorkerState::S::Idle;
     w.current_task = -1;
     ++finished_;
+    task_done_[static_cast<std::size_t>(task)] = 1;
 
     for (const int succ : graph_.successors(task))
       if (--pending_preds_[static_cast<std::size_t>(succ)] == 0)
         sched_.on_task_ready(*this, succ);
+  }
+
+  // ---- Fault handling -------------------------------------------------
+
+  void on_worker_death(int worker) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    if (!w.alive) return;  // duplicate plan entry
+    w.alive = false;
+    --alive_workers_;
+    ++fstats_.worker_deaths;
+    fstats_.degraded = true;
+    if (alive_workers_ == 0 && finished_ < graph_.num_tasks())
+      throw FaultError(FaultError::Kind::AllWorkersDead, -1, -1, 0);
+
+    const int node = platform_.worker(worker).memory_node;
+    // Abort the in-flight attempt; the task is still ready and re-enters
+    // the scheduler below. Its stale TaskFinish event is ignored.
+    const int orphan = w.current_task;
+    if (orphan >= 0) {
+      for (const TaskAccess& a : graph_.task(orphan).accesses)
+        data_.unpin(a.tile, node);
+      w.current_task = -1;
+      w.pending_fetches = 0;
+    }
+    // A recovery job dies with its worker; re-dispatch it elsewhere.
+    std::vector<int> recoveries;
+    if (w.recovering_tile >= 0) {
+      recoveries.push_back(w.recovering_tile);
+      w.recovering_tile = -1;
+    }
+    for (const RecoveryJob& j :
+         pending_recovery_[static_cast<std::size_t>(worker)])
+      recoveries.push_back(j.tile);
+    pending_recovery_[static_cast<std::size_t>(worker)].clear();
+
+    // An accelerator's private memory dies with its worker.
+    for (const int tile : recoveries) recovery_queued_.erase(tile);
+    if (node != 0) handle_node_loss(node);
+
+    for (const int tile : recoveries) dispatch_recovery(tile);
+
+    // Let the policy degrade: drain / remap its queue for the dead worker,
+    // then re-push everything stranded (ready tasks only, per the
+    // Scheduler contract).
+    std::vector<int> stranded = sched_.on_worker_dead(*this, worker);
+    if (orphan >= 0) stranded.push_back(orphan);
+    for (const int task : stranded) {
+      ++fstats_.tasks_requeued;
+      sched_.on_task_ready(*this, task);
+    }
+  }
+
+  void handle_node_loss(int node) {
+    node_dead_[static_cast<std::size_t>(node)] = 1;
+    // Sole copies are collected before any recovery decision so lineage
+    // checks see the complete lost set of this death.
+    std::vector<int> sole;
+    for (int t = 0; t < data_.num_tiles(); ++t) {
+      if (!data_.valid(t, node)) continue;
+      if (data_.replica_count(t) > 1) {
+        data_.lose_replica(t, node);
+      } else {
+        sole.push_back(t);
+      }
+    }
+    std::vector<int> to_recover;
+    for (const int t : sole) {
+      data_.lose_replica(t, node);
+      ++fstats_.sole_copy_losses;
+      // An in-flight fetch sourced from this replica still delivers (the
+      // bits are on the wire -- same optimism as LRU eviction of fetch
+      // sources); the tile reappears at the fetch destination.
+      bool on_wire = false;
+      for (const auto& [key, fid] : active_fetch_)
+        if (key.first == t &&
+            !fetches_[static_cast<std::size_t>(fid)].done &&
+            key.second != node &&
+            !node_dead_[static_cast<std::size_t>(key.second)]) {
+          on_wire = true;
+          break;
+        }
+      lost_tiles_.insert(t);
+      if (on_wire) continue;
+      // Only tiles some unfinished task still reads or writes matter.
+      // Unneeded losses stay in the lost set (another tile's lineage may
+      // still pull them in recursively) but get no recovery of their own.
+      bool needed = false;
+      for (const Task& task : graph_.tasks()) {
+        if (task_done_[static_cast<std::size_t>(task.id)]) continue;
+        for (const TaskAccess& a : task.accesses)
+          if (a.tile == t) {
+            needed = true;
+            break;
+          }
+        if (needed) break;
+      }
+      if (!needed) continue;
+      to_recover.push_back(t);
+    }
+    for (const int t : to_recover) dispatch_recovery(t);
+  }
+
+  // Rebuilds a lost tile by re-running its writer chain (version order) on
+  // one alive worker, modeled as a single recovery job of the summed
+  // calibrated durations writing the result back to RAM. The replay reads
+  // the submission-time checkpoint of the tile's initial content (the
+  // standard fault-tolerant dense-solver assumption, see docs/faults.md)
+  // plus the chain's cross-tile inputs; inputs that are themselves lost
+  // recover recursively. With allow_recompute disabled the loss aborts
+  // with a structured error instead.
+  void dispatch_recovery(int tile) {
+    if (!opt_.faults.allow_recompute)
+      throw FaultError(FaultError::Kind::UnrecoverableDataLoss, -1, tile, 0);
+    if (recovery_queued_.count(tile) != 0) return;
+    recovery_queued_.insert(tile);
+    const auto& chain = writers_by_tile_[static_cast<std::size_t>(tile)];
+    if (chain.empty()) {
+      // Never written: its initial content is the checkpoint; restore it
+      // to host RAM at no modeled cost.
+      data_.add_replica(tile, 0);
+      restore_tile(tile);
+      return;
+    }
+    for (const int task : chain)
+      for (const TaskAccess& a : graph_.task(task).accesses) {
+        if (a.mode != AccessMode::Read || a.tile == tile) continue;
+        if (lost_tiles_.count(a.tile) != 0) {
+          dispatch_recovery(a.tile);
+        } else if (data_.replica_count(a.tile) == 0) {
+          // Valid nowhere yet not tracked as lost: nothing to replay from.
+          throw FaultError(FaultError::Kind::UnrecoverableDataLoss, -1, tile,
+                           0);
+        }
+      }
+    // Earliest-finish worker for the replay: availability plus the chain's
+    // calibrated time on that worker (so accelerators keep long chains).
+    int best = -1;
+    double best_finish = 0.0;
+    double best_seconds = 0.0;
+    for (int w = 0; w < platform_.num_workers(); ++w) {
+      if (!workers_[static_cast<std::size_t>(w)].alive) continue;
+      double seconds = 0.0;
+      for (const int task : chain)
+        seconds += platform_.worker_time(w, graph_.task(task).kernel);
+      const double finish = expected_available(w) + seconds;
+      if (best < 0 || finish < best_finish) {
+        best = w;
+        best_finish = finish;
+        best_seconds = seconds;
+      }
+    }
+    if (best < 0)
+      throw FaultError(FaultError::Kind::AllWorkersDead, -1, tile, 0);
+    RecoveryJob job;
+    job.tile = tile;
+    job.seconds = best_seconds;
+    ++fstats_.recomputations;
+    fstats_.recovery_time_s += job.seconds;
+    pending_recovery_[static_cast<std::size_t>(best)].push_back(job);
+  }
+
+  void start_recovery(int worker) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    auto& q = pending_recovery_[static_cast<std::size_t>(worker)];
+    const RecoveryJob job = q.front();
+    q.pop_front();
+    w.state = WorkerState::S::Computing;
+    w.current_task = -1;
+    w.recovering_tile = job.tile;
+    w.current_start = now_;
+    w.busy_until = now_ + job.seconds;
+    events_.push(w.busy_until, EventType::RecoveryFinish, worker, job.tile);
+  }
+
+  void on_recovery_finish(int worker, int tile) {
+    WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+    if (!w.alive || w.recovering_tile != tile) return;  // stale (death)
+    w.recovering_tile = -1;
+    w.state = WorkerState::S::Idle;
+    data_.add_replica(tile, 0);  // rebuilt into host RAM
+    restore_tile(tile);
+  }
+
+  // A lost tile became valid again (recovery, in-flight fetch arrival, or
+  // a regeneration by a write): unblock every worker parked on it.
+  void restore_tile(int tile) {
+    lost_tiles_.erase(tile);
+    recovery_queued_.erase(tile);
+    const auto it = waiting_on_lost_.find(tile);
+    if (it == waiting_on_lost_.end()) return;
+    const std::vector<int> waiters = std::move(it->second);
+    waiting_on_lost_.erase(it);
+    for (const int wk : waiters) {
+      WorkerState& ws = workers_[static_cast<std::size_t>(wk)];
+      if (!ws.alive) continue;
+      const int node = platform_.worker(wk).memory_node;
+      const int fid = platform_.bus().enabled && !data_.valid(tile, node)
+                          ? ensure_fetch(tile, node)
+                          : -1;
+      if (fid >= 0) {
+        // The lost-tile wait becomes a regular fetch wait (count unchanged).
+        fetches_[static_cast<std::size_t>(fid)].waiting_workers.push_back(wk);
+      } else if (--ws.pending_fetches == 0 &&
+                 ws.state == WorkerState::S::Waiting) {
+        start_compute(wk);
+      }
+    }
+  }
+
+  [[noreturn]] void throw_starvation() {
+    std::vector<int> depths(static_cast<std::size_t>(platform_.num_workers()),
+                            0);
+    for (const auto& note : noted_)
+      if (note.first >= 0) ++depths[static_cast<std::size_t>(note.first)];
+    int stuck = -1;
+    int ready = 0;
+    for (int id = 0; id < graph_.num_tasks(); ++id) {
+      if (task_done_[static_cast<std::size_t>(id)]) continue;
+      if (pending_preds_[static_cast<std::size_t>(id)] != 0) continue;
+      bool running = false;
+      for (const WorkerState& w : workers_)
+        if (w.current_task == id) {
+          running = true;
+          break;
+        }
+      if (running) continue;
+      ++ready;
+      if (stuck < 0) stuck = id;
+    }
+    throw SchedulerError(sched_.name(), stuck, ready, std::move(depths));
   }
 
   void try_start_all_idle() {
@@ -333,23 +663,37 @@ class SimEngine final : public SchedulerHost {
   const Platform& platform_;
   Scheduler& sched_;
   SimOptions opt_;
+  bool has_faults_;
   DataManager data_;
   Trace trace_;
   std::mt19937_64 rng_;
+  std::mt19937_64 fault_rng_;
 
   double now_ = 0.0;
   int finished_ = 0;
+  int alive_workers_ = 0;
   EventQueue events_;
   std::vector<WorkerState> workers_;
   std::vector<Channel> channels_;
   std::vector<int> pending_preds_;
   std::vector<std::pair<int, double>> noted_;  // (worker, est) per task
+  std::vector<char> task_done_;
   std::vector<Fetch> fetches_;
   std::map<std::pair<int, int>, int> active_fetch_;  // (tile, node) -> fetch
   std::int64_t transfer_hops_ = 0;
   std::int64_t evictions_ = 0;
   std::int64_t capacity_overflows_ = 0;
   int active_hops_ = 0;  // in-flight hops across all links (contention)
+
+  // Fault state (allocated only when the plan is non-empty).
+  FaultStats fstats_;
+  std::vector<int> attempts_;
+  std::vector<char> node_dead_;
+  std::set<int> lost_tiles_;
+  std::set<int> recovery_queued_;  // lost tiles with a recovery job pending
+  std::map<int, std::vector<int>> waiting_on_lost_;  // tile -> workers
+  std::vector<std::deque<RecoveryJob>> pending_recovery_;  // per worker
+  std::vector<std::vector<int>> writers_by_tile_;
 };
 
 SimResult SimEngine::run() {
@@ -358,6 +702,13 @@ SimResult SimEngine::run() {
       throw std::invalid_argument(
           std::string("simulate: platform '") + platform_.name() +
           "' is not calibrated for kernel " + std::string(to_string(t.kernel)));
+  if (has_faults_) {
+    const std::string err = opt_.faults.validate(platform_.num_workers());
+    if (!err.empty())
+      throw std::invalid_argument("simulate: bad fault plan: " + err);
+    for (const WorkerDeath& d : opt_.faults.deaths)
+      events_.push(d.time_s, EventType::WorkerDeath, d.worker, 0);
+  }
   sched_.initialize(*this);
   for (int id = 0; id < graph_.num_tasks(); ++id)
     pending_preds_[static_cast<std::size_t>(id)] = graph_.in_degree(id);
@@ -367,10 +718,7 @@ SimResult SimEngine::run() {
   try_start_all_idle();
 
   while (finished_ < graph_.num_tasks()) {
-    if (events_.empty())
-      throw std::logic_error(
-          "simulate: deadlock -- scheduler starved ready tasks (policy '" +
-          sched_.name() + "')");
+    if (events_.empty()) throw_starvation();
     const Event e = events_.pop();
     now_ = e.time;
     switch (e.type) {
@@ -379,6 +727,15 @@ SimResult SimEngine::run() {
         break;
       case EventType::TransferFinish:
         on_transfer_finish(e.a, e.b);
+        break;
+      case EventType::WorkerDeath:
+        on_worker_death(e.a);
+        break;
+      case EventType::RetryRelease:
+        sched_.on_task_ready(*this, e.a);
+        break;
+      case EventType::RecoveryFinish:
+        on_recovery_finish(e.a, e.b);
         break;
     }
     try_start_all_idle();
@@ -392,6 +749,7 @@ SimResult SimEngine::run() {
       static_cast<double>(data_.tile_bytes());
   res.evictions = evictions_;
   res.capacity_overflows = capacity_overflows_;
+  res.faults = fstats_;
   res.trace = std::move(trace_);
   return res;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/task_graph.hpp"
+#include "fault/fault_plan.hpp"
 #include "platform/platform.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -40,6 +41,11 @@ struct SimOptions {
   /// and pinned inputs of committed tasks never are (overflows of the
   /// capacity are counted instead of modeled -- see DataManager).
   std::size_t accel_memory_bytes = 0;
+  /// Injected faults and the retry policy absorbing them (see
+  /// fault/fault_plan.hpp and docs/faults.md). An empty plan -- the
+  /// default -- leaves the simulation bit-for-bit identical to one without
+  /// the fault subsystem.
+  FaultPlan faults;
 };
 
 /// Outcome of one simulated execution.
@@ -52,10 +58,17 @@ struct SimResult {
   std::int64_t evictions = 0;
   /// Times the capacity had to be exceeded (nothing evictable).
   std::int64_t capacity_overflows = 0;
+  /// Fault injection / recovery accounting (all zero without a plan).
+  FaultStats faults;
 };
 
 /// Simulates the execution of `g` on `p` under policy `sched`.
-/// Throws std::logic_error if the scheduler starves ready tasks.
+///
+/// Throws SchedulerError (a std::logic_error, see fault/fault_error.hpp)
+/// if the scheduler starves ready tasks; with a fault plan, throws
+/// FaultError on an unrecoverable injected fault (retry budget exhausted,
+/// every worker dead, unrecoverable sole-copy data loss) and NumericError
+/// for a forced POTRF failure.
 SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
                    const SimOptions& opt = {});
 

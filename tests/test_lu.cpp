@@ -176,7 +176,8 @@ TEST(LuBounds, MixedAtLeastArea) {
 TEST(LuBounds, CriticalPathIsDiagonalChain) {
   const int n = 8;
   const TaskGraph g = build_lu_dag(n);
-  const TimingTable& t = mirage_platform().timings();
+  const Platform p = mirage_platform();  // keep the table's owner alive
+  const TimingTable& t = p.timings();
   const double chain = static_cast<double>(n) * t.fastest(Kernel::GETRF) +
                        static_cast<double>(n - 1) *
                            (t.fastest(Kernel::TRSM) +

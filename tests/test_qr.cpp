@@ -179,7 +179,8 @@ TEST(QrBounds, CriticalPathAtLeastDiagonalChain) {
   // tile), so the chain is a strict lower bound here.
   const int n = 6;
   const TaskGraph g = build_qr_dag(n);
-  const TimingTable& t = mirage_platform().timings();
+  const Platform p = mirage_platform();  // keep the table's owner alive
+  const TimingTable& t = p.timings();
   const double chain = static_cast<double>(n) * t.fastest(Kernel::GEQRT) +
                        static_cast<double>(n - 1) *
                            (t.fastest(Kernel::TSQRT) +

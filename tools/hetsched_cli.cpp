@@ -9,9 +9,16 @@
 //                         [--memory-tiles=M] [--trace]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
+//   hetsched_cli faults   --tiles=N --sched=...
+//                         [--kill-worker=W --kill-at=T] [--slow-worker=W
+//                         --slow-from=T --slow-until=T --slow-factor=F]
+//                         [--fail-prob=P] [--retries=R] [--potrf-fail-k=K]
+//                         [--seed=S] [--emulate [--time-scale=X]] [--trace]
 //
 // Every command prints a short human-readable report; exit code 0 on
-// success, 2 on bad usage.
+// success, 2 on bad usage, 3 if the scheduling policy starved ready tasks
+// (SchedulerError), 4 on a numeric (non-SPD) failure, 5 on an
+// unrecoverable injected fault (FaultError).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +29,12 @@
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
 #include "core/lu_dag.hpp"
+#include "core/numeric_error.hpp"
 #include "core/qr_dag.hpp"
 #include "cp/cp_solver.hpp"
+#include "exec/scheduled_executor.hpp"
+#include "fault/fault_error.hpp"
+#include "fault/recovery.hpp"
 #include "platform/calibration.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
@@ -55,12 +66,24 @@ struct Args {
   double noise = 0.0;
   double budget = 2.0;
   unsigned seed = 0;
+  // Fault injection (the `faults` command).
+  int kill_worker = -1;
+  double kill_at = 0.0;
+  int slow_worker = -1;
+  double slow_from = 0.0;
+  double slow_until = 0.0;
+  double slow_factor = 2.0;
+  double fail_prob = 0.0;
+  int retries = 3;
+  int potrf_fail_k = -1;
+  bool emulate = false;
+  double time_scale = 1.0;
 };
 
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n", why);
   std::fprintf(stderr,
-               "usage: hetsched_cli bounds|simulate|solve|sweep [--key=value ...]\n"
+               "usage: hetsched_cli bounds|simulate|solve|sweep|faults [--key=value ...]\n"
                "       (see the header of tools/hetsched_cli.cpp)\n");
   std::exit(2);
 }
@@ -91,6 +114,17 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "budget", &v)) a.budget = std::atof(v.c_str());
     else if (parse_flag(arg, "seed", &v))
       a.seed = static_cast<unsigned>(std::atoi(v.c_str()));
+    else if (parse_flag(arg, "kill-worker", &v)) a.kill_worker = std::atoi(v.c_str());
+    else if (parse_flag(arg, "kill-at", &v)) a.kill_at = std::atof(v.c_str());
+    else if (parse_flag(arg, "slow-worker", &v)) a.slow_worker = std::atoi(v.c_str());
+    else if (parse_flag(arg, "slow-from", &v)) a.slow_from = std::atof(v.c_str());
+    else if (parse_flag(arg, "slow-until", &v)) a.slow_until = std::atof(v.c_str());
+    else if (parse_flag(arg, "slow-factor", &v)) a.slow_factor = std::atof(v.c_str());
+    else if (parse_flag(arg, "fail-prob", &v)) a.fail_prob = std::atof(v.c_str());
+    else if (parse_flag(arg, "retries", &v)) a.retries = std::atoi(v.c_str());
+    else if (parse_flag(arg, "potrf-fail-k", &v)) a.potrf_fail_k = std::atoi(v.c_str());
+    else if (parse_flag(arg, "time-scale", &v)) a.time_scale = std::atof(v.c_str());
+    else if (arg == "--emulate") a.emulate = true;
     else if (arg == "--integral") a.integral = true;
     else if (arg == "--prefix") a.prefix = true;
     else if (arg == "--no-comm") a.no_comm = true;
@@ -242,6 +276,85 @@ int cmd_solve(const Args& a) {
   return err.empty() ? 0 : 1;
 }
 
+FaultPlan build_fault_plan(const Args& a) {
+  FaultPlan plan;
+  if (a.kill_worker >= 0) plan.deaths.push_back({a.kill_worker, a.kill_at});
+  if (a.slow_worker >= 0)
+    plan.slowdowns.push_back(
+        {a.slow_worker, a.slow_from, a.slow_until, a.slow_factor});
+  plan.transient_failure_prob = a.fail_prob;
+  plan.potrf_fail_step = a.potrf_fail_k;
+  plan.seed = a.seed;
+  plan.retry.max_retries = a.retries;
+  if (a.emulate) plan.watchdog_timeout_factor = 50.0;
+  return plan;
+}
+
+void print_fault_stats(const FaultStats& f) {
+  std::printf("faults: %lld deaths, %lld transient failures, %lld retries, "
+              "%lld requeued\n",
+              static_cast<long long>(f.worker_deaths),
+              static_cast<long long>(f.transient_failures),
+              static_cast<long long>(f.retries),
+              static_cast<long long>(f.tasks_requeued));
+  std::printf("        %lld slowdown hits, %lld watchdog timeouts, "
+              "%lld sole-copy losses, %lld recomputations\n",
+              static_cast<long long>(f.slowdown_hits),
+              static_cast<long long>(f.watchdog_timeouts),
+              static_cast<long long>(f.sole_copy_losses),
+              static_cast<long long>(f.recomputations));
+  std::printf("        recovery time %.4f s\n", f.recovery_time_s);
+}
+
+int cmd_faults(const Args& a) {
+  const Platform p = build_platform(a, a.tiles);
+  const TaskGraph g = build_graph(a, a.tiles);
+  auto sched = build_scheduler(a, g, p);
+  const FaultPlan plan = build_fault_plan(a);
+  if (plan.empty())
+    std::printf("note: empty fault plan -- this is a plain run\n");
+
+  double makespan = 0.0;
+  if (a.emulate) {
+    const ExecResult r =
+        emulate_with_scheduler(g, p, *sched, a.time_scale, a.trace, plan);
+    if (!r.success) {
+      std::fprintf(stderr, "emulation failed: %s\n", r.error.c_str());
+      return 5;
+    }
+    makespan = r.wall_seconds / a.time_scale;
+    std::printf("%s emulated on %s (%d tasks): makespan %.4f s "
+                "(scaled from %.4f s wall)\n",
+                sched->name().c_str(), p.name().c_str(), g.num_tasks(),
+                makespan, r.wall_seconds);
+    print_fault_stats(r.faults);
+    if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+  } else {
+    SimOptions opt;
+    opt.noise_seed = a.seed;
+    opt.faults = plan;
+    const SimResult r = simulate(g, p, *sched, opt);
+    makespan = r.makespan_s;
+    std::printf("%s on %s (%d tasks): makespan %.4f s = %.1f GFLOP/s\n",
+                sched->name().c_str(), p.name().c_str(), g.num_tasks(),
+                r.makespan_s, algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
+    print_fault_stats(r.faults);
+    if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+  }
+
+  const double healthy = algo_mixed(a, a.tiles, p).makespan_s;
+  std::printf("mixed bound (healthy) : %.4f s -> efficiency %.1f%%\n",
+              healthy, healthy / makespan * 100.0);
+  if (a.kill_worker >= 0 && a.algo == "cholesky") {
+    const std::vector<int> dead = {a.kill_worker};
+    const double degraded = degraded_mixed_bound_s(a.tiles, p, dead);
+    std::printf("mixed bound (degraded): %.4f s -> recovery quality %.1f%%\n",
+                degraded, degraded_efficiency(a.tiles, p, dead, makespan) *
+                              100.0);
+  }
+  return 0;
+}
+
 int cmd_sweep(const Args& a) {
   std::printf("# sweep: %s / %s%s\n", a.algo.c_str(), a.sched.c_str(),
               a.no_comm ? " (no comm)" : "");
@@ -267,9 +380,28 @@ int cmd_sweep(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
-  if (a.command == "bounds") return cmd_bounds(a);
-  if (a.command == "simulate") return cmd_simulate(a);
-  if (a.command == "solve") return cmd_solve(a);
-  if (a.command == "sweep") return cmd_sweep(a);
+  try {
+    if (a.command == "bounds") return cmd_bounds(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "solve") return cmd_solve(a);
+    if (a.command == "sweep") return cmd_sweep(a);
+    if (a.command == "faults") return cmd_faults(a);
+  } catch (const SchedulerError& e) {
+    std::fprintf(stderr, "scheduler starvation: %s\n", e.what());
+    std::fprintf(stderr, "  policy=%s stuck_task=%d ready=%d\n",
+                 e.policy().c_str(), e.stuck_task(), e.ready_count());
+    return 3;
+  } catch (const NumericError& e) {
+    std::fprintf(stderr, "numeric failure: %s\n", e.what());
+    return 4;
+  } catch (const FaultError& e) {
+    std::fprintf(stderr, "unrecoverable fault: %s\n", e.what());
+    return 5;
+  } catch (const std::invalid_argument& e) {
+    // Bad fault plans and other rejected inputs (e.g. a kill-worker id
+    // outside the platform) are usage errors, not crashes.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   usage(("unknown command " + a.command).c_str());
 }
