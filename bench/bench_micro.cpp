@@ -4,15 +4,20 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "bounds/bounds.hpp"
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
 #include "core/kernels.hpp"
 #include "core/tile_matrix.hpp"
+#include "kernels/engine.hpp"
+#include "kernels/ref.hpp"
 #include "platform/calibration.hpp"
 #include "sched/dmda.hpp"
 #include "sched/priorities.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -77,37 +82,154 @@ void BM_SimulateDmdasWithComm(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateDmdasWithComm)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
-void BM_KernelGemm(benchmark::State& state) {
-  const int nb = static_cast<int>(state.range(0));
-  TileMatrix m(3, nb);
-  // Fill deterministically.
-  for (int h = 0; h < num_lower_tiles(3); ++h)
-    for (int i = 0; i < nb * nb; ++i)
-      m.tile(h)[i] = 1.0 + 1e-3 * static_cast<double>((i * 31 + h) % 97);
+void BM_EventQueuePushPop(benchmark::State& state) {
+  // Raw heap churn at the simulator's scale: push `n` events with
+  // pseudo-random times, then drain. reserve() keeps the backing vector
+  // from reallocating, which is what the simulator relies on.
+  const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    kernels::gemm(nb, m.tile(1, 0), nb, m.tile(2, 0), nb, m.tile(2, 1), nb);
-    benchmark::DoNotOptimize(m.tile(2, 1)[0]);
+    EventQueue q;
+    q.reserve(static_cast<std::size_t>(n));
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;  // xorshift64 time stream
+    for (int i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      q.push(static_cast<double>(x % 100000) * 1e-6, EventType::TaskFinish, i,
+             i);
+    }
+    double last = -1.0;
+    while (!q.empty()) last = q.pop().time;
+    benchmark::DoNotOptimize(last);
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * kernel_flops(Kernel::GEMM, nb) *
-          1e-9,
-      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_KernelGemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
 
+// ---- Tile-kernel GFLOP/s: reference loops vs the optimized engine ----------
+//
+// items processed = true kernel FLOP counts (core/flops.hpp), so the
+// items_per_second column reads directly as FLOP/s; ref and opt variants
+// run back to back at the paper's tile size (960) and two smaller ones.
+
+std::vector<double> noise_tile(int nb, unsigned seed) {
+  std::vector<double> t(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = 0.25 + 1e-3 * static_cast<double>((i * 31 + seed) % 97);
+  return t;
+}
+
+// Lower-triangular, diagonally dominant (safe to solve against repeatedly).
+std::vector<double> lower_tile(int nb) {
+  auto t = noise_tile(nb, 3);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < j; ++i)
+      t[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)] = 0.0;
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] = 4.0;
+  }
+  return t;
+}
+
+// SPD by construction: strong diagonal over small off-diagonal noise.
+std::vector<double> spd_tile_fast(int nb) {
+  auto t = noise_tile(nb, 7);
+  for (int j = 0; j < nb; ++j)
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] =
+        2.0 * static_cast<double>(nb);
+  return t;
+}
+
+void flops_rate(benchmark::State& state, Kernel k) {
+  const int nb = static_cast<int>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      static_cast<double>(state.iterations()) * kernel_flops(k, nb)));
+}
+
+template <bool kOpt>
+void BM_KernelGemmNT(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto a = noise_tile(nb, 1);
+  const auto b = noise_tile(nb, 2);
+  auto c = noise_tile(nb, 3);
+  for (auto _ : state) {
+    if constexpr (kOpt)
+      kernels::gemm(nb, a.data(), nb, b.data(), nb, c.data(), nb);
+    else
+      kernels::ref::gemm(nb, a.data(), nb, b.data(), nb, c.data(), nb);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  flops_rate(state, Kernel::GEMM);
+}
+
+template <bool kOpt>
+void BM_KernelSyrk(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto a = noise_tile(nb, 4);
+  auto c = noise_tile(nb, 5);
+  for (auto _ : state) {
+    if constexpr (kOpt)
+      kernels::syrk(nb, a.data(), nb, c.data(), nb);
+    else
+      kernels::ref::syrk(nb, a.data(), nb, c.data(), nb);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  flops_rate(state, Kernel::SYRK);
+}
+
+template <bool kOpt>
+void BM_KernelTrsm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto l = lower_tile(nb);
+  const auto a0 = noise_tile(nb, 6);
+  auto a = a0;
+  for (auto _ : state) {
+    // Refresh the right-hand side; ~nb^2 copied vs nb^3 solved.
+    std::copy(a0.begin(), a0.end(), a.begin());
+    if constexpr (kOpt)
+      kernels::trsm(nb, l.data(), nb, a.data(), nb);
+    else
+      kernels::ref::trsm(nb, l.data(), nb, a.data(), nb);
+    benchmark::DoNotOptimize(a[0]);
+  }
+  flops_rate(state, Kernel::TRSM);
+}
+
+template <bool kOpt>
 void BM_KernelPotrf(benchmark::State& state) {
   const int nb = static_cast<int>(state.range(0));
-  const TileMatrix spd = TileMatrix::random_spd(1, nb, 5);
-  std::vector<double> work(static_cast<std::size_t>(nb) *
-                           static_cast<std::size_t>(nb));
+  const auto spd = spd_tile_fast(nb);
+  auto w = spd;
   for (auto _ : state) {
-    state.PauseTiming();
-    std::copy(spd.tile(0), spd.tile(0) + nb * nb, work.begin());
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(kernels::potrf(nb, work.data(), nb));
+    std::copy(spd.begin(), spd.end(), w.begin());
+    const int info = kOpt ? kernels::potrf_info(nb, w.data(), nb)
+                          : kernels::ref::potrf_info(nb, w.data(), nb);
+    benchmark::DoNotOptimize(info);
   }
+  flops_rate(state, Kernel::POTRF);
 }
-BENCHMARK(BM_KernelPotrf)->Arg(64)->Arg(128)->Arg(256);
+
+#define HETSCHED_KERNEL_BENCH(name)                                        \
+  BENCHMARK(name<false>)                                                   \
+      ->Name(#name "/ref")                                                 \
+      ->Arg(192)                                                           \
+      ->Arg(480)                                                           \
+      ->Arg(960)                                                           \
+      ->Unit(benchmark::kMillisecond);                                     \
+  BENCHMARK(name<true>)                                                    \
+      ->Name(#name "/opt")                                                 \
+      ->Arg(192)                                                           \
+      ->Arg(480)                                                           \
+      ->Arg(960)                                                           \
+      ->Unit(benchmark::kMillisecond)
+
+HETSCHED_KERNEL_BENCH(BM_KernelPotrf);
+HETSCHED_KERNEL_BENCH(BM_KernelTrsm);
+HETSCHED_KERNEL_BENCH(BM_KernelSyrk);
+HETSCHED_KERNEL_BENCH(BM_KernelGemmNT);
+
+#undef HETSCHED_KERNEL_BENCH
 
 }  // namespace
 

@@ -4,7 +4,13 @@
 // Chameleon library calls (dpotrf / dtrsm RLTN / dsyrk LN / dgemm NT),
 // operating on column-major tiles with a leading dimension. They back the
 // real-execution runtime and the numerical tests; simulated performance
-// comes from the calibrated platform model, not from these loops.
+// comes from the calibrated platform model.
+//
+// The implementations live in src/kernels/: a packed, cache-blocked
+// micro-kernel engine with runtime ISA dispatch (see docs/kernels.md and
+// kernels/engine.hpp) carries the Cholesky kernels and the LU trailing
+// update; the original naive loops are preserved as kernels::ref::*
+// (kernels/ref.hpp) as correctness oracles and small-tile fallbacks.
 #pragma once
 
 namespace hetsched::kernels {

@@ -1,5 +1,6 @@
 #include "exec/parallel_executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -9,6 +10,7 @@
 
 #include "core/numeric_error.hpp"
 #include "core/tiled_cholesky.hpp"
+#include "kernels/scratch.hpp"
 
 namespace hetsched {
 namespace {
@@ -19,8 +21,9 @@ class Runtime {
  public:
   Runtime(TileMatrix& a, const TaskGraph& g, const ExecOptions& opt)
       : a_(a), g_(g), opt_(opt), trace_(opt.num_threads),
-        ready_(Cmp{&opt_.priorities}) {
+        pool_(opt.num_threads), ready_(Cmp{&opt_.priorities}) {
     pending_.resize(static_cast<std::size_t>(g.num_tasks()));
+    worker_records_.resize(static_cast<std::size_t>(opt.num_threads));
   }
 
   ExecResult run() {
@@ -37,6 +40,8 @@ class Runtime {
     for (int w = 0; w < opt_.num_threads; ++w)
       threads.emplace_back([this, w, t0] { worker_loop(w, t0); });
     for (std::thread& t : threads) t.join();
+
+    if (opt_.record_trace) merge_worker_records();
 
     ExecResult res;
     res.success = !failed_.load();
@@ -63,6 +68,12 @@ class Runtime {
   };
 
   void worker_loop(int worker, Clock::time_point t0) {
+    // Bind this worker's packing scratch for the whole thread lifetime:
+    // kernel calls below pack through pre-sized per-worker buffers instead
+    // of allocating (see kernels/scratch.hpp).
+    kernels::ScratchBinding scratch(pool_.at(worker));
+    std::vector<ComputeRecord>& records =
+        worker_records_[static_cast<std::size_t>(worker)];
     for (;;) {
       int task = -1;
       {
@@ -88,27 +99,66 @@ class Runtime {
       const double end =
           std::chrono::duration<double>(Clock::now() - t0).count();
 
-      std::lock_guard<std::mutex> lock(mu_);
+      // Trace records go to a worker-private buffer outside the lock; they
+      // are merged once after the pool joins.
       if (opt_.record_trace)
-        trace_.record_compute(
-            {worker, task, g_.task(task).kernel, start, end});
+        records.push_back({worker, task, g_.task(task).kernel, start, end});
+
       if (!error.empty()) {
-        if (error_.empty()) error_ = error;
-        failed_.store(true);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (error_.empty()) error_ = error;
+          failed_.store(true);
+        }
         cv_.notify_all();
         return;
       }
-      ++done_;
-      for (const int s : g_.successors(task))
-        if (--pending_[static_cast<std::size_t>(s)] == 0) ready_.push(s);
-      cv_.notify_all();
+
+      std::size_t newly_ready = 0;
+      bool finished = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+        finished = done_ == g_.num_tasks();
+        for (const int s : g_.successors(task))
+          if (--pending_[static_cast<std::size_t>(s)] == 0) {
+            ready_.push(s);
+            ++newly_ready;
+          }
+      }
+      if (finished) {
+        cv_.notify_all();  // everyone must observe completion and exit
+      } else {
+        // Targeted wakeups: exactly one waiter per task made ready (this
+        // worker pops its next task without waiting). A completion that
+        // releases nothing wakes nobody -- no thundering herd.
+        for (std::size_t i = 0; i < newly_ready; ++i) cv_.notify_one();
+      }
     }
+  }
+
+  void merge_worker_records() {
+    std::size_t total = 0;
+    for (const auto& r : worker_records_) total += r.size();
+    std::vector<ComputeRecord> all;
+    all.reserve(total);
+    for (const auto& r : worker_records_) all.insert(all.end(), r.begin(), r.end());
+    std::sort(all.begin(), all.end(),
+              [](const ComputeRecord& x, const ComputeRecord& y) {
+                if (x.start != y.start) return x.start < y.start;
+                if (x.end != y.end) return x.end < y.end;
+                return x.task < y.task;
+              });
+    for (const ComputeRecord& r : all) trace_.record_compute(r);
   }
 
   TileMatrix& a_;
   const TaskGraph& g_;
   ExecOptions opt_;
   Trace trace_;
+  kernels::ScratchPool pool_;
+  /// Per-worker trace buffers, written lock-free by their owning thread.
+  std::vector<std::vector<ComputeRecord>> worker_records_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -15,6 +15,7 @@
 
 #include "core/numeric_error.hpp"
 #include "core/tiled_cholesky.hpp"
+#include "kernels/scratch.hpp"
 
 namespace hetsched {
 namespace {
@@ -201,7 +202,12 @@ ExecResult run_threaded(const TaskGraph& g, const Platform& calibration,
     cv.notify_all();  // wake the service thread to re-arm its timer
   };
 
+  kernels::ScratchPool scratch_pool(num_threads);
   const auto worker_loop = [&](int worker) {
+    // Per-worker packing scratch for the numeric-kernel bodies; packing
+    // never allocates once the buffers reach steady-state size. Emulated
+    // bodies simply never touch it.
+    kernels::ScratchBinding scratch(scratch_pool.at(worker));
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       if (done == g.num_tasks() || failed.load()) return;

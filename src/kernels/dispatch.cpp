@@ -1,0 +1,59 @@
+#include "kernels/engine.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/gemm_packed.hpp"
+
+namespace hetsched::kernels {
+namespace {
+
+Tier clamp_to_native(Tier t) {
+  if (t == Tier::kAvx2 && !detail::avx2_supported()) return Tier::kGeneric;
+  return t;
+}
+
+// Startup choice: the best supported tier, unless HETSCHED_KERNEL_TIER
+// pins one ("generic" | "avx2"; unsupported requests clamp down).
+Tier startup_tier() {
+  const char* env = std::getenv("HETSCHED_KERNEL_TIER");
+  if (env != nullptr) {
+    if (std::strcmp(env, "generic") == 0) return Tier::kGeneric;
+    if (std::strcmp(env, "avx2") == 0) return clamp_to_native(Tier::kAvx2);
+  }
+  return detail::avx2_supported() ? Tier::kAvx2 : Tier::kGeneric;
+}
+
+std::atomic<Tier>& active_tier() {
+  static std::atomic<Tier> tier{startup_tier()};
+  return tier;
+}
+
+}  // namespace
+
+Tier native_tier() {
+  return detail::avx2_supported() ? Tier::kAvx2 : Tier::kGeneric;
+}
+
+Tier engine_tier() { return active_tier().load(std::memory_order_relaxed); }
+
+void set_engine_tier(Tier t) {
+  active_tier().store(clamp_to_native(t), std::memory_order_relaxed);
+}
+
+void reset_engine_tier() {
+  active_tier().store(startup_tier(), std::memory_order_relaxed);
+}
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kGeneric:
+      break;
+  }
+  return "generic";
+}
+
+}  // namespace hetsched::kernels

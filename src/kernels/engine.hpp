@@ -1,0 +1,41 @@
+// Runtime dispatch of the optimized tile-kernel engine.
+//
+// The packed GEMM macro-kernel is ISA-independent; only the innermost 8x4
+// register-tiled micro-kernel exists in two flavours:
+//
+//   kGeneric : plain C++ written to auto-vectorize at the build's baseline
+//              ISA (SSE2 on x86-64) -- always available, any platform.
+//   kAvx2    : AVX2 + FMA intrinsics compiled via a per-function target
+//              attribute, selected only when the CPU reports both features
+//              at runtime (the binary stays runnable on baseline hardware).
+//
+// The active tier is chosen once per process: the best the CPU supports,
+// overridable by the environment variable HETSCHED_KERNEL_TIER
+// ("generic" | "avx2"; an unsupported request falls back to generic) and,
+// for tests and benchmarks, programmatically via set_engine_tier().
+#pragma once
+
+namespace hetsched::kernels {
+
+enum class Tier {
+  kGeneric,  ///< portable auto-vectorized micro-kernel
+  kAvx2,     ///< AVX2 + FMA intrinsics micro-kernel (x86-64 only)
+};
+
+/// Best tier this CPU supports (ignores overrides).
+Tier native_tier();
+
+/// The tier kernel calls currently dispatch to.
+Tier engine_tier();
+
+/// Forces a tier (clamped to native support). Not thread-safe w.r.t.
+/// concurrently running kernels; intended for test/bench setup code.
+void set_engine_tier(Tier t);
+
+/// Restores the startup choice (native, or the env-var override).
+void reset_engine_tier();
+
+/// Human-readable tier name ("generic", "avx2").
+const char* tier_name(Tier t);
+
+}  // namespace hetsched::kernels

@@ -1,0 +1,138 @@
+#include "kernels/gemm_packed.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/engine.hpp"
+#include "kernels/scratch.hpp"
+
+namespace hetsched::kernels::detail {
+namespace {
+
+inline int round_up(int v, int to) { return (v + to - 1) / to * to; }
+
+// Packs A(mc x kc) (column-major, leading dimension lda) into kMR-tall
+// row micro-panels: panel ir starts at dst + ir*kc and stores column p of
+// its rows contiguously. Rows beyond mc are zero-padded.
+void pack_a(int mc, int kc, const double* a, int lda, double* dst) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = std::min(kMR, mc - ir);
+    double* d = dst + static_cast<std::ptrdiff_t>(ir) * kc;
+    for (int p = 0; p < kc; ++p) {
+      const double* ap = a + ir + static_cast<std::ptrdiff_t>(p) * lda;
+      int i = 0;
+      for (; i < mr; ++i) d[i] = ap[i];
+      for (; i < kMR; ++i) d[i] = 0.0;
+      d += kMR;
+    }
+  }
+}
+
+// Packs op(B)(kc x n) into kNR-wide column micro-panels: panel jr starts at
+// dst + jr*kc and stores row p of its columns contiguously. For kNT the
+// element op(B)(p, j) lives at b[j + p*ldb]; for kNN at b[p + j*ldb].
+// Columns beyond n are zero-padded.
+void pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
+            double* dst) {
+  for (int jr = 0; jr < n; jr += kNR) {
+    const int nr = std::min(kNR, n - jr);
+    double* d = dst + static_cast<std::ptrdiff_t>(jr) * kc;
+    if (layout == BLayout::kNT) {
+      for (int p = 0; p < kc; ++p) {
+        const double* bp = b + jr + static_cast<std::ptrdiff_t>(p) * ldb;
+        int j = 0;
+        for (; j < nr; ++j) d[j] = bp[j];
+        for (; j < kNR; ++j) d[j] = 0.0;
+        d += kNR;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        int j = 0;
+        for (; j < nr; ++j)
+          d[j] = b[p + static_cast<std::ptrdiff_t>(jr + j) * ldb];
+        for (; j < kNR; ++j) d[j] = 0.0;
+        d += kNR;
+      }
+    }
+  }
+}
+
+using MicroKernel = void (*)(int, const double*, const double*, double*);
+
+}  // namespace
+
+void micro_8x4_generic(int kc, const double* pa, const double* pb,
+                       double* acc) {
+  // Local accumulator array; with kMR*kNR = 32 doubles the compiler keeps
+  // it in SIMD registers at the baseline ISA.
+  double c[kMR * kNR] = {};
+  for (int p = 0; p < kc; ++p) {
+    for (int j = 0; j < kNR; ++j) {
+      const double bj = pb[j];
+      double* cj = c + j * kMR;
+      for (int i = 0; i < kMR; ++i) cj[i] += pa[i] * bj;
+    }
+    pa += kMR;
+    pb += kNR;
+  }
+  for (int x = 0; x < kMR * kNR; ++x) acc[x] = c[x];
+}
+
+void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
+                 const double* b, int ldb, BLayout layout, double* c, int ldc,
+                 bool lower_only) {
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0) return;
+  const MicroKernel micro =
+      engine_tier() == Tier::kAvx2 ? micro_8x4_avx2 : micro_8x4_generic;
+
+  TileScratch& scratch = active_scratch();
+  double* pb = scratch.b_panel(static_cast<std::size_t>(round_up(n, kNR)) *
+                               static_cast<std::size_t>(kKC));
+  double* pa = scratch.a_panel(
+      static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) *
+      static_cast<std::size_t>(kKC));
+
+  for (int pc = 0; pc < k; pc += kKC) {
+    const int kc = std::min(kKC, k - pc);
+    const double* bpc = layout == BLayout::kNT
+                            ? b + static_cast<std::ptrdiff_t>(pc) * ldb
+                            : b + pc;
+    pack_b(kc, n, bpc, ldb, layout, pb);
+    for (int ic = 0; ic < m; ic += kMC) {
+      const int mc = std::min(kMC, m - ic);
+      pack_a(mc, kc, a + ic + static_cast<std::ptrdiff_t>(pc) * lda, lda, pa);
+      for (int jr = 0; jr < n; jr += kNR) {
+        // Every remaining micro-tile of this A block would be strictly
+        // above the diagonal: nothing left to store in this block row.
+        if (lower_only && jr > ic + mc - 1) break;
+        const int nr = std::min(kNR, n - jr);
+        const double* pbj = pb + static_cast<std::ptrdiff_t>(jr) * kc;
+        for (int ir = 0; ir < mc; ir += kMR) {
+          const int mr = std::min(kMR, mc - ir);
+          const int gi = ic + ir;  // global row of the micro-tile's top
+          if (lower_only && gi + mr - 1 < jr) continue;  // strictly upper
+          alignas(32) double acc[kMR * kNR];
+          micro(kc, pa + static_cast<std::ptrdiff_t>(ir) * kc, pbj, acc);
+          const bool full = mr == kMR && nr == kNR &&
+                            (!lower_only || gi >= jr + kNR - 1);
+          if (full) {
+            for (int j = 0; j < kNR; ++j) {
+              double* cj = c + gi + static_cast<std::ptrdiff_t>(jr + j) * ldc;
+              const double* accj = acc + j * kMR;
+              for (int i = 0; i < kMR; ++i) cj[i] += alpha * accj[i];
+            }
+          } else {
+            for (int j = 0; j < nr; ++j) {
+              double* cj = c + gi + static_cast<std::ptrdiff_t>(jr + j) * ldc;
+              const double* accj = acc + j * kMR;
+              for (int i = 0; i < mr; ++i)
+                if (!lower_only || gi + i >= jr + j) cj[i] += alpha * accj[i];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hetsched::kernels::detail

@@ -1,0 +1,58 @@
+// Internal: the packed cache-blocked GEMM core of the optimized kernels.
+//
+// GotoBLAS-style three-level blocking. For C(m x n) += alpha * A * op(B):
+//
+//   for pc in steps of kKC:                       (L3/L2: rank-kKC slices)
+//     pack op(B)(pc:pc+kc, :) into ~B  (kNR-wide column micro-panels)
+//     for ic in steps of kMC:                     (L2: A block)
+//       pack A(ic:ic+mc, pc:pc+kc) into ~A (kMR-tall row micro-panels)
+//       for jr in steps of kNR:                   (registers)
+//         for ir in steps of kMR:
+//           acc(kMR x kNR) = ~A panel * ~B panel   <- micro-kernel
+//           C(ic+ir.., jr..) += alpha * acc        (masked at edges)
+//
+// Panels are zero-padded to kMR/kNR multiples so the micro-kernel never
+// branches on the depth loop; edge handling happens once, at the accumulate
+// into C. `lower_only` restricts the store to elements with row >= col of
+// C's own index space (SYRK's lower triangle); micro-tiles entirely above
+// the diagonal are skipped before any flops are spent.
+//
+// This header is internal to src/kernels; the public surface is
+// core/kernels.hpp (tile API) + kernels/engine.hpp (dispatch control).
+#pragma once
+
+namespace hetsched::kernels::detail {
+
+inline constexpr int kMR = 8;   ///< micro-tile rows (register block)
+inline constexpr int kNR = 4;   ///< micro-tile columns
+inline constexpr int kKC = 256;  ///< k blocking (packed panels' depth)
+inline constexpr int kMC = 128;  ///< m blocking (packed A height)
+
+/// How B's memory maps onto the op(B) the product consumes.
+enum class BLayout {
+  kNT,  ///< B stored n x k, product uses B^T  (dgemm NT / dsyrk)
+  kNN,  ///< B stored k x n, product uses B    (dgemm NN)
+};
+
+/// C(m x n) += alpha * A(m x k) * op(B) with op per `layout`; `lower_only`
+/// confines stores to C's lower triangle (row >= col). Packs through the
+/// calling thread's active TileScratch (see scratch.hpp).
+void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
+                 const double* b, int ldb, BLayout layout, double* c, int ldc,
+                 bool lower_only);
+
+/// Portable micro-kernel: acc(kMR x kNR, column-major, 32-byte aligned) :=
+/// sum_p pa[p*kMR + i] * pb[p*kNR + j]. Written to auto-vectorize at the
+/// baseline ISA.
+void micro_8x4_generic(int kc, const double* pa, const double* pb,
+                       double* acc);
+
+/// AVX2+FMA intrinsics variant (per-function target attribute); only
+/// callable when avx2_supported(). Falls back to the generic kernel on
+/// non-x86 builds.
+void micro_8x4_avx2(int kc, const double* pa, const double* pb, double* acc);
+
+/// True when the running CPU reports AVX2 and FMA.
+bool avx2_supported();
+
+}  // namespace hetsched::kernels::detail

@@ -1,0 +1,69 @@
+// AVX2 + FMA micro-kernel, compiled via per-function target attributes so
+// the translation unit builds at the portable baseline ISA and the binary
+// stays runnable on machines without AVX2; runtime dispatch (engine.hpp)
+// only routes here when the CPU reports both features.
+#include "kernels/gemm_packed.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HETSCHED_KERNELS_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+#endif
+
+namespace hetsched::kernels::detail {
+
+#if defined(HETSCHED_KERNELS_HAVE_AVX2_PATH)
+
+bool avx2_supported() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+__attribute__((target("avx2,fma"))) void micro_8x4_avx2(int kc,
+                                                        const double* pa,
+                                                        const double* pb,
+                                                        double* acc) {
+  // 8 accumulators (8 rows x 4 cols as 2x4 YMM), 2 A vectors, 1 B
+  // broadcast: 11 of 16 YMM registers live.
+  __m256d c00 = _mm256_setzero_pd(), c10 = _mm256_setzero_pd();
+  __m256d c01 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c02 = _mm256_setzero_pd(), c12 = _mm256_setzero_pd();
+  __m256d c03 = _mm256_setzero_pd(), c13 = _mm256_setzero_pd();
+  for (int p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(pa);
+    const __m256d a1 = _mm256_load_pd(pa + 4);
+    __m256d b = _mm256_broadcast_sd(pb);
+    c00 = _mm256_fmadd_pd(a0, b, c00);
+    c10 = _mm256_fmadd_pd(a1, b, c10);
+    b = _mm256_broadcast_sd(pb + 1);
+    c01 = _mm256_fmadd_pd(a0, b, c01);
+    c11 = _mm256_fmadd_pd(a1, b, c11);
+    b = _mm256_broadcast_sd(pb + 2);
+    c02 = _mm256_fmadd_pd(a0, b, c02);
+    c12 = _mm256_fmadd_pd(a1, b, c12);
+    b = _mm256_broadcast_sd(pb + 3);
+    c03 = _mm256_fmadd_pd(a0, b, c03);
+    c13 = _mm256_fmadd_pd(a1, b, c13);
+    pa += kMR;
+    pb += kNR;
+  }
+  _mm256_store_pd(acc + 0, c00);
+  _mm256_store_pd(acc + 4, c10);
+  _mm256_store_pd(acc + 8, c01);
+  _mm256_store_pd(acc + 12, c11);
+  _mm256_store_pd(acc + 16, c02);
+  _mm256_store_pd(acc + 20, c12);
+  _mm256_store_pd(acc + 24, c03);
+  _mm256_store_pd(acc + 28, c13);
+}
+
+#else  // non-x86 or unsupported compiler: never selected at runtime
+
+bool avx2_supported() { return false; }
+
+void micro_8x4_avx2(int kc, const double* pa, const double* pb, double* acc) {
+  micro_8x4_generic(kc, pa, pb, acc);
+}
+
+#endif
+
+}  // namespace hetsched::kernels::detail

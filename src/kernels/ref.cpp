@@ -1,13 +1,11 @@
-#include "core/kernels.hpp"
+#include "kernels/ref.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
-namespace hetsched::kernels {
-namespace {
+namespace hetsched::kernels::ref {
 
-// C(m x n) += alpha * A(m x k) * B(n x k)^T, column-major.
-// Column-of-C axpy formulation: good stride-1 behaviour.
 void gemm_nt(int m, int n, int k, double alpha, const double* a, int lda,
              const double* b, int ldb, double* c, int ldc) {
   for (int j = 0; j < n; ++j) {
@@ -21,8 +19,6 @@ void gemm_nt(int m, int n, int k, double alpha, const double* a, int lda,
   }
 }
 
-// Solve X * L^T = A for an m x n block A, L lower-triangular n x n.
-// Overwrites A with X. Column j depends on columns < j.
 void trsm_rlt(int m, int n, const double* l, int ldl, double* a, int lda) {
   for (int j = 0; j < n; ++j) {
     double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
@@ -37,7 +33,6 @@ void trsm_rlt(int m, int n, const double* l, int ldl, double* a, int lda) {
   }
 }
 
-// C(n x n, lower) += alpha * A(n x k) * A^T.
 void syrk_ln(int n, int k, double alpha, const double* a, int lda, double* c,
              int ldc) {
   for (int j = 0; j < n; ++j) {
@@ -51,8 +46,6 @@ void syrk_ln(int n, int k, double alpha, const double* a, int lda, double* c,
   }
 }
 
-// Unblocked right-looking lower Cholesky of the n x n leading block.
-// Returns 0 on success, else the 1-based index of the failing pivot.
 int potrf_unblocked(int n, double* a, int lda) {
   for (int j = 0; j < n; ++j) {
     double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
@@ -73,8 +66,8 @@ int potrf_unblocked(int n, double* a, int lda) {
   return 0;
 }
 
+namespace {
 constexpr int kPotrfBlock = 64;
-
 }  // namespace
 
 bool potrf(int nb, double* a, int lda) { return potrf_info(nb, a, lda) == 0; }
@@ -89,8 +82,6 @@ int potrf_info(int nb, double* a, int lda) {
     if (m > 0) {
       double* apanel = a + (k + kb) + static_cast<std::ptrdiff_t>(k) * lda;
       trsm_rlt(m, kb, akk, lda, apanel, lda);
-      // Trailing submatrix update: SYRK on the diagonal part done lazily via
-      // syrk_ln over the whole trailing square (lower triangle only).
       double* atrail =
           a + (k + kb) + static_cast<std::ptrdiff_t>(k + kb) * lda;
       syrk_ln(m, kb, -1.0, apanel, lda, atrail, lda);
@@ -115,8 +106,6 @@ void gemm(int nb, const double* a, int lda, const double* b, int ldb,
 // ---- LU kernels ------------------------------------------------------------
 
 bool getrf_nopiv(int nb, double* a, int lda) {
-  // Unblocked right-looking LU; tiles are small enough that the blocked
-  // variant buys little here, and clarity wins.
   for (int k = 0; k < nb; ++k) {
     double* ak = a + static_cast<std::ptrdiff_t>(k) * lda;
     const double pivot = ak[k];
@@ -271,4 +260,4 @@ void tsmqr(int nb, const double* v, int ldv, const double* tau,
   }
 }
 
-}  // namespace hetsched::kernels
+}  // namespace hetsched::kernels::ref

@@ -1,0 +1,48 @@
+#include "kernels/scratch.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace hetsched::kernels {
+namespace detail {
+
+namespace {
+constexpr std::size_t kAlign = 64;  // one cache line; covers AVX-512 loads
+
+thread_local TileScratch* t_bound = nullptr;
+}  // namespace
+
+void AlignedBuffer::Free::operator()(double* p) const noexcept {
+  std::free(p);
+}
+
+double* AlignedBuffer::ensure(std::size_t count) {
+  if (count <= cap_) return data_.get();
+  // Grow geometrically so alternating tile shapes don't thrash realloc.
+  std::size_t want = cap_ + cap_ / 2;
+  if (want < count) want = count;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t per_align = kAlign / sizeof(double);
+  want = (want + per_align - 1) / per_align * per_align;
+  void* p = std::aligned_alloc(kAlign, want * sizeof(double));
+  if (p == nullptr) throw std::bad_alloc();
+  data_.reset(static_cast<double*>(p));
+  cap_ = want;
+  return data_.get();
+}
+
+TileScratch& active_scratch() {
+  if (t_bound != nullptr) return *t_bound;
+  thread_local TileScratch fallback;
+  return fallback;
+}
+
+}  // namespace detail
+
+ScratchBinding::ScratchBinding(TileScratch& s) : prev_(detail::t_bound) {
+  detail::t_bound = &s;
+}
+
+ScratchBinding::~ScratchBinding() { detail::t_bound = prev_; }
+
+}  // namespace hetsched::kernels

@@ -1,8 +1,12 @@
 #include "platform/calibration.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <vector>
 
 #include "core/flops.hpp"
+#include "core/kernels.hpp"
 
 namespace hetsched {
 
@@ -54,6 +58,85 @@ Platform mirage_related_platform(int n_tiles) {
   for (double& r : ratios) r = k;
   return custom_platform(9, 3, kMirageCpuTime, ratios, kPaperTileSize,
                          "mirage-related-" + std::to_string(n_tiles));
+}
+
+namespace {
+
+// Deterministic operands for the measurement kernels: small off-diagonal
+// noise, and (where needed) a dominant diagonal so TRSM solves and POTRF
+// factorizations are well conditioned at any nb.
+std::vector<double> calib_tile(int nb, unsigned seed) {
+  std::vector<double> t(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = 0.25 + 1e-3 * static_cast<double>((i * 31 + seed) % 97);
+  return t;
+}
+
+void make_spd(int nb, std::vector<double>& t) {
+  for (int j = 0; j < nb; ++j)
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] =
+        2.0 * static_cast<double>(nb);
+}
+
+void make_lower(int nb, std::vector<double>& t) {
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < j; ++i)
+      t[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)] = 0.0;
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] = 4.0;
+  }
+}
+
+}  // namespace
+
+double measure_kernel_seconds(Kernel k, int nb, int repeats) {
+  if (nb <= 0 || repeats <= 0) return 0.0;
+  using Clock = std::chrono::steady_clock;
+  const auto a = calib_tile(nb, 1);
+  const auto b = calib_tile(nb, 2);
+  auto l = calib_tile(nb, 3);
+  make_lower(nb, l);
+  auto spd = calib_tile(nb, 7);
+  make_spd(nb, spd);
+  std::vector<double> w = calib_tile(nb, 5);
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    // Destructive kernels get a fresh input each repetition (untimed copy).
+    if (k == Kernel::TRSM) w = a;
+    if (k == Kernel::POTRF) w = spd;
+    const auto t0 = Clock::now();
+    switch (k) {
+      case Kernel::POTRF:
+        if (kernels::potrf_info(nb, w.data(), nb) != 0) return 0.0;
+        break;
+      case Kernel::TRSM:
+        kernels::trsm(nb, l.data(), nb, w.data(), nb);
+        break;
+      case Kernel::SYRK:
+        kernels::syrk(nb, a.data(), nb, w.data(), nb);
+        break;
+      case Kernel::GEMM:
+        kernels::gemm(nb, a.data(), nb, b.data(), nb, w.data(), nb);
+        break;
+      default:
+        return 0.0;  // LU/QR: not measured, left uncalibrated
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = (r == 0) ? s : std::min(best, s);
+  }
+  return best;
+}
+
+Platform measured_local_platform(int num_cpus, int nb, int repeats) {
+  double times[kNumKernels] = {};
+  for (const Kernel k : kCholeskyKernels)
+    times[static_cast<std::size_t>(kernel_index(k))] =
+        measure_kernel_seconds(k, nb, repeats);
+  double ratios[kNumKernels];
+  for (double& r : ratios) r = 1.0;
+  return custom_platform(num_cpus, 0, times, ratios, nb,
+                         "measured-local-" + std::to_string(num_cpus));
 }
 
 }  // namespace hetsched

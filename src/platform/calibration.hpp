@@ -69,4 +69,23 @@ Platform custom_platform(int num_cpus, int num_gpus,
                          int nb = kPaperTileSize,
                          const std::string& name = "custom");
 
+// ---- Local recalibration against the optimized kernel engine ---------------
+//
+// The Mirage numbers above are pinned to the paper and never change. When
+// running the *real* executors on this machine, the platform model can
+// instead be fed with measured times of the packed kernel engine
+// (src/kernels/, docs/kernels.md), so simulated makespans and bounds are
+// commensurable with actual wall-clock runs.
+
+/// Wall time (seconds, best of `repeats`) of one optimized tile-kernel
+/// invocation at tile size `nb` on this machine. Supported for the four
+/// Cholesky kernels; other kernels return 0.0 ("uncalibrated").
+double measure_kernel_seconds(Kernel k, int nb, int repeats = 3);
+
+/// Homogeneous `num_cpus`-core platform whose Cholesky kernel times are
+/// measured locally via measure_kernel_seconds(); LU/QR rows are left
+/// uncalibrated (time 0), so only Cholesky graphs can be simulated on it.
+Platform measured_local_platform(int num_cpus, int nb = kPaperTileSize,
+                                 int repeats = 3);
+
 }  // namespace hetsched

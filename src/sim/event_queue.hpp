@@ -3,10 +3,16 @@
 // Events are ordered by (time, insertion sequence); ties in virtual time are
 // broken by insertion order, which makes every simulation bit-reproducible
 // for a fixed scheduler and seed.
+//
+// The heap is kept explicitly (std::push_heap/pop_heap over a vector)
+// rather than through std::priority_queue so the backing vector can be
+// reserve()d up front -- the simulator sizes it from the task count, so the
+// steady-state event churn never reallocates.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace hetsched {
@@ -32,21 +38,34 @@ struct Event {
 /// Min-heap of events keyed by (time, seq).
 class EventQueue {
  public:
+  /// Pre-sizes the backing vector (e.g. from the simulation's task count)
+  /// so pushes during the run don't reallocate.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   void push(double time, EventType type, int a, int b) {
-    heap_.push(Event{time, next_seq_++, type, a, b});
+    heap_.push_back(Event{time, next_seq_++, type, a, b});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
+  std::size_t capacity() const noexcept { return heap_.capacity(); }
 
-  /// Removes and returns the earliest event.
+  /// Removes and returns the earliest event. Popping an empty queue is
+  /// event starvation -- a scheduler/simulator bug, asserted in debug
+  /// builds (release callers check empty() and report, see simulator).
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    assert(size() > 0 && "EventQueue::pop on empty queue (event starvation)");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = heap_.back();
+    heap_.pop_back();
     return e;
   }
 
-  const Event& peek() const { return heap_.top(); }
+  const Event& peek() const {
+    assert(size() > 0 && "EventQueue::peek on empty queue");
+    return heap_.front();
+  }
 
  private:
   struct Later {
@@ -55,7 +74,7 @@ class EventQueue {
       return x.seq > y.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

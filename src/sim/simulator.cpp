@@ -702,6 +702,11 @@ SimResult SimEngine::run() {
       throw std::invalid_argument(
           std::string("simulate: platform '") + platform_.name() +
           "' is not calibrated for kernel " + std::string(to_string(t.kernel)));
+  // Upper-bounds the concurrent event population (in-flight finishes,
+  // transfer hops, planned deaths); sizing from the task count keeps the
+  // heap's backing vector from ever reallocating mid-run.
+  events_.reserve(static_cast<std::size_t>(graph_.num_tasks()) +
+                  opt_.faults.deaths.size() + 64);
   if (has_faults_) {
     const std::string err = opt_.faults.validate(platform_.num_workers());
     if (!err.empty())

@@ -70,6 +70,27 @@ TEST(Calibration, CustomPlatformValidation) {
   EXPECT_DOUBLE_EQ(p.timings().time(1, Kernel::GEMM), 0.5);
 }
 
+TEST(Calibration, MeasuredLocalPlatformCalibratesCholeskyKernels) {
+  // Small nb keeps this a millisecond-scale test; the point is plumbing,
+  // not throughput. Cholesky rows must be measured (> 0), LU/QR rows must
+  // stay uncalibrated, and the Mirage constants must be untouched.
+  const int nb = 48;
+  for (const Kernel k : kCholeskyKernels)
+    EXPECT_GT(measure_kernel_seconds(k, nb, 2), 0.0) << to_string(k);
+  EXPECT_DOUBLE_EQ(measure_kernel_seconds(Kernel::GEQRT, nb, 2), 0.0);
+
+  const Platform p = measured_local_platform(3, nb, 2);
+  EXPECT_EQ(p.num_workers(), 3);
+  EXPECT_EQ(p.nb(), nb);
+  for (const Kernel k : kCholeskyKernels) {
+    EXPECT_TRUE(p.supports(k)) << to_string(k);
+    EXPECT_GT(p.timings().time(0, k), 0.0) << to_string(k);
+  }
+  EXPECT_FALSE(p.supports(Kernel::TSMQR));
+  EXPECT_DOUBLE_EQ(mirage_platform().timings().time(0, Kernel::GEMM),
+                   kMirageCpuTime[kernel_index(Kernel::GEMM)]);
+}
+
 TEST(Calibration, CpuTimesAreRealistic) {
   // Single-core rates implied by the calibration: all within 5..12 GFLOP/s,
   // the plausible envelope of one Westmere core running MKL.

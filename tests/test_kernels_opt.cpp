@@ -1,0 +1,256 @@
+// Optimized kernel engine (src/kernels/) against the kernels::ref oracles.
+//
+// Complements test_kernels.cpp (which validates the public API against
+// closed-form expectations at small/medium nb) with:
+//   * ref-vs-opt agreement across the packing edge cases: nb 1..8 (below
+//     one micro-tile), 63/64/65 (around the kMC/kKC-aligned sizes), 192,
+//     and the paper's 960;
+//   * non-trivial leading dimensions on every operand;
+//   * generic-vs-AVX2 tier agreement through set_engine_tier();
+//   * a full factorization residual through execute_parallel, i.e. the
+//     engine as the executors actually drive it (scratch pool bound).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/cholesky_dag.hpp"
+#include "core/dense_matrix.hpp"
+#include "core/kernels.hpp"
+#include "core/tile_matrix.hpp"
+#include "exec/parallel_executor.hpp"
+#include "kernels/engine.hpp"
+#include "kernels/ref.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<double> random_block(int rows, int cols, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> t(static_cast<std::size_t>(rows) *
+                        static_cast<std::size_t>(cols));
+  for (double& x : t) x = dist(rng);
+  return t;
+}
+
+std::vector<double> spd_block(int nb, int ld, unsigned seed) {
+  const DenseMatrix a = DenseMatrix::random_spd(nb, seed);
+  std::vector<double> t(static_cast<std::size_t>(ld) *
+                        static_cast<std::size_t>(nb));
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i)
+      t[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(ld)] = a(i, j);
+  return t;
+}
+
+double max_abs(const std::vector<double>& t) {
+  double m = 0.0;
+  for (const double x : t) m = std::max(m, std::abs(x));
+  return m;
+}
+
+/// Elementwise |x - y| <= 1e-10 * (1 + max|y|): the ISSUE's norm-scaled
+/// tolerance. ref and opt sum in different orders, so exact equality is
+/// not expected above the small-tile fallback threshold.
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  const double tol = 1e-10 * (1.0 + max_abs(want));
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol) << "flat index " << i;
+}
+
+class OptVsRefSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptVsRefSweep, Gemm) {
+  const int nb = GetParam();
+  const auto a = random_block(nb, nb, 11);
+  const auto b = random_block(nb, nb, 12);
+  auto c_opt = random_block(nb, nb, 13);
+  auto c_ref = c_opt;
+  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_opt.data(), nb);
+  kernels::ref::gemm(nb, a.data(), nb, b.data(), nb, c_ref.data(), nb);
+  expect_close(c_opt, c_ref);
+}
+
+TEST_P(OptVsRefSweep, GemmNn) {
+  const int nb = GetParam();
+  const auto a = random_block(nb, nb, 14);
+  const auto b = random_block(nb, nb, 15);
+  auto c_opt = random_block(nb, nb, 16);
+  auto c_ref = c_opt;
+  kernels::gemm_nn(nb, a.data(), nb, b.data(), nb, c_opt.data(), nb);
+  kernels::ref::gemm_nn(nb, a.data(), nb, b.data(), nb, c_ref.data(), nb);
+  expect_close(c_opt, c_ref);
+}
+
+TEST_P(OptVsRefSweep, Syrk) {
+  const int nb = GetParam();
+  const auto a = random_block(nb, nb, 17);
+  auto c_opt = random_block(nb, nb, 18);
+  auto c_ref = c_opt;
+  kernels::syrk(nb, a.data(), nb, c_opt.data(), nb);
+  kernels::ref::syrk(nb, a.data(), nb, c_ref.data(), nb);
+  expect_close(c_opt, c_ref);
+  // Strict upper triangle must be untouched bit-for-bit.
+  for (int j = 1; j < nb; ++j)
+    for (int i = 0; i < j; ++i)
+      ASSERT_EQ(c_opt[static_cast<std::size_t>(i) +
+                      static_cast<std::size_t>(j) *
+                          static_cast<std::size_t>(nb)],
+                c_ref[static_cast<std::size_t>(i) +
+                      static_cast<std::size_t>(j) *
+                          static_cast<std::size_t>(nb)]);
+}
+
+TEST_P(OptVsRefSweep, Trsm) {
+  const int nb = GetParam();
+  // A well-conditioned lower factor: the Cholesky of an SPD tile.
+  auto l = spd_block(nb, nb, 19);
+  ASSERT_EQ(kernels::ref::potrf_info(nb, l.data(), nb), 0);
+  auto a_opt = random_block(nb, nb, 20);
+  auto a_ref = a_opt;
+  kernels::trsm(nb, l.data(), nb, a_opt.data(), nb);
+  kernels::ref::trsm(nb, l.data(), nb, a_ref.data(), nb);
+  expect_close(a_opt, a_ref);
+}
+
+TEST_P(OptVsRefSweep, Potrf) {
+  const int nb = GetParam();
+  const auto spd = spd_block(nb, nb, 21);
+  auto w_opt = spd;
+  auto w_ref = spd;
+  ASSERT_EQ(kernels::potrf_info(nb, w_opt.data(), nb), 0);
+  ASSERT_EQ(kernels::ref::potrf_info(nb, w_ref.data(), nb), 0);
+  // Compare lower triangles only; above the diagonal both leave the input.
+  const double tol = 1e-10 * (1.0 + max_abs(w_ref));
+  for (int j = 0; j < nb; ++j)
+    for (int i = j; i < nb; ++i)
+      ASSERT_NEAR(w_opt[static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(j) *
+                            static_cast<std::size_t>(nb)],
+                  w_ref[static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(j) *
+                            static_cast<std::size_t>(nb)],
+                  tol)
+          << "(" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(PackingEdges, OptVsRefSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 63, 64, 65,
+                                           192, 960));
+
+// ---- Non-trivial leading dimensions ----------------------------------------
+
+TEST(OptKernelsLd, GemmWithDistinctLeadingDims) {
+  const int nb = 129;  // above the packed-work floor, not MR/NR aligned
+  const int lda = nb + 7, ldb = nb + 3, ldc = nb + 11;
+  const auto a = random_block(lda, nb, 31);
+  const auto b = random_block(ldb, nb, 32);
+  auto c_opt = random_block(ldc, nb, 33);
+  auto c_ref = c_opt;
+  kernels::gemm(nb, a.data(), lda, b.data(), ldb, c_opt.data(), ldc);
+  kernels::ref::gemm(nb, a.data(), lda, b.data(), ldb, c_ref.data(), ldc);
+  expect_close(c_opt, c_ref);
+}
+
+TEST(OptKernelsLd, SyrkTrsmPotrfWithPaddedLd) {
+  const int nb = 100, ld = 160;
+  const auto a = random_block(ld, nb, 34);
+  auto c_opt = random_block(ld, nb, 35);
+  auto c_ref = c_opt;
+  kernels::syrk(nb, a.data(), ld, c_opt.data(), ld);
+  kernels::ref::syrk(nb, a.data(), ld, c_ref.data(), ld);
+  expect_close(c_opt, c_ref);
+
+  auto l = spd_block(nb, ld, 36);
+  ASSERT_EQ(kernels::ref::potrf_info(nb, l.data(), ld), 0);
+  auto x_opt = random_block(ld, nb, 37);
+  auto x_ref = x_opt;
+  kernels::trsm(nb, l.data(), ld, x_opt.data(), ld);
+  kernels::ref::trsm(nb, l.data(), ld, x_ref.data(), ld);
+  expect_close(x_opt, x_ref);
+
+  auto w_opt = spd_block(nb, ld, 38);
+  auto w_ref = w_opt;
+  ASSERT_EQ(kernels::potrf_info(nb, w_opt.data(), ld), 0);
+  ASSERT_EQ(kernels::ref::potrf_info(nb, w_ref.data(), ld), 0);
+  const double tol = 1e-10 * (1.0 + max_abs(w_ref));
+  for (int j = 0; j < nb; ++j)
+    for (int i = j; i < nb; ++i)
+      ASSERT_NEAR(w_opt[static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(j) *
+                            static_cast<std::size_t>(ld)],
+                  w_ref[static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(j) *
+                            static_cast<std::size_t>(ld)],
+                  tol);
+}
+
+// ---- Dispatch tiers ---------------------------------------------------------
+
+TEST(EngineDispatch, TierRoundTrip) {
+  const kernels::Tier startup = kernels::engine_tier();
+  kernels::set_engine_tier(kernels::Tier::kGeneric);
+  EXPECT_EQ(kernels::engine_tier(), kernels::Tier::kGeneric);
+  kernels::reset_engine_tier();
+  EXPECT_EQ(kernels::engine_tier(), startup);
+  // Requesting AVX2 is clamped to what the CPU actually supports.
+  kernels::set_engine_tier(kernels::Tier::kAvx2);
+  EXPECT_EQ(kernels::engine_tier(),
+            kernels::native_tier() == kernels::Tier::kAvx2
+                ? kernels::Tier::kAvx2
+                : kernels::Tier::kGeneric);
+  kernels::reset_engine_tier();
+}
+
+TEST(EngineDispatch, GenericAndNativeTiersAgree) {
+  const int nb = 192;
+  const auto a = random_block(nb, nb, 41);
+  const auto b = random_block(nb, nb, 42);
+  const auto c0 = random_block(nb, nb, 43);
+
+  kernels::set_engine_tier(kernels::Tier::kGeneric);
+  auto c_gen = c0;
+  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_gen.data(), nb);
+
+  kernels::set_engine_tier(kernels::Tier::kAvx2);  // clamped if unsupported
+  auto c_nat = c0;
+  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_nat.data(), nb);
+  kernels::reset_engine_tier();
+
+  // Same packing, same blocking, same accumulation order: FMA contraction
+  // is the only permitted difference, so the tiers agree very tightly.
+  expect_close(c_nat, c_gen);
+}
+
+// ---- Whole factorization through the parallel executor ----------------------
+
+TEST(OptKernelsEndToEnd, ParallelFactorizationResidualSmall) {
+  const int n = 6, nb = 48;  // tiles large enough to take the packed path
+  const DenseMatrix a0 = DenseMatrix::random_spd(n * nb, 71);
+  TileMatrix tiled = TileMatrix::from_dense(a0, n, nb);
+  const TaskGraph g = build_cholesky_dag(n, nb);
+  ExecOptions opt;
+  opt.num_threads = 4;
+  const ExecResult r = execute_parallel(tiled, g, opt);
+  ASSERT_TRUE(r.success) << r.error;
+
+  // Residual of the computed factor: max |A - L L^T| over the lower
+  // triangle, scaled by max |A|.
+  const DenseMatrix llt = DenseMatrix::multiply_llt(tiled.to_dense());
+  double resid = 0.0, scale = 0.0;
+  for (int j = 0; j < n * nb; ++j)
+    for (int i = j; i < n * nb; ++i) {
+      resid = std::max(resid, std::abs(a0(i, j) - llt(i, j)));
+      scale = std::max(scale, std::abs(a0(i, j)));
+    }
+  EXPECT_LT(resid, 1e-10 * (1.0 + scale));
+}
+
+}  // namespace
+}  // namespace hetsched

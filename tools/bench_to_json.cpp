@@ -1,0 +1,189 @@
+// Self-contained kernel benchmark runner emitting machine-readable JSON.
+//
+// CI runs this in the Release job and uploads the output as the
+// BENCH_kernels.json artifact, so per-kernel GFLOP/s (reference loops vs
+// the packed engine, see docs/kernels.md) are tracked per commit without
+// needing google-benchmark's console output to be parsed.
+//
+// Usage: bench_to_json [--quick] [--out=FILE]
+//   --quick   small tiles + one repetition (used as a ctest smoke test)
+//   --out     write JSON to FILE instead of stdout
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/flops.hpp"
+#include "core/kernels.hpp"
+#include "core/kernel_types.hpp"
+#include "kernels/engine.hpp"
+#include "kernels/ref.hpp"
+
+namespace {
+
+using hetsched::Kernel;
+using hetsched::kernel_flops;
+namespace kernels = hetsched::kernels;
+using Clock = std::chrono::steady_clock;
+
+std::vector<double> noise_tile(int nb, unsigned seed) {
+  std::vector<double> t(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = 0.25 + 1e-3 * static_cast<double>((i * 31 + seed) % 97);
+  return t;
+}
+
+std::vector<double> lower_tile(int nb) {
+  auto t = noise_tile(nb, 3);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < j; ++i)
+      t[static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)] = 0.0;
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] = 4.0;
+  }
+  return t;
+}
+
+std::vector<double> spd_tile(int nb) {
+  auto t = noise_tile(nb, 7);
+  for (int j = 0; j < nb; ++j)
+    t[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb) + 1)] =
+        2.0 * static_cast<double>(nb);
+  return t;
+}
+
+/// Best-of-`reps` wall time of one kernel invocation. `opt` selects the
+/// packed engine vs the kernels::ref oracles; destructive kernels get a
+/// fresh copy of their input each repetition (copy is outside the timer).
+double time_kernel(Kernel k, int nb, bool opt, int reps) {
+  const auto a = noise_tile(nb, 1);
+  const auto b = noise_tile(nb, 2);
+  const auto c0 = noise_tile(nb, 5);
+  const auto l = lower_tile(nb);
+  const auto spd = spd_tile(nb);
+  std::vector<double> w = c0;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    switch (k) {
+      case Kernel::TRSM:
+        std::copy(c0.begin(), c0.end(), w.begin());
+        break;
+      case Kernel::POTRF:
+        std::copy(spd.begin(), spd.end(), w.begin());
+        break;
+      default:
+        break;
+    }
+    const auto t0 = Clock::now();
+    switch (k) {
+      case Kernel::GEMM:
+        if (opt)
+          kernels::gemm(nb, a.data(), nb, b.data(), nb, w.data(), nb);
+        else
+          kernels::ref::gemm(nb, a.data(), nb, b.data(), nb, w.data(), nb);
+        break;
+      case Kernel::SYRK:
+        if (opt)
+          kernels::syrk(nb, a.data(), nb, w.data(), nb);
+        else
+          kernels::ref::syrk(nb, a.data(), nb, w.data(), nb);
+        break;
+      case Kernel::TRSM:
+        if (opt)
+          kernels::trsm(nb, l.data(), nb, w.data(), nb);
+        else
+          kernels::ref::trsm(nb, l.data(), nb, w.data(), nb);
+        break;
+      case Kernel::POTRF: {
+        const int info = opt ? kernels::potrf_info(nb, w.data(), nb)
+                             : kernels::ref::potrf_info(nb, w.data(), nb);
+        if (info != 0) {
+          std::fprintf(stderr, "bench_to_json: potrf failed, info=%d\n", info);
+          return -1.0;
+        }
+        break;
+      }
+      default:
+        return -1.0;
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::POTRF: return "potrf";
+    case Kernel::TRSM: return "trsm";
+    case Kernel::SYRK: return "syrk";
+    case Kernel::GEMM: return "gemm";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{64, 192} : std::vector<int>{192, 480, 960};
+  const int reps = quick ? 1 : 3;
+  const Kernel ks[] = {Kernel::POTRF, Kernel::TRSM, Kernel::SYRK,
+                       Kernel::GEMM};
+
+  std::string json = "{\n";
+  json += "  \"tier\": \"";
+  json += kernels::tier_name(kernels::engine_tier());
+  json += "\",\n  \"results\": [\n";
+  bool first = true;
+  for (const Kernel k : ks) {
+    for (const int nb : sizes) {
+      for (const bool opt : {false, true}) {
+        const double secs = time_kernel(k, nb, opt, reps);
+        if (secs <= 0.0) return 1;
+        const double gflops = kernel_flops(k, nb) / secs * 1e-9;
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s    {\"kernel\": \"%s\", \"nb\": %d, "
+                      "\"variant\": \"%s\", \"seconds\": %.6e, "
+                      "\"gflops\": %.3f}",
+                      first ? "" : ",\n", kernel_name(k), nb,
+                      opt ? "opt" : "ref", secs, gflops);
+        json += row;
+        first = false;
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_to_json: cannot open %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
