@@ -8,18 +8,25 @@
 //  * "actual" runs are emulated as simulation + per-task runtime overhead +
 //    multiplicative noise, averaged over 10 seeded runs with the standard
 //    deviation reported.
+//
+// The sweep machinery itself lives in runtime/experiment.hpp; the figure
+// binaries declare an Experiment and call run_experiment_main(). The legacy
+// helpers below (make_scheduler, averaged_gflops, print_*) survive as thin
+// delegates for the benches that still hand-roll their loops.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bounds/bounds.hpp"
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
 #include "platform/calibration.hpp"
+#include "runtime/experiment.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/random_sched.hpp"
@@ -51,21 +58,19 @@ inline double simulated_gflops(const TaskGraph& g, const Platform& p,
 }
 
 /// Scheduler factory keyed by the paper's policy names. `seed` feeds the
-/// random policy only.
+/// random policy only. Delegates to runtime make_policy; an unknown name
+/// still aborts (bench binaries have no error path worth recovering).
 inline std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                                  const TaskGraph& g,
                                                  const Platform& p,
                                                  unsigned seed = 0,
                                                  WorkerFilter filter = {}) {
-  if (name == "random") return std::make_unique<RandomScheduler>(seed);
-  if (name == "eager") return std::make_unique<EagerScheduler>();
-  if (name == "dmda")
-    return std::make_unique<DmdaScheduler>(make_dmda(std::move(filter)));
-  if (name == "dmdas")
-    return std::make_unique<DmdaScheduler>(
-        make_dmdas(g, p, std::move(filter)));
-  std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
-  std::abort();
+  try {
+    return make_policy(name, g, p, seed, std::move(filter));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+    std::abort();
+  }
 }
 
 /// Average +/- stddev of `runs` seeded executions under `opt_base` (seeds
@@ -74,27 +79,9 @@ inline Series averaged_gflops(const std::string& sched_name,
                               const TaskGraph& g, const Platform& p,
                               int n_tiles, const SimOptions& opt_base,
                               int runs, WorkerFilter filter = {}) {
-  std::vector<double> xs;
-  for (int r = 0; r < runs; ++r) {
-    SimOptions opt = opt_base;
-    opt.noise_seed = static_cast<unsigned>(r);
-    opt.record_trace = false;
-    auto s = make_scheduler(sched_name, g, p, static_cast<unsigned>(r), filter);
-    xs.push_back(
-        gflops(n_tiles, p.nb(), simulate(g, p, *s, opt).makespan_s));
-  }
-  Series out;
-  for (const double x : xs) out.mean_gflops += x;
-  out.mean_gflops /= static_cast<double>(xs.size());
-  if (xs.size() > 1) {
-    double var = 0.0;
-    for (const double x : xs) {
-      const double d = x - out.mean_gflops;
-      var += d * d;
-    }
-    out.stddev_gflops = std::sqrt(var / static_cast<double>(xs.size() - 1));
-  }
-  return out;
+  const ExperimentCell c =
+      repeat_averaged(sched_name, g, p, n_tiles, opt_base, runs, filter, {});
+  return Series{c.mean, c.sd};
 }
 
 /// "Actual execution" emulation: overhead + noise, kActualRuns runs.
@@ -116,6 +103,38 @@ inline Series sim_gflops(const std::string& sched_name, const TaskGraph& g,
   const int runs = sched_name == "random" ? 10 : 1;
   return averaged_gflops(sched_name, g, p, n_tiles, SimOptions{}, runs,
                          std::move(filter));
+}
+
+/// Deterministic simulated series (random gets its 10 seeds; mean only).
+inline SeriesSpec sim_series(const std::string& policy) {
+  SeriesSpec s;
+  s.name = policy;
+  s.scheduler = policy;
+  s.runs = policy == "random" ? 10 : 1;
+  return s;
+}
+
+/// "Actual execution" series: overhead + noise, 10 runs, mean+-sd cells.
+inline SeriesSpec actual_series(const std::string& policy) {
+  SeriesSpec s;
+  s.name = policy;
+  s.scheduler = policy;
+  s.runs = kActualRuns;
+  s.show_sd = true;
+  s.options.per_task_overhead_s = kActualOverheadS;
+  s.options.noise_cv = kActualNoiseCv;
+  return s;
+}
+
+/// The paper's mixed (area+critical-path) bound, as a GFLOP/s column.
+inline SeriesSpec mixed_bound_series() {
+  SeriesSpec s;
+  s.name = "mixed_bound";
+  s.value = [](int n, const TaskGraph&, const Platform& p,
+               const std::vector<ExperimentCell>&) {
+    return gflops(n, p.nb(), mixed_bound(n, p).makespan_s);
+  };
+  return s;
 }
 
 inline void print_header(const std::string& title,

@@ -3,22 +3,19 @@
 // overhead + noise, average +/- stddev of 10 seeded runs.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetsched;
   using namespace hetsched::bench;
 
-  const Platform p = homogeneous_platform(9);
-  print_header(
-      "Figure 3: homogeneous actual performance (GFLOP/s, avg+-sd of 10)",
-      {"random", "dmda", "dmdas"});
-  for (const int n : paper_sizes()) {
-    const TaskGraph g = build_cholesky_dag(n);
-    print_row_sd(n, {actual_gflops("random", g, p, n),
-                     actual_gflops("dmda", g, p, n),
-                     actual_gflops("dmdas", g, p, n)});
-  }
-  std::printf(
-      "\nExpected shape: random clearly below dmda/dmdas; dmdas slightly\n"
-      "below dmda for small tile counts (Section V-C1).\n");
-  return 0;
+  Experiment e;
+  e.title =
+      "Figure 3: homogeneous actual performance (GFLOP/s, avg+-sd of 10)";
+  e.sizes = paper_sizes();
+  e.platform = [](int) { return homogeneous_platform(9); };
+  e.series = {actual_series("random"), actual_series("dmda"),
+              actual_series("dmdas")};
+  e.footnote =
+      "Expected shape: random clearly below dmda/dmdas; dmdas slightly\n"
+      "below dmda for small tile counts (Section V-C1).";
+  return run_experiment_main(e, argc, argv);
 }

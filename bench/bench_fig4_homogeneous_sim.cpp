@@ -2,23 +2,18 @@
 // dmda, dmdas against the mixed bound.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetsched;
   using namespace hetsched::bench;
 
-  const Platform p = homogeneous_platform(9);
-  print_header("Figure 4: homogeneous simulated performance (GFLOP/s)",
-               {"random", "dmda", "dmdas", "mixed_bound"});
-  for (const int n : paper_sizes()) {
-    const TaskGraph g = build_cholesky_dag(n);
-    const Series rnd = sim_gflops("random", g, p, n);
-    const Series dmda = sim_gflops("dmda", g, p, n);
-    const Series dmdas = sim_gflops("dmdas", g, p, n);
-    print_row(n, {rnd.mean_gflops, dmda.mean_gflops, dmdas.mean_gflops,
-                  gflops(n, p.nb(), mixed_bound(n, p).makespan_s)});
-  }
-  std::printf(
-      "\nExpected shape: same ordering as Figure 3 but slightly faster (no\n"
-      "runtime overhead); visible gap to the mixed bound for small sizes.\n");
-  return 0;
+  Experiment e;
+  e.title = "Figure 4: homogeneous simulated performance (GFLOP/s)";
+  e.sizes = paper_sizes();
+  e.platform = [](int) { return homogeneous_platform(9); };
+  e.series = {sim_series("random"), sim_series("dmda"), sim_series("dmdas"),
+              mixed_bound_series()};
+  e.footnote =
+      "Expected shape: same ordering as Figure 3 but slightly faster (no\n"
+      "runtime overhead); visible gap to the mixed bound for small sizes.";
+  return run_experiment_main(e, argc, argv);
 }

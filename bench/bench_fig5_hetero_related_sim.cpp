@@ -3,24 +3,20 @@
 // mixed bound. Communication removed, as in the paper's bound comparisons.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetsched;
   using namespace hetsched::bench;
 
-  print_header(
-      "Figure 5: heterogeneous related simulated performance (GFLOP/s)",
-      {"random", "dmda", "dmdas", "mixed_bound"});
-  for (const int n : paper_sizes()) {
-    const TaskGraph g = build_cholesky_dag(n);
-    const Platform p = mirage_related_platform(n).without_communication();
-    const Series rnd = sim_gflops("random", g, p, n);
-    const Series dmda = sim_gflops("dmda", g, p, n);
-    const Series dmdas = sim_gflops("dmdas", g, p, n);
-    print_row(n, {rnd.mean_gflops, dmda.mean_gflops, dmdas.mean_gflops,
-                  gflops(n, p.nb(), mixed_bound(n, p).makespan_s)});
-  }
-  std::printf(
-      "\nExpected shape: random performs very poorly; dmda/dmdas close to\n"
-      "the bound except for small/medium sizes (Section V-C2).\n");
-  return 0;
+  Experiment e;
+  e.title = "Figure 5: heterogeneous related simulated performance (GFLOP/s)";
+  e.sizes = paper_sizes();
+  e.platform = [](int n) {
+    return mirage_related_platform(n).without_communication();
+  };
+  e.series = {sim_series("random"), sim_series("dmda"), sim_series("dmdas"),
+              mixed_bound_series()};
+  e.footnote =
+      "Expected shape: random performs very poorly; dmda/dmdas close to\n"
+      "the bound except for small/medium sizes (Section V-C2).";
+  return run_experiment_main(e, argc, argv);
 }

@@ -2,23 +2,20 @@
 // PCIe transfers modeled, runtime overhead + noise emulated, 10 runs).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetsched;
   using namespace hetsched::bench;
 
-  const Platform p = mirage_platform();
-  print_header(
+  Experiment e;
+  e.title =
       "Figure 6: heterogeneous unrelated actual performance "
-      "(GFLOP/s, avg+-sd of 10)",
-      {"random", "dmda", "dmdas"});
-  for (const int n : paper_sizes()) {
-    const TaskGraph g = build_cholesky_dag(n);
-    print_row_sd(n, {actual_gflops("random", g, p, n),
-                     actual_gflops("dmda", g, p, n),
-                     actual_gflops("dmdas", g, p, n)});
-  }
-  std::printf(
-      "\nExpected shape: random far below dmda/dmdas (data movement +\n"
-      "affinity blindness); dmda occasionally above dmdas (Section VI-A).\n");
-  return 0;
+      "(GFLOP/s, avg+-sd of 10)";
+  e.sizes = paper_sizes();
+  e.platform = [](int) { return mirage_platform(); };
+  e.series = {actual_series("random"), actual_series("dmda"),
+              actual_series("dmdas")};
+  e.footnote =
+      "Expected shape: random far below dmda/dmdas (data movement +\n"
+      "affinity blindness); dmda occasionally above dmdas (Section VI-A).";
+  return run_experiment_main(e, argc, argv);
 }

@@ -2,24 +2,19 @@
 // mixed bound (communication removed for fairness, Section V-C2).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetsched;
   using namespace hetsched::bench;
 
-  const Platform p = mirage_platform().without_communication();
-  print_header(
-      "Figure 7: heterogeneous unrelated simulated performance (GFLOP/s)",
-      {"random", "dmda", "dmdas", "mixed_bound"});
-  for (const int n : paper_sizes()) {
-    const TaskGraph g = build_cholesky_dag(n);
-    const Series rnd = sim_gflops("random", g, p, n);
-    const Series dmda = sim_gflops("dmda", g, p, n);
-    const Series dmdas = sim_gflops("dmdas", g, p, n);
-    print_row(n, {rnd.mean_gflops, dmda.mean_gflops, dmdas.mean_gflops,
-                  gflops(n, p.nb(), mixed_bound(n, p).makespan_s)});
-  }
-  std::printf(
-      "\nExpected shape: significant gap between the best scheduler and the\n"
-      "mixed bound for small and medium sizes; gap closes near n = 32.\n");
-  return 0;
+  Experiment e;
+  e.title =
+      "Figure 7: heterogeneous unrelated simulated performance (GFLOP/s)";
+  e.sizes = paper_sizes();
+  e.platform = [](int) { return mirage_platform().without_communication(); };
+  e.series = {sim_series("random"), sim_series("dmda"), sim_series("dmdas"),
+              mixed_bound_series()};
+  e.footnote =
+      "Expected shape: significant gap between the best scheduler and the\n"
+      "mixed bound for small and medium sizes; gap closes near n = 32.";
+  return run_experiment_main(e, argc, argv);
 }

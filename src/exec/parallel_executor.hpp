@@ -1,20 +1,20 @@
 // Real (wall-clock) parallel execution of the tiled Cholesky DAG with our
 // numeric kernels -- the "actual execution" backend for homogeneous CPU
 // runs. A pool of worker threads drains a priority-ordered ready queue
-// (priorities default to the dmdas bottom levels); dependencies are released
-// as tasks complete, exactly like the simulated runtime but on real data.
+// (priorities default to submission order); dependencies are released as
+// tasks complete, exactly like the simulated runtime but on real data.
+// Since the runtime unification this is a thin wrapper: a RunEngine driving
+// the ComputeBackend under a CentralPriorityScheduler (see docs/runtime.md).
 //
 // Heterogeneous "actual" curves of the paper require GPUs we do not have;
 // those are emulated in the simulator (see DESIGN.md substitution table).
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
-#include "fault/fault_plan.hpp"
-#include "sim/trace.hpp"
+#include "runtime/run_report.hpp"
 
 namespace hetsched {
 
@@ -26,19 +26,11 @@ struct ExecOptions {
   bool record_trace = true;
 };
 
-struct ExecResult {
-  bool success = false;      ///< false if a POTRF hit a non-SPD pivot
-  double wall_seconds = 0.0;
-  Trace trace{0};
-  /// Structured description of the failure ("" on success), e.g. the tile
-  /// coordinates and pivot of a non-SPD POTRF.
-  std::string error;
-  /// Fault injection / recovery accounting (all zero without a plan).
-  FaultStats faults;
-};
-
 /// Factorizes `a` in place by executing the tasks of `g` on a thread pool.
-/// `g` must be the Cholesky DAG matching a's tile count.
+/// `g` must be the Cholesky DAG matching a's tile count. Throws
+/// std::invalid_argument when opt.num_threads <= 0; a numeric failure
+/// (non-SPD POTRF pivot) is reported through the result
+/// (success = false, error_kind = Numeric).
 ExecResult execute_parallel(TileMatrix& a, const TaskGraph& g,
                             const ExecOptions& opt = {});
 

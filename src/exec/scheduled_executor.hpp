@@ -1,7 +1,8 @@
 // Real execution driven by the *same* Scheduler plug-ins as the simulator:
 // a wall-clock SchedulerHost feeds push/pop decisions to worker threads
 // that run the numeric Cholesky kernels. This is the StarPU experience in
-// miniature -- one policy object, two backends (virtual and real time).
+// miniature -- one policy object, multiple backends (virtual and real
+// time), all driven by the same RunEngine (see docs/runtime.md).
 //
 // The calibration platform provides the completion-time estimates the
 // policy reasons with; execution itself is genuine wall-clock compute on
@@ -12,9 +13,9 @@
 
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
-#include "exec/parallel_executor.hpp"
 #include "fault/fault_plan.hpp"
 #include "platform/platform.hpp"
+#include "runtime/run_report.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hetsched {
@@ -30,7 +31,11 @@ namespace hetsched {
 /// a dying worker finishes its in-flight task before retiring) and
 /// pre-execution transient failures absorbed by the retry policy; the
 /// watchdog per-task timeout only applies to emulated runs. An empty plan
-/// (the default) takes exactly the seed code path.
+/// (the default) takes exactly the plain code path.
+///
+/// Failures are reported through the result, not thrown: success = false
+/// with error_kind Numeric (non-SPD pivot), Fault (recovery machinery
+/// exhausted) or Scheduler (the policy starved ready tasks).
 ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
                                   const Platform& calibration,
                                   Scheduler& sched, int num_threads,
@@ -44,6 +49,8 @@ ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
 /// This is the closest thing to the paper's actual heterogeneous runs that
 /// is possible without the hardware (transfers are not emulated; compare
 /// against no-communication simulations). One thread per platform worker.
+/// The report's makespan_s is wall_seconds / time_scale, i.e. emulated
+/// seconds directly comparable to a DES makespan.
 ///
 /// With a non-empty `faults` plan, the watchdog additionally cancels
 /// attempts overrunning calibrated-duration x watchdog_timeout_factor

@@ -1,0 +1,74 @@
+// The four public entry points, each a thin wrapper: construct a
+// RunEngine, pick a Backend, run. Argument validation that predates the
+// engine (thread counts, time scale, calibration shape) stays here so the
+// original error messages survive.
+#include <stdexcept>
+
+#include "exec/parallel_executor.hpp"
+#include "exec/scheduled_executor.hpp"
+#include "platform/calibration.hpp"
+#include "runtime/des_backend.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "sched/priority_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched {
+
+SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
+                   const SimOptions& opt) {
+  RunEngine engine(g, p, sched, opt);
+  DiscreteEventBackend backend;
+  return engine.run(backend);
+}
+
+ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, int num_threads,
+                                  bool record_trace, const FaultPlan& faults) {
+  if (num_threads <= 0)
+    throw std::invalid_argument("execute_with_scheduler: num_threads <= 0");
+  if (calibration.num_workers() != num_threads)
+    throw std::invalid_argument(
+        "execute_with_scheduler: calibration platform must model exactly "
+        "num_threads workers (policies may queue tasks on any modeled "
+        "worker)");
+  RunOptions opt;
+  opt.record_trace = record_trace;
+  opt.faults = faults;
+  RunEngine engine(g, calibration, sched, opt);
+  ComputeBackend backend(a);
+  return engine.run(backend);
+}
+
+ExecResult emulate_with_scheduler(const TaskGraph& g,
+                                  const Platform& calibration,
+                                  Scheduler& sched, double time_scale,
+                                  bool record_trace, const FaultPlan& faults) {
+  if (time_scale <= 0.0)
+    throw std::invalid_argument("emulate_with_scheduler: time_scale <= 0");
+  RunOptions opt;
+  opt.record_trace = record_trace;
+  opt.faults = faults;
+  RunEngine engine(g, calibration, sched, opt);
+  EmulationBackend backend(time_scale);
+  return engine.run(backend);
+}
+
+ExecResult execute_parallel(TileMatrix& a, const TaskGraph& g,
+                            const ExecOptions& opt) {
+  if (opt.num_threads <= 0)
+    throw std::invalid_argument("execute_parallel: num_threads <= 0");
+  // A homogeneous calibration sized to the pool keeps the scheduler
+  // contract satisfied for any graph (all kernels calibrated); the central
+  // priority queue reproduces the historical thread-pool discipline.
+  const Platform calibration = homogeneous_platform(opt.num_threads);
+  CentralPriorityScheduler sched(opt.priorities);
+  RunOptions ropt;
+  ropt.record_trace = opt.record_trace;
+  RunEngine engine(g, calibration, sched, ropt);
+  ComputeBackend backend(a);
+  return engine.run(backend);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,32 @@
+// Backend interface of the RunEngine: a time source plus a drive loop.
+//
+// The engine owns everything backend-agnostic (validation, task lifecycle,
+// trace/report sinks); a Backend supplies the clock and the execution
+// substrate -- virtual-clock discrete events, a wall-clock thread pool
+// running numeric kernels, or a wall-clock thread pool sleeping calibrated
+// durations. See docs/runtime.md for the full contract.
+#pragma once
+
+namespace hetsched {
+
+class RunEngine;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Report label ("des", "compute", "emulation").
+  virtual const char* name() const = 0;
+
+  /// Context prefix of validation/exception messages ("simulate",
+  /// "scheduled executor") -- kept per-backend so pre-refactor error
+  /// strings survive the refactor.
+  virtual const char* error_prefix() const = 0;
+
+  /// Runs the engine's graph to completion (or failure). On success the
+  /// backend must fill report().makespan_s and any backend-specific stats;
+  /// the engine fills wall_seconds, trace and the backend label.
+  virtual void drive(RunEngine& engine) = 0;
+};
+
+}  // namespace hetsched

@@ -1,4 +1,4 @@
-#include "sim/simulator.hpp"
+#include "runtime/des_backend.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -6,48 +6,54 @@
 #include <map>
 #include <random>
 #include <set>
-#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/numeric_error.hpp"
 #include "fault/fault_error.hpp"
+#include "runtime/engine.hpp"
 #include "sim/data_manager.hpp"
 #include "sim/event_queue.hpp"
 
 namespace hetsched {
 namespace {
 
-class SimEngine final : public SchedulerHost {
+// One DES run. The engine owns the task lifecycle (dependency countdown,
+// queued-load notes, completion set) and the trace; this class owns the
+// virtual clock, the event queue, the data manager / bus model and the
+// fault machinery. Event push ordering is load-bearing: the EventQueue
+// breaks time ties by insertion sequence, so the order of pushes below
+// must not change without revisiting the bit-for-bit golden tests.
+class DesRun final : public SchedulerHost {
  public:
-  SimEngine(const TaskGraph& g, const Platform& p, Scheduler& sched,
-            const SimOptions& opt)
-      : graph_(g),
-        platform_(p),
-        sched_(sched),
-        opt_(opt),
-        has_faults_(!opt.faults.empty()),
-        data_(max_tile_handle(g) + 1, p.num_memory_nodes(), tile_bytes(p)),
-        trace_(p.num_workers()),
-        rng_(opt.noise_seed),
-        fault_rng_(opt.faults.seed) {
-    workers_.resize(static_cast<std::size_t>(p.num_workers()));
+  explicit DesRun(RunEngine& engine)
+      : graph_(engine.graph()),
+        platform_(engine.platform()),
+        sched_(engine.scheduler()),
+        opt_(engine.options()),
+        lifecycle_(engine.lifecycle()),
+        trace_(engine.trace()),
+        has_faults_(!opt_.faults.empty()),
+        data_(max_tile_handle(graph_) + 1, platform_.num_memory_nodes(),
+              tile_bytes(platform_)),
+        rng_(opt_.noise_seed),
+        fault_rng_(opt_.faults.seed) {
+    workers_.resize(static_cast<std::size_t>(platform_.num_workers()));
     channels_.resize(static_cast<std::size_t>(
-        2 * std::max(0, p.num_memory_nodes() - 1)));
-    pending_preds_.resize(static_cast<std::size_t>(g.num_tasks()));
-    noted_.assign(static_cast<std::size_t>(g.num_tasks()), {-1, 0.0});
-    task_done_.assign(static_cast<std::size_t>(g.num_tasks()), 0);
-    if (opt.accel_memory_bytes > 0)
-      for (int node = 1; node < p.num_memory_nodes(); ++node)
-        data_.set_node_capacity(node, opt.accel_memory_bytes);
-    alive_workers_ = p.num_workers();
+        2 * std::max(0, platform_.num_memory_nodes() - 1)));
+    if (opt_.accel_memory_bytes > 0)
+      for (int node = 1; node < platform_.num_memory_nodes(); ++node)
+        data_.set_node_capacity(node, opt_.accel_memory_bytes);
+    alive_workers_ = platform_.num_workers();
     if (has_faults_) {
-      attempts_.assign(static_cast<std::size_t>(g.num_tasks()), 0);
-      node_dead_.assign(static_cast<std::size_t>(p.num_memory_nodes()), 0);
-      pending_recovery_.resize(static_cast<std::size_t>(p.num_workers()));
+      attempts_.assign(static_cast<std::size_t>(graph_.num_tasks()), 0);
+      node_dead_.assign(
+          static_cast<std::size_t>(platform_.num_memory_nodes()), 0);
+      pending_recovery_.resize(
+          static_cast<std::size_t>(platform_.num_workers()));
       writers_by_tile_.resize(static_cast<std::size_t>(data_.num_tiles()));
       // Task ids are submission order, hence version order per tile.
-      for (const Task& t : g.tasks())
+      for (const Task& t : graph_.tasks())
         for (const TaskAccess& a : t.accesses)
           if (a.mode != AccessMode::Read)
             writers_by_tile_[static_cast<std::size_t>(a.tile)].push_back(
@@ -55,7 +61,7 @@ class SimEngine final : public SchedulerHost {
     }
   }
 
-  SimResult run();
+  void run(RunEngine& engine);
 
   // ---- SchedulerHost ----
   double now() const override { return now_; }
@@ -80,7 +86,7 @@ class SimEngine final : public SchedulerHost {
       case WorkerState::S::Idle:
         break;
     }
-    return base + w.queued_load;
+    return base + lifecycle_.queued_load(worker);
   }
 
   double estimated_transfer_seconds(int task, int worker) const override {
@@ -105,8 +111,7 @@ class SimEngine final : public SchedulerHost {
     if (!workers_[static_cast<std::size_t>(worker)].alive) return;
     const double est =
         platform_.worker_time(worker, graph_.task(task).kernel);
-    workers_[static_cast<std::size_t>(worker)].queued_load += est;
-    noted_[static_cast<std::size_t>(task)] = {worker, est};
+    lifecycle_.note_queued(task, worker, est);
     if (opt_.prefetch) prefetch_inputs(task, worker);
   }
 
@@ -119,7 +124,6 @@ class SimEngine final : public SchedulerHost {
     double current_start = 0.0;
     double current_est = 0.0;
     double busy_until = 0.0;
-    double queued_load = 0.0;
     int pending_fetches = 0;
   };
 
@@ -299,12 +303,7 @@ class SimEngine final : public SchedulerHost {
     if (task < 0) return false;
 
     // Undo the queued-load accounting made at push time.
-    auto& note = noted_[static_cast<std::size_t>(task)];
-    if (note.first >= 0) {
-      WorkerState& nw = workers_[static_cast<std::size_t>(note.first)];
-      nw.queued_load = std::max(0.0, nw.queued_load - note.second);
-      note.first = -1;
-    }
+    lifecycle_.on_pop(task);
 
     w.current_task = task;
     w.current_est = platform_.worker_time(worker, graph_.task(task).kernel);
@@ -412,12 +411,9 @@ class SimEngine final : public SchedulerHost {
 
     w.state = WorkerState::S::Idle;
     w.current_task = -1;
-    ++finished_;
-    task_done_[static_cast<std::size_t>(task)] = 1;
-
-    for (const int succ : graph_.successors(task))
-      if (--pending_preds_[static_cast<std::size_t>(succ)] == 0)
-        sched_.on_task_ready(*this, succ);
+    newly_ready_.clear();
+    lifecycle_.mark_done(task, newly_ready_);
+    for (const int succ : newly_ready_) sched_.on_task_ready(*this, succ);
   }
 
   // ---- Fault handling -------------------------------------------------
@@ -429,7 +425,7 @@ class SimEngine final : public SchedulerHost {
     --alive_workers_;
     ++fstats_.worker_deaths;
     fstats_.degraded = true;
-    if (alive_workers_ == 0 && finished_ < graph_.num_tasks())
+    if (alive_workers_ == 0 && !lifecycle_.all_done())
       throw FaultError(FaultError::Kind::AllWorkersDead, -1, -1, 0);
 
     const int node = platform_.worker(worker).memory_node;
@@ -506,7 +502,7 @@ class SimEngine final : public SchedulerHost {
       // still pull them in recursively) but get no recovery of their own.
       bool needed = false;
       for (const Task& task : graph_.tasks()) {
-        if (task_done_[static_cast<std::size_t>(task.id)]) continue;
+        if (lifecycle_.done(task.id)) continue;
         for (const TaskAccess& a : task.accesses)
           if (a.tile == t) {
             needed = true;
@@ -628,26 +624,12 @@ class SimEngine final : public SchedulerHost {
   }
 
   [[noreturn]] void throw_starvation() {
-    std::vector<int> depths(static_cast<std::size_t>(platform_.num_workers()),
-                            0);
-    for (const auto& note : noted_)
-      if (note.first >= 0) ++depths[static_cast<std::size_t>(note.first)];
-    int stuck = -1;
-    int ready = 0;
-    for (int id = 0; id < graph_.num_tasks(); ++id) {
-      if (task_done_[static_cast<std::size_t>(id)]) continue;
-      if (pending_preds_[static_cast<std::size_t>(id)] != 0) continue;
-      bool running = false;
-      for (const WorkerState& w : workers_)
-        if (w.current_task == id) {
-          running = true;
-          break;
-        }
-      if (running) continue;
-      ++ready;
-      if (stuck < 0) stuck = id;
-    }
-    throw SchedulerError(sched_.name(), stuck, ready, std::move(depths));
+    throw lifecycle_.starvation_error(
+        sched_.name(), platform_.num_workers(), [this](int id) {
+          for (const WorkerState& w : workers_)
+            if (w.current_task == id) return true;
+          return false;
+        });
   }
 
   void try_start_all_idle() {
@@ -662,22 +644,20 @@ class SimEngine final : public SchedulerHost {
   const TaskGraph& graph_;
   const Platform& platform_;
   Scheduler& sched_;
-  SimOptions opt_;
+  const RunOptions& opt_;
+  TaskLifecycle& lifecycle_;
+  Trace& trace_;
   bool has_faults_;
   DataManager data_;
-  Trace trace_;
   std::mt19937_64 rng_;
   std::mt19937_64 fault_rng_;
 
   double now_ = 0.0;
-  int finished_ = 0;
   int alive_workers_ = 0;
   EventQueue events_;
   std::vector<WorkerState> workers_;
   std::vector<Channel> channels_;
-  std::vector<int> pending_preds_;
-  std::vector<std::pair<int, double>> noted_;  // (worker, est) per task
-  std::vector<char> task_done_;
+  std::vector<int> newly_ready_;  // scratch of on_task_finish
   std::vector<Fetch> fetches_;
   std::map<std::pair<int, int>, int> active_fetch_;  // (tile, node) -> fetch
   std::int64_t transfer_hops_ = 0;
@@ -696,33 +676,21 @@ class SimEngine final : public SchedulerHost {
   std::vector<std::vector<int>> writers_by_tile_;
 };
 
-SimResult SimEngine::run() {
-  for (const Task& t : graph_.tasks())
-    if (!platform_.supports(t.kernel))
-      throw std::invalid_argument(
-          std::string("simulate: platform '") + platform_.name() +
-          "' is not calibrated for kernel " + std::string(to_string(t.kernel)));
+void DesRun::run(RunEngine& engine) {
   // Upper-bounds the concurrent event population (in-flight finishes,
   // transfer hops, planned deaths); sizing from the task count keeps the
   // heap's backing vector from ever reallocating mid-run.
   events_.reserve(static_cast<std::size_t>(graph_.num_tasks()) +
                   opt_.faults.deaths.size() + 64);
   if (has_faults_) {
-    const std::string err = opt_.faults.validate(platform_.num_workers());
-    if (!err.empty())
-      throw std::invalid_argument("simulate: bad fault plan: " + err);
     for (const WorkerDeath& d : opt_.faults.deaths)
       events_.push(d.time_s, EventType::WorkerDeath, d.worker, 0);
   }
   sched_.initialize(*this);
-  for (int id = 0; id < graph_.num_tasks(); ++id)
-    pending_preds_[static_cast<std::size_t>(id)] = graph_.in_degree(id);
-  for (int id = 0; id < graph_.num_tasks(); ++id)
-    if (pending_preds_[static_cast<std::size_t>(id)] == 0)
-      sched_.on_task_ready(*this, id);
+  lifecycle_.seed(sched_, *this);
   try_start_all_idle();
 
-  while (finished_ < graph_.num_tasks()) {
+  while (!lifecycle_.all_done()) {
     if (events_.empty()) throw_starvation();
     const Event e = events_.pop();
     now_ = e.time;
@@ -746,7 +714,8 @@ SimResult SimEngine::run() {
     try_start_all_idle();
   }
 
-  SimResult res;
+  RunReport& res = engine.report();
+  res.success = true;
   res.makespan_s = now_;
   res.transfer_hops = transfer_hops_;
   res.bytes_transferred =
@@ -755,16 +724,13 @@ SimResult SimEngine::run() {
   res.evictions = evictions_;
   res.capacity_overflows = capacity_overflows_;
   res.faults = fstats_;
-  res.trace = std::move(trace_);
-  return res;
 }
 
 }  // namespace
 
-SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
-                   const SimOptions& opt) {
-  SimEngine engine(g, p, sched, opt);
-  return engine.run();
+void DiscreteEventBackend::drive(RunEngine& engine) {
+  DesRun run(engine);
+  run.run(engine);
 }
 
 }  // namespace hetsched

@@ -1,0 +1,19 @@
+// Virtual-clock discrete-event backend: the paper's SimGrid stand-in.
+// Wraps what used to be src/sim/simulator.cpp -- data manager, bus model,
+// prefetch, duration noise, fault machinery -- behind the Backend
+// interface. Empty-fault-plan runs are bit-for-bit identical to the
+// pre-refactor simulator (asserted by tests/test_runtime_consistency.cpp).
+#pragma once
+
+#include "runtime/backend.hpp"
+
+namespace hetsched {
+
+class DiscreteEventBackend final : public Backend {
+ public:
+  const char* name() const override { return "des"; }
+  const char* error_prefix() const override { return "simulate"; }
+  void drive(RunEngine& engine) override;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,45 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hetsched {
+
+RunEngine::RunEngine(const TaskGraph& g, const Platform& p, Scheduler& sched,
+                     const RunOptions& opt)
+    : graph_(g),
+      platform_(p),
+      sched_(sched),
+      opt_(opt),
+      lifecycle_(g, p.num_workers()),
+      trace_(p.num_workers()) {}
+
+void RunEngine::validate(const Backend& backend) const {
+  const std::string prefix = backend.error_prefix();
+  for (const Task& t : graph_.tasks())
+    if (!platform_.supports(t.kernel))
+      throw std::invalid_argument(
+          prefix + ": platform '" + platform_.name() +
+          "' is not calibrated for kernel " + std::string(to_string(t.kernel)));
+  if (!opt_.faults.empty()) {
+    const std::string err = opt_.faults.validate(platform_.num_workers());
+    if (!err.empty())
+      throw std::invalid_argument(prefix + ": bad fault plan: " + err);
+  }
+}
+
+RunReport RunEngine::run(Backend& backend) {
+  validate(backend);
+  const auto t0 = std::chrono::steady_clock::now();
+  backend.drive(*this);
+  report_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_.backend = backend.name();
+  report_.trace = std::move(trace_);
+  return std::move(report_);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,123 @@
+// Declarative experiment runner: the sweep loop every bench binary and the
+// CLI used to hand-roll, written once.
+//
+// An Experiment is a list of sizes crossed with a list of series. Each
+// series is either
+//  * a scheduler series: `runs` seeded repeats of a simulation under a
+//    named policy, averaged with a sample standard deviation (the paper's
+//    avg +/- sd error bars), or
+//  * a derived series: a value computed from (size, graph, platform) and
+//    the row built so far (bounds, efficiency ratios, unit conversions).
+//
+// run_experiment() produces an ExperimentTable that renders as the
+// historical fixed-width text tables, as CSV with uniform headers, or as
+// JSON in the tools/bench_to_json shape. run_experiment_main() adds the
+// standard --csv/--json/--out=FILE flag handling so a bench binary is just
+// an Experiment literal plus one call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "runtime/options.hpp"
+#include "sched/static_hints.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+/// One table cell: mean over the series' runs, sample stddev (0 for a
+/// single run or a derived value).
+struct ExperimentCell {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+struct SeriesSpec {
+  /// Column header.
+  std::string name;
+  /// Policy name for a scheduler series ("random", "eager", "ws", "dmda",
+  /// "dmdar", "dmdas"); empty for a derived series.
+  std::string scheduler;
+  /// Seeded repeats (seed r feeds both noise_seed and the random policy).
+  int runs = 1;
+  /// Render as "mean+-sd" instead of the mean alone.
+  bool show_sd = false;
+  /// Fractional digits in the text rendering.
+  int precision = 1;
+  /// Base options of every run (noise_seed is overridden per repeat and
+  /// record_trace forced off).
+  RunOptions options;
+  /// Worker filter passed to the dmda family (static knowledge hints).
+  WorkerFilter filter;
+  /// Derived series only: the value, given the row built so far (cells of
+  /// the series left of this one).
+  std::function<double(int n, const TaskGraph& g, const Platform& p,
+                       const std::vector<ExperimentCell>& row)>
+      value;
+  /// Optional post-factor applied to mean and sd (e.g. rescaling a related
+  /// platform's results to the unrelated bound, Figure 8).
+  std::function<double(int n, const TaskGraph& g, const Platform& p)> scale;
+  /// Per-series metric override; empty inherits the experiment metric.
+  std::function<double(int n, const Platform& p, double seconds)> metric;
+};
+
+struct Experiment {
+  std::string title;
+  /// Sizes swept (tiles per matrix side).
+  std::vector<int> sizes;
+  /// Graph per size; empty = the Cholesky DAG.
+  std::function<TaskGraph(int n)> graph;
+  /// Platform per size (sizes only matter to the related platform).
+  std::function<Platform(int n)> platform;
+  /// Maps a makespan to the reported value; empty = Cholesky GFLOP/s.
+  std::function<double(int n, const Platform& p, double seconds)> metric;
+  std::vector<SeriesSpec> series;
+  /// Free-form note appended after the table ("Expected shape: ...").
+  std::string footnote;
+};
+
+struct ExperimentTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<bool> show_sd;       // per column
+  std::vector<int> precision;      // per column
+  std::vector<int> sizes;          // per row
+  std::vector<std::vector<ExperimentCell>> cells;  // [row][column]
+  std::string footnote;
+
+  /// Historical bench format: "# title", fixed-width header, one row per
+  /// size, the footnote after a blank line.
+  std::string text() const;
+  /// Uniform header: size,<col>_mean,<col>_sd,...
+  std::string csv() const;
+  /// tools/bench_to_json shape: {"experiment": ..., "results": [flat rows]}.
+  std::string json() const;
+};
+
+/// Scheduler factory keyed by the paper's policy names; `seed` feeds the
+/// random policy only. Throws std::invalid_argument for an unknown name.
+std::unique_ptr<Scheduler> make_policy(const std::string& name,
+                                       const TaskGraph& g, const Platform& p,
+                                       unsigned seed = 0,
+                                       WorkerFilter filter = {});
+
+/// Mean +/- sample stddev of `runs` seeded simulations of `policy` (seed r
+/// overrides options.noise_seed and seeds the random policy; traces off).
+ExperimentCell repeat_averaged(
+    const std::string& policy, const TaskGraph& g, const Platform& p, int n,
+    const RunOptions& base, int runs, const WorkerFilter& filter,
+    const std::function<double(int, const Platform&, double)>& metric);
+
+/// Runs every (size x series) cell. Scheduler series simulate; derived
+/// series see the row built so far (series are evaluated left to right).
+ExperimentTable run_experiment(const Experiment& e);
+
+/// run_experiment + the standard emission flags: --csv, --json,
+/// --out=FILE (default: text to stdout). Returns a process exit code.
+int run_experiment_main(const Experiment& e, int argc, char** argv);
+
+}  // namespace hetsched

@@ -1,0 +1,39 @@
+// Knobs of one run through the RunEngine. Formerly SimOptions (the alias
+// remains): the DES backend consumes every field; the wall-clock backends
+// consume record_trace and faults and ignore the modeling knobs.
+#pragma once
+
+#include <cstddef>
+
+#include "fault/fault_plan.hpp"
+
+namespace hetsched {
+
+struct RunOptions {
+  /// Issue data prefetches when a task is queued on a worker (StarPU does).
+  bool prefetch = true;
+  /// Fixed runtime overhead added to every task duration (seconds).
+  double per_task_overhead_s = 0.0;
+  /// Coefficient of variation of multiplicative Gaussian noise on task
+  /// durations (0 = deterministic).
+  double noise_cv = 0.0;
+  /// Seed for the noise generator.
+  unsigned noise_seed = 0;
+  /// Record per-task Gantt data (cheap; disable for huge sweeps).
+  bool record_trace = true;
+  /// Byte capacity of each accelerator memory node (0 = unlimited). Under
+  /// pressure, least-recently-used clean replicas are evicted; sole copies
+  /// and pinned inputs of committed tasks never are (overflows of the
+  /// capacity are counted instead of modeled -- see DataManager).
+  std::size_t accel_memory_bytes = 0;
+  /// Injected faults and the retry policy absorbing them (see
+  /// fault/fault_plan.hpp and docs/faults.md). An empty plan -- the
+  /// default -- leaves the run bit-for-bit identical to one without the
+  /// fault subsystem.
+  FaultPlan faults;
+};
+
+/// Legacy name; see RunOptions.
+using SimOptions = RunOptions;
+
+}  // namespace hetsched

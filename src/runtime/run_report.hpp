@@ -1,0 +1,62 @@
+// Unified outcome of one run of a task graph through any runtime backend.
+//
+// Historically the simulator returned a SimResult and the executors an
+// ExecResult, with overlapping-but-diverging fields. RunReport merges them:
+// every backend fills the subset it can measure (the DES backend has no
+// meaningful wall clock beyond host overhead; the compute backend moves no
+// modeled tiles), and `SimResult` / `ExecResult` remain as aliases so
+// existing call sites keep compiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+/// Coarse taxonomy of run failures, aligned with the CLI exit codes
+/// (Scheduler -> 3, Numeric -> 4, Fault -> 5). The throwing entry point
+/// (`simulate`) reports the same taxonomy through exception types instead
+/// (SchedulerError / NumericError / FaultError).
+enum class RunErrorKind {
+  None,       ///< success (or not yet run)
+  Scheduler,  ///< the policy starved ready tasks
+  Numeric,    ///< a kernel failed numerically (non-SPD POTRF pivot)
+  Fault,      ///< an injected fault exhausted the recovery machinery
+};
+
+/// Outcome of one run (any backend).
+struct RunReport {
+  /// True iff every task completed. The DES backend throws on failure
+  /// instead (its callers predate the report taxonomy), so a returned DES
+  /// report always has success = true.
+  bool success = false;
+  /// Virtual makespan, seconds: simulated time for the DES backend,
+  /// wall_seconds for the compute backend, wall_seconds / time_scale for
+  /// the emulation backend.
+  double makespan_s = 0.0;
+  /// Host wall-clock duration of the run (drive + join overhead).
+  double wall_seconds = 0.0;
+  Trace trace{0};
+  std::int64_t transfer_hops = 0;
+  double bytes_transferred = 0.0;
+  /// LRU evictions performed under accel_memory_bytes pressure (DES only).
+  std::int64_t evictions = 0;
+  /// Times the capacity had to be exceeded (nothing evictable; DES only).
+  std::int64_t capacity_overflows = 0;
+  /// Fault injection / recovery accounting (all zero without a plan).
+  FaultStats faults;
+  /// Structured description of the failure ("" on success).
+  std::string error;
+  RunErrorKind error_kind = RunErrorKind::None;
+  /// Which backend produced this report ("des", "compute", "emulation").
+  std::string backend;
+};
+
+/// Legacy names; see RunReport.
+using SimResult = RunReport;
+using ExecResult = RunReport;
+
+}  // namespace hetsched

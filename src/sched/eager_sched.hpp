@@ -13,6 +13,7 @@ class EagerScheduler final : public Scheduler {
  public:
   void on_task_ready(SchedulerHost& host, int task) override;
   int pop_task(SchedulerHost& host, int worker) override;
+  bool central_queue() const override { return true; }
   std::string name() const override { return "eager"; }
 
  private:

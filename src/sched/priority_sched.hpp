@@ -1,0 +1,59 @@
+// Central priority policy: one max-heap shared by all workers, ordered by
+// externally supplied task priorities (higher first, lower id on ties).
+// This is the queue discipline `execute_parallel` has always used; wrapping
+// it as a Scheduler lets the plain thread-pool path run on the same
+// runtime engine as every other policy.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hetsched {
+
+class CentralPriorityScheduler final : public Scheduler {
+ public:
+  /// `priorities[t]` ranks task `t`; tasks beyond the vector (or an empty
+  /// vector) rank 0.0, which with the id tie-break degrades to submission
+  /// order.
+  explicit CentralPriorityScheduler(std::vector<double> priorities = {})
+      : priorities_(std::move(priorities)), ready_(Cmp{&priorities_}) {}
+
+  void on_task_ready(SchedulerHost& host, int task) override {
+    (void)host;
+    ready_.push(task);
+  }
+
+  int pop_task(SchedulerHost& host, int worker) override {
+    (void)host;
+    (void)worker;
+    if (ready_.empty()) return -1;
+    const int task = ready_.top();
+    ready_.pop();
+    return task;
+  }
+
+  bool central_queue() const override { return true; }
+  std::string name() const override { return "priority"; }
+
+ private:
+  struct Cmp {
+    const std::vector<double>* prio;
+    double p(int t) const {
+      return static_cast<std::size_t>(t) < prio->size()
+                 ? (*prio)[static_cast<std::size_t>(t)]
+                 : 0.0;
+    }
+    // priority_queue is a max-heap: higher priority first, lower id ties.
+    bool operator()(int x, int y) const {
+      if (p(x) != p(y)) return p(x) < p(y);
+      return x > y;
+    }
+  };
+
+  std::vector<double> priorities_;
+  std::priority_queue<int, std::vector<int>, Cmp> ready_;
+};
+
+}  // namespace hetsched

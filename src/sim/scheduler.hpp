@@ -74,6 +74,12 @@ class Scheduler {
     return {};
   }
 
+  /// True when the policy keeps one central queue any worker may pop
+  /// from. The threaded runtime backends then use targeted wakeups (one
+  /// notify per newly-ready task) instead of broadcasting; with per-worker
+  /// queues only a broadcast guarantees the right worker wakes.
+  virtual bool central_queue() const { return false; }
+
   /// Policy name used in reports ("random", "dmda", "dmdas", ...).
   virtual std::string name() const = 0;
 };

@@ -1,66 +1,28 @@
-// Discrete-event simulator of a task-based runtime on a heterogeneous node.
+// Discrete-event simulation of a task-based runtime on a heterogeneous
+// node -- the paper's StarPU + SimGrid stand-in, now a thin wrapper over
+// the runtime engine (see src/runtime/ and docs/runtime.md): a RunEngine
+// driven by the DiscreteEventBackend. Workers execute tasks for their
+// calibrated duration, tiles move across PCIe links (full-duplex, one h2d
+// and one d2h channel per accelerator, staged through RAM for
+// device-to-device), transfers overlap computation via prefetch on push,
+// and the scheduling policy is an arbitrary Scheduler plug-in.
 //
-// Plays the role of the StarPU + SimGrid combination of the paper: workers
-// execute tasks for their calibrated duration, tiles move across PCIe links
-// (full-duplex, one h2d and one d2h channel per accelerator, staged through
-// RAM for device-to-device), transfers overlap computation via prefetch on
-// push, and the scheduling policy is an arbitrary Scheduler plug-in.
-//
-// Two execution flavours of the paper map to SimOptions:
+// Two execution flavours of the paper map to the options:
 //   * "simulation mode": default options -- deterministic, zero overhead;
 //   * "actual execution": per_task_overhead_s > 0 and noise_cv > 0 emulate
 //     runtime overhead and system noise (10 seeded runs give the avg +/-
 //     stddev error bars of Figures 3, 6 and 11).
+//
+// SimOptions and SimResult are aliases of RunOptions and RunReport.
 #pragma once
 
-#include <cstdint>
-
 #include "core/task_graph.hpp"
-#include "fault/fault_plan.hpp"
 #include "platform/platform.hpp"
+#include "runtime/options.hpp"
+#include "runtime/run_report.hpp"
 #include "sim/scheduler.hpp"
-#include "sim/trace.hpp"
 
 namespace hetsched {
-
-/// Simulation knobs.
-struct SimOptions {
-  /// Issue data prefetches when a task is queued on a worker (StarPU does).
-  bool prefetch = true;
-  /// Fixed runtime overhead added to every task duration (seconds).
-  double per_task_overhead_s = 0.0;
-  /// Coefficient of variation of multiplicative Gaussian noise on task
-  /// durations (0 = deterministic).
-  double noise_cv = 0.0;
-  /// Seed for the noise generator.
-  unsigned noise_seed = 0;
-  /// Record per-task Gantt data (cheap; disable for huge sweeps).
-  bool record_trace = true;
-  /// Byte capacity of each accelerator memory node (0 = unlimited). Under
-  /// pressure, least-recently-used clean replicas are evicted; sole copies
-  /// and pinned inputs of committed tasks never are (overflows of the
-  /// capacity are counted instead of modeled -- see DataManager).
-  std::size_t accel_memory_bytes = 0;
-  /// Injected faults and the retry policy absorbing them (see
-  /// fault/fault_plan.hpp and docs/faults.md). An empty plan -- the
-  /// default -- leaves the simulation bit-for-bit identical to one without
-  /// the fault subsystem.
-  FaultPlan faults;
-};
-
-/// Outcome of one simulated execution.
-struct SimResult {
-  double makespan_s = 0.0;
-  Trace trace{0};
-  std::int64_t transfer_hops = 0;
-  double bytes_transferred = 0.0;
-  /// LRU evictions performed under accel_memory_bytes pressure.
-  std::int64_t evictions = 0;
-  /// Times the capacity had to be exceeded (nothing evictable).
-  std::int64_t capacity_overflows = 0;
-  /// Fault injection / recovery accounting (all zero without a plan).
-  FaultStats faults;
-};
 
 /// Simulates the execution of `g` on `p` under policy `sched`.
 ///

@@ -1,0 +1,133 @@
+// Cross-backend consistency of the unified runtime: the discrete-event
+// backend must reproduce its golden makespans bit-for-bit, and the
+// wall-clock emulation backend must agree with it on the task-to-worker
+// mapping (exactly, under a fixed schedule) and on the makespan (within a
+// jitter envelope). Also pins the failure-reporting contract of the
+// threaded backends (RunErrorKind instead of exceptions) and the backend
+// labels stamped into every RunReport.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cholesky_dag.hpp"
+#include "cp/list_schedule.hpp"
+#include "exec/scheduled_executor.hpp"
+#include "platform/calibration.hpp"
+#include "runtime/experiment.hpp"
+#include "sched/fixed_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched {
+namespace {
+
+// Reference makespans of the DES backend on the mirage platform with
+// default options, recorded from the pre-refactor simulator. These are
+// EXPECT_EQ on doubles on purpose: the engine extraction must not perturb
+// a single floating-point operation.
+struct Golden {
+  int n;
+  const char* sched;
+  double makespan_s;
+};
+constexpr Golden kGolden[] = {
+    {10, "random", 1.6135425857246219},
+    {10, "dmda", 0.53937724345309834},
+    {10, "dmdas", 0.50469137950325538},
+    {20, "random", 7.4342167577525977},
+    {20, "dmda", 2.8806076134072667},
+    {20, "dmdas", 2.8328393825898157},
+};
+
+TEST(RuntimeConsistency, DesReproducesGoldenMakespansBitForBit) {
+  const Platform p = mirage_platform();
+  for (const Golden& gold : kGolden) {
+    const TaskGraph g = build_cholesky_dag(gold.n);
+    auto s = make_policy(gold.sched, g, p, /*seed=*/0);
+    const SimResult r = simulate(g, p, *s);
+    EXPECT_EQ(r.makespan_s, gold.makespan_s)
+        << "n=" << gold.n << " sched=" << gold.sched;
+    EXPECT_EQ(r.backend, "des");
+  }
+}
+
+TEST(RuntimeConsistency, EmulationMatchesDesMappingUnderFixedSchedule) {
+  // Same static schedule driven through both clocks: the virtual-clock
+  // backend and the wall-clock emulation backend must place every task on
+  // the worker the schedule names, and land on comparable makespans.
+  const int n = 5;
+  const TaskGraph g = build_cholesky_dag(n);
+  const Platform p = mirage_platform().without_communication();
+  const StaticSchedule plan = list_schedule(g, p);
+  ASSERT_TRUE(plan.validate(g, p).empty());
+
+  FixedScheduleScheduler des_sched(plan);
+  const SimResult sim = simulate(g, p, des_sched);
+  ASSERT_EQ(sim.trace.compute().size(),
+            static_cast<std::size_t>(g.num_tasks()));
+  for (const ComputeRecord& c : sim.trace.compute())
+    EXPECT_EQ(c.worker, plan.entry_for(c.task).worker) << "task " << c.task;
+
+  const double scale = 0.05;
+  FixedScheduleScheduler emu_sched(plan);
+  const ExecResult r = emulate_with_scheduler(g, p, emu_sched, scale);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
+  for (const ComputeRecord& c : r.trace.compute())
+    EXPECT_EQ(c.worker, plan.entry_for(c.task).worker) << "task " << c.task;
+
+  // Virtual-time makespan (wall / scale): sleeps cannot undershoot the
+  // calibrated durations, and the upper envelope absorbs OS jitter even
+  // on a loaded machine.
+  EXPECT_GT(r.makespan_s, sim.makespan_s * 0.9);
+  EXPECT_LT(r.makespan_s, sim.makespan_s * 3.0 + 0.5 / scale);
+}
+
+// A policy that accepts ready tasks and never hands them out: the engine's
+// starvation detector, not a deadlock, must end the run.
+class BlackHoleScheduler final : public Scheduler {
+ public:
+  void on_task_ready(SchedulerHost&, int) override {}
+  std::vector<int> on_worker_dead(SchedulerHost&, int) override { return {}; }
+  int pop_task(SchedulerHost&, int) override { return -1; }
+  std::string name() const override { return "black-hole"; }
+};
+
+TEST(RuntimeConsistency, ThreadedBackendReportsStarvationAsSchedulerError) {
+  const TaskGraph g = build_cholesky_dag(3);
+  const Platform p = mirage_platform().without_communication();
+  BlackHoleScheduler sched;
+  const ExecResult r = emulate_with_scheduler(g, p, sched, 0.01);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error_kind, RunErrorKind::Scheduler);
+  EXPECT_NE(r.error.find("black-hole"), std::string::npos) << r.error;
+}
+
+TEST(RuntimeConsistency, BackendLabelsIdentifyTheDriver) {
+  const int n = 3, nb = 16;
+  const TaskGraph g = build_cholesky_dag(n, nb);
+
+  {
+    const Platform p = mirage_platform();
+    auto s = make_policy("dmda", g, p);
+    EXPECT_EQ(simulate(g, p, *s).backend, "des");
+  }
+  {
+    const int threads = 2;
+    const Platform p = homogeneous_platform(threads);
+    TileMatrix a = TileMatrix::random_spd(n, nb, 11);
+    auto s = make_policy("eager", g, p);
+    const ExecResult r = execute_with_scheduler(a, g, p, *s, threads);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.backend, "compute");
+  }
+  {
+    const Platform p = mirage_platform().without_communication();
+    auto s = make_policy("dmda", g, p);
+    const ExecResult r = emulate_with_scheduler(g, p, *s, 0.02);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.backend, "emulation");
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -9,16 +9,19 @@
 //                         [--memory-tiles=M] [--trace]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
+//                         [--csv|--json]
 //   hetsched_cli faults   --tiles=N --sched=...
 //                         [--kill-worker=W --kill-at=T] [--slow-worker=W
 //                         --slow-from=T --slow-until=T --slow-factor=F]
 //                         [--fail-prob=P] [--retries=R] [--potrf-fail-k=K]
 //                         [--seed=S] [--emulate [--time-scale=X]] [--trace]
+//                         [--json]
 //
-// Every command prints a short human-readable report; exit code 0 on
-// success, 2 on bad usage, 3 if the scheduling policy starved ready tasks
-// (SchedulerError), 4 on a numeric (non-SPD) failure, 5 on an
-// unrecoverable injected fault (FaultError).
+// Every command prints a short human-readable report (or machine-readable
+// JSON where --json is accepted); `hetsched_cli --help` lists the commands
+// and exit codes. Exit code 0 on success, 2 on bad usage, 3 if the
+// scheduling policy starved ready tasks (SchedulerError), 4 on a numeric
+// (non-SPD) failure, 5 on an unrecoverable injected fault (FaultError).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,11 +39,8 @@
 #include "fault/fault_error.hpp"
 #include "fault/recovery.hpp"
 #include "platform/calibration.hpp"
-#include "sched/dmda.hpp"
-#include "sched/eager_sched.hpp"
+#include "runtime/experiment.hpp"
 #include "sched/fixed_sched.hpp"
-#include "sched/random_sched.hpp"
-#include "sched/ws_sched.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -60,6 +60,8 @@ struct Args {
   bool gemm_syrk_gpu = false;
   bool trace = false;
   bool inject = false;
+  bool csv = false;
+  bool json = false;
   int trsm_cpu_k = 0;
   int memory_tiles = 0;
   double overhead = 0.0;
@@ -80,11 +82,44 @@ struct Args {
   double time_scale = 1.0;
 };
 
+[[noreturn]] void help() {
+  std::printf(
+      "usage: hetsched_cli COMMAND [--key=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  bounds    critical-path / area / mixed lower bounds of a DAG\n"
+      "  simulate  one discrete-event simulation under a policy\n"
+      "  solve     CP-SAT static schedule (optionally replayed in the\n"
+      "            simulator with --inject)\n"
+      "  sweep     simulate sizes 1..--max-tiles and tabulate GFLOP/s\n"
+      "            against the mixed bound (--csv / --json for machines)\n"
+      "  faults    run under an injected fault plan; --emulate runs the\n"
+      "            wall-clock emulation backend instead of the simulator;\n"
+      "            --json emits the report as JSON\n"
+      "\n"
+      "common flags: --algo=cholesky|lu|qr --tiles=N\n"
+      "  --sched=random|eager|ws|dmda|dmdar|dmdas\n"
+      "  --platform=mirage|related|homogeneous --no-comm --seed=S --trace\n"
+      "(see the header of tools/hetsched_cli.cpp for the full per-command\n"
+      "flag list)\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  2  bad usage (unknown command/flag/value)\n"
+      "  3  scheduler starvation: the policy held back ready tasks until\n"
+      "     no progress was possible (SchedulerError)\n"
+      "  4  numeric failure: a tile factorization hit a non-SPD pivot\n"
+      "     (NumericError)\n"
+      "  5  unrecoverable injected fault: every worker died or a task\n"
+      "     exhausted its retry budget (FaultError)\n");
+  std::exit(0);
+}
+
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n", why);
   std::fprintf(stderr,
                "usage: hetsched_cli bounds|simulate|solve|sweep|faults [--key=value ...]\n"
-               "       (see the header of tools/hetsched_cli.cpp)\n");
+               "       (run `hetsched_cli --help` for details)\n");
   std::exit(2);
 }
 
@@ -99,6 +134,7 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   Args a;
   a.command = argv[1];
+  if (a.command == "--help" || a.command == "help") help();
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string v;
@@ -131,6 +167,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--gemm-syrk-gpu") a.gemm_syrk_gpu = true;
     else if (arg == "--trace") a.trace = true;
     else if (arg == "--inject") a.inject = true;
+    else if (arg == "--csv") a.csv = true;
+    else if (arg == "--json") a.json = true;
+    else if (arg == "--help") help();
     else usage(("unknown option " + arg).c_str());
   }
   if (a.tiles <= 0) usage("--tiles must be positive");
@@ -184,16 +223,11 @@ std::unique_ptr<Scheduler> build_scheduler(const Args& a, const TaskGraph& g,
         hints::combine(filter, hints::force_kernel_to_class(Kernel::GEMM, gpu)),
         hints::force_kernel_to_class(Kernel::SYRK, gpu));
   }
-  if (a.sched == "random") return std::make_unique<RandomScheduler>(a.seed);
-  if (a.sched == "eager") return std::make_unique<EagerScheduler>();
-  if (a.sched == "ws") return std::make_unique<WorkStealingScheduler>();
-  if (a.sched == "dmda")
-    return std::make_unique<DmdaScheduler>(make_dmda(std::move(filter)));
-  if (a.sched == "dmdar")
-    return std::make_unique<DmdaScheduler>(make_dmdar(std::move(filter)));
-  if (a.sched == "dmdas")
-    return std::make_unique<DmdaScheduler>(make_dmdas(g, p, std::move(filter)));
-  usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas)");
+  try {
+    return make_policy(a.sched, g, p, a.seed, std::move(filter));
+  } catch (const std::invalid_argument&) {
+    usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas)");
+  }
 }
 
 int cmd_bounds(const Args& a) {
@@ -306,43 +340,96 @@ void print_fault_stats(const FaultStats& f) {
   std::printf("        recovery time %.4f s\n", f.recovery_time_s);
 }
 
+// Machine-readable faults report, one flat row in the bench_to_json shape
+// ({"command": ..., "results": [{...}]}).
+void print_faults_json(const Args& a, const std::string& sched_name,
+                       double makespan, double wall_seconds,
+                       const FaultStats& f, double healthy_bound) {
+  std::printf("{\n  \"command\": \"faults\",\n  \"results\": [\n");
+  std::printf("    {\"sched\": \"%s\", \"algo\": \"%s\", \"tiles\": %d, "
+              "\"mode\": \"%s\", ",
+              sched_name.c_str(), a.algo.c_str(), a.tiles,
+              a.emulate ? "emulate" : "sim");
+  std::printf("\"makespan_s\": %.6f, \"wall_s\": %.6f, \"gflops\": %.3f, ",
+              makespan, wall_seconds,
+              algo_gflops(a, a.tiles, build_platform(a, a.tiles).nb(),
+                          makespan));
+  std::printf("\"mixed_bound_s\": %.6f, \"efficiency_pct\": %.2f, ",
+              healthy_bound, healthy_bound / makespan * 100.0);
+  std::printf("\"worker_deaths\": %lld, \"transient_failures\": %lld, "
+              "\"retries\": %lld, \"tasks_requeued\": %lld, "
+              "\"slowdown_hits\": %lld, \"watchdog_timeouts\": %lld, "
+              "\"sole_copy_losses\": %lld, \"recomputations\": %lld, "
+              "\"recovery_time_s\": %.6f}\n",
+              static_cast<long long>(f.worker_deaths),
+              static_cast<long long>(f.transient_failures),
+              static_cast<long long>(f.retries),
+              static_cast<long long>(f.tasks_requeued),
+              static_cast<long long>(f.slowdown_hits),
+              static_cast<long long>(f.watchdog_timeouts),
+              static_cast<long long>(f.sole_copy_losses),
+              static_cast<long long>(f.recomputations), f.recovery_time_s);
+  std::printf("  ]\n}\n");
+}
+
 int cmd_faults(const Args& a) {
   const Platform p = build_platform(a, a.tiles);
   const TaskGraph g = build_graph(a, a.tiles);
   auto sched = build_scheduler(a, g, p);
   const FaultPlan plan = build_fault_plan(a);
-  if (plan.empty())
+  if (plan.empty() && !a.json)
     std::printf("note: empty fault plan -- this is a plain run\n");
 
   double makespan = 0.0;
+  double wall = 0.0;
+  FaultStats fstats;
   if (a.emulate) {
     const ExecResult r =
         emulate_with_scheduler(g, p, *sched, a.time_scale, a.trace, plan);
     if (!r.success) {
       std::fprintf(stderr, "emulation failed: %s\n", r.error.c_str());
-      return 5;
+      // Mirror the simulator path's exception-to-exit-code mapping; the
+      // threaded backends report failures through the result instead of
+      // throwing across worker threads.
+      switch (r.error_kind) {
+        case RunErrorKind::Scheduler: return 3;
+        case RunErrorKind::Numeric: return 4;
+        default: return 5;
+      }
     }
-    makespan = r.wall_seconds / a.time_scale;
-    std::printf("%s emulated on %s (%d tasks): makespan %.4f s "
-                "(scaled from %.4f s wall)\n",
-                sched->name().c_str(), p.name().c_str(), g.num_tasks(),
-                makespan, r.wall_seconds);
-    print_fault_stats(r.faults);
-    if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+    makespan = r.makespan_s;
+    wall = r.wall_seconds;
+    fstats = r.faults;
+    if (!a.json) {
+      std::printf("%s emulated on %s (%d tasks): makespan %.4f s "
+                  "(scaled from %.4f s wall)\n",
+                  sched->name().c_str(), p.name().c_str(), g.num_tasks(),
+                  makespan, r.wall_seconds);
+      print_fault_stats(r.faults);
+      if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+    }
   } else {
     SimOptions opt;
     opt.noise_seed = a.seed;
     opt.faults = plan;
     const SimResult r = simulate(g, p, *sched, opt);
     makespan = r.makespan_s;
-    std::printf("%s on %s (%d tasks): makespan %.4f s = %.1f GFLOP/s\n",
-                sched->name().c_str(), p.name().c_str(), g.num_tasks(),
-                r.makespan_s, algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
-    print_fault_stats(r.faults);
-    if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+    wall = r.wall_seconds;
+    fstats = r.faults;
+    if (!a.json) {
+      std::printf("%s on %s (%d tasks): makespan %.4f s = %.1f GFLOP/s\n",
+                  sched->name().c_str(), p.name().c_str(), g.num_tasks(),
+                  r.makespan_s, algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
+      print_fault_stats(r.faults);
+      if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+    }
   }
 
   const double healthy = algo_mixed(a, a.tiles, p).makespan_s;
+  if (a.json) {
+    print_faults_json(a, sched->name(), makespan, wall, fstats, healthy);
+    return 0;
+  }
   std::printf("mixed bound (healthy) : %.4f s -> efficiency %.1f%%\n",
               healthy, healthy / makespan * 100.0);
   if (a.kill_worker >= 0 && a.algo == "cholesky") {
@@ -356,23 +443,48 @@ int cmd_faults(const Args& a) {
 }
 
 int cmd_sweep(const Args& a) {
-  std::printf("# sweep: %s / %s%s\n", a.algo.c_str(), a.sched.c_str(),
-              a.no_comm ? " (no comm)" : "");
-  std::printf("%-8s %12s %12s %12s %12s\n", "tiles", "makespan", "GFLOP/s",
-              "mixed_bnd", "efficiency");
-  for (int n = 1; n <= a.max_tiles; n = n < 4 ? n + 1 : n + 4) {
-    Args an = a;
-    an.tiles = n;
-    const Platform p = build_platform(an, n);
-    const TaskGraph g = build_graph(an, n);
-    auto sched = build_scheduler(an, g, p);
-    const SimResult r = simulate(g, p, *sched);
-    const double bound = algo_mixed(an, n, p).makespan_s;
-    std::printf("%-8d %12.4f %12.1f %12.1f %11.1f%%\n", n, r.makespan_s,
-                algo_gflops(an, n, p.nb(), r.makespan_s),
-                algo_gflops(an, n, p.nb(), bound),
-                bound / r.makespan_s * 100.0);
-  }
+  Experiment e;
+  e.title = "sweep: " + a.algo + " / " + a.sched +
+            (a.no_comm ? " (no comm)" : "");
+  for (int n = 1; n <= a.max_tiles; n = n < 4 ? n + 1 : n + 4)
+    e.sizes.push_back(n);
+  e.graph = [&a](int n) { return build_graph(a, n); };
+  e.platform = [&a](int n) { return build_platform(a, n); };
+
+  // The makespan column builds the scheduler through the CLI's own factory
+  // (seed + hint flags) rather than a plain policy series, so --seed and
+  // --trsm-cpu-k keep their documented meaning.
+  SeriesSpec makespan;
+  makespan.name = "makespan";
+  makespan.precision = 4;
+  makespan.value = [&a](int /*n*/, const TaskGraph& g, const Platform& p,
+                        const std::vector<ExperimentCell>&) {
+    auto sched = build_scheduler(a, g, p);
+    return simulate(g, p, *sched).makespan_s;
+  };
+  SeriesSpec gf;
+  gf.name = "gflops";
+  gf.value = [&a](int n, const TaskGraph&, const Platform& p,
+                  const std::vector<ExperimentCell>& row) {
+    return algo_gflops(a, n, p.nb(), row[0].mean);
+  };
+  SeriesSpec bound;
+  bound.name = "mixed_bnd";
+  bound.value = [&a](int n, const TaskGraph&, const Platform& p,
+                     const std::vector<ExperimentCell>&) {
+    return algo_gflops(a, n, p.nb(), algo_mixed(a, n, p).makespan_s);
+  };
+  SeriesSpec eff;
+  eff.name = "efficiency_pct";
+  eff.value = [](int, const TaskGraph&, const Platform&,
+                 const std::vector<ExperimentCell>& row) {
+    return row[1].mean / row[2].mean * 100.0;
+  };
+  e.series = {makespan, gf, bound, eff};
+
+  const ExperimentTable t = run_experiment(e);
+  const std::string body = a.json ? t.json() : a.csv ? t.csv() : t.text();
+  std::fputs(body.c_str(), stdout);
   return 0;
 }
 
