@@ -42,9 +42,9 @@ int main() {
                 "never", healthy, 0.0, "-", "-", "-", "-");
     for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
       auto s = make_sched(name);
-      SimOptions opt;
+      RunOptions opt;
       opt.faults.deaths.push_back({victim, frac * healthy});
-      const SimResult r = simulate(g, p, *s, opt);
+      const RunReport r = simulate(g, p, *s, opt);
       const double quality =
           degraded_efficiency(n, p, {victim}, r.makespan_s) * 100.0;
       const double bound = degraded_mixed_bound_s(n, p, {victim});
@@ -63,11 +63,11 @@ int main() {
               "retries", "recovery");
   for (const double prob : {0.0, 0.01, 0.05, 0.10, 0.20}) {
     auto s = make_sched("dmdas");
-    SimOptions opt;
+    RunOptions opt;
     opt.faults.transient_failure_prob = prob;
     opt.faults.retry.max_retries = 20;  // ample budget for the sweep
     opt.faults.seed = 42;
-    const SimResult r = simulate(g, p, *s, opt);
+    const RunReport r = simulate(g, p, *s, opt);
     std::printf("%-10.2f %10.4f %8lld %8lld %10.4f\n", prob, r.makespan_s,
                 static_cast<long long>(r.faults.transient_failures),
                 static_cast<long long>(r.faults.retries),

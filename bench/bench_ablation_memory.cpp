@@ -18,12 +18,12 @@ int main() {
   std::printf("%-14s %10s %12s %12s %12s %12s\n", "mem (tiles)", "GFLOP/s",
               "transfers", "evictions", "overflows", "GB moved");
   for (const int tiles_capacity : {0, 160, 80, 40, 20, 10}) {
-    SimOptions opt;
+    RunOptions opt;
     opt.accel_memory_bytes =
         static_cast<std::size_t>(tiles_capacity) * p.nb() * p.nb() *
         sizeof(double);
     DmdaScheduler dmda = make_dmda();
-    const SimResult r = simulate(g, p, dmda, opt);
+    const RunReport r = simulate(g, p, dmda, opt);
     char label[32];
     if (tiles_capacity == 0)
       std::snprintf(label, sizeof label, "unlimited");

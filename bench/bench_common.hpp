@@ -77,7 +77,7 @@ inline std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
 /// override opt_base.noise_seed; the random policy is re-seeded per run).
 inline Series averaged_gflops(const std::string& sched_name,
                               const TaskGraph& g, const Platform& p,
-                              int n_tiles, const SimOptions& opt_base,
+                              int n_tiles, const RunOptions& opt_base,
                               int runs, WorkerFilter filter = {}) {
   const ExperimentCell c =
       repeat_averaged(sched_name, g, p, n_tiles, opt_base, runs, filter, {});
@@ -88,7 +88,7 @@ inline Series averaged_gflops(const std::string& sched_name,
 inline Series actual_gflops(const std::string& sched_name, const TaskGraph& g,
                             const Platform& p, int n_tiles,
                             WorkerFilter filter = {}) {
-  SimOptions opt;
+  RunOptions opt;
   opt.per_task_overhead_s = kActualOverheadS;
   opt.noise_cv = kActualNoiseCv;
   return averaged_gflops(sched_name, g, p, n_tiles, opt, kActualRuns,
@@ -101,7 +101,7 @@ inline Series sim_gflops(const std::string& sched_name, const TaskGraph& g,
                          const Platform& p, int n_tiles,
                          WorkerFilter filter = {}) {
   const int runs = sched_name == "random" ? 10 : 1;
-  return averaged_gflops(sched_name, g, p, n_tiles, SimOptions{}, runs,
+  return averaged_gflops(sched_name, g, p, n_tiles, RunOptions{}, runs,
                          std::move(filter));
 }
 

@@ -28,7 +28,7 @@ int main() {
     cp_opt.time_limit_s = 1.5;
     const CpResult blind = cp_solve(g, p_nocomm, cp_opt);
 
-    SimOptions so;
+    RunOptions so;
     so.record_trace = false;
     FixedScheduleScheduler replay(blind.schedule);
     const double blind_comm_mk = simulate(g, p, replay, so).makespan_s;

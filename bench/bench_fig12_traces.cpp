@@ -18,7 +18,7 @@ int main() {
               "G=GEMM .=idle)\n\n");
   for (const char* name : {"dmda", "dmdas"}) {
     auto sched = make_scheduler(name, g, p);
-    const SimResult r = simulate(g, p, *sched);
+    const RunReport r = simulate(g, p, *sched);
     std::printf("-- %s: makespan %.3f s, GPU idle fraction %.1f%%\n", name,
                 r.makespan_s, r.trace.idle_fraction(gpus) * 100.0);
     std::printf("%s", r.trace.ascii_gantt(100, gpus).c_str());

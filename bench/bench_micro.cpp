@@ -58,7 +58,7 @@ void BM_SimulateDmda(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const TaskGraph g = build_cholesky_dag(n);
   const Platform p = mirage_platform();
-  SimOptions opt;
+  RunOptions opt;
   opt.record_trace = false;
   for (auto _ : state) {
     DmdaScheduler sched = make_dmda();
@@ -72,7 +72,7 @@ void BM_SimulateDmdasWithComm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const TaskGraph g = build_cholesky_dag(n);
   const Platform p = mirage_platform();
-  SimOptions opt;
+  RunOptions opt;
   opt.record_trace = false;
   for (auto _ : state) {
     DmdaScheduler sched = make_dmdas(g, p);

@@ -7,15 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "bounds/bounds.hpp"
-#include "core/cholesky_dag.hpp"
-#include "core/flops.hpp"
-#include "core/lu_dag.hpp"
-#include "core/qr_dag.hpp"
-#include "core/tiled_cholesky.hpp"
-#include "platform/calibration.hpp"
-#include "sched/dmda.hpp"
-#include "sim/simulator.hpp"
+#include "hetsched.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetsched;

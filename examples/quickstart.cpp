@@ -10,13 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/cholesky_dag.hpp"
-#include "core/dense_matrix.hpp"
-#include "core/flops.hpp"
-#include "core/tile_matrix.hpp"
-#include "exec/parallel_executor.hpp"
-#include "platform/calibration.hpp"
-#include "sched/priorities.hpp"
+#include "hetsched.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetsched;
@@ -41,7 +35,7 @@ int main(int argc, char** argv) {
   ExecOptions opt;
   opt.num_threads = threads;
   opt.priorities = bottom_levels_fastest(g, mirage_platform().timings());
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   if (!r.success) {
     std::printf("factorization failed: matrix not positive definite\n");
     return 1;

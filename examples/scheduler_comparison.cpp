@@ -8,14 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "bounds/bounds.hpp"
-#include "core/cholesky_dag.hpp"
-#include "core/flops.hpp"
-#include "platform/calibration.hpp"
-#include "sched/dmda.hpp"
-#include "sched/eager_sched.hpp"
-#include "sched/random_sched.hpp"
-#include "sim/simulator.hpp"
+#include "hetsched.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetsched;
@@ -29,7 +22,7 @@ int main(int argc, char** argv) {
               "GFLOP/s", "GPU idle", "transfers");
 
   const auto report = [&](const char* label, Scheduler& s) {
-    const SimResult r = simulate(g, p, s);
+    const RunReport r = simulate(g, p, s);
     const std::vector<int> gpus = p.workers_of_class(p.class_index("GPU"));
     std::printf("%-22s %12.3f %12.1f %9.1f%% %12lld\n", label, r.makespan_s,
                 gflops(n, p.nb(), r.makespan_s),

@@ -10,13 +10,7 @@
 #include <fstream>
 #include <memory>
 
-#include "core/cholesky_dag.hpp"
-#include "core/flops.hpp"
-#include "platform/calibration.hpp"
-#include "sched/dmda.hpp"
-#include "sched/eager_sched.hpp"
-#include "sched/random_sched.hpp"
-#include "sim/simulator.hpp"
+#include "hetsched.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetsched;
@@ -37,7 +31,7 @@ int main(int argc, char** argv) {
   else
     sched = std::make_unique<DmdaScheduler>(make_dmdas(g, p));
 
-  const SimResult r = simulate(g, p, *sched);
+  const RunReport r = simulate(g, p, *sched);
   std::printf("%s on %s, %dx%d tiles: makespan %.3f s (%.1f GFLOP/s), "
               "%lld transfer hops (%.1f MB)\n\n",
               sched->name().c_str(), p.name().c_str(), n, n, r.makespan_s,

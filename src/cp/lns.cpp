@@ -137,7 +137,7 @@ LnsResult lns_improve(const TaskGraph& g, const Platform& p,
 LnsResult lns_improve_with_comm(const TaskGraph& g, const Platform& p,
                                 const StaticSchedule& seed,
                                 const LnsOptions& opt) {
-  SimOptions sim_opt;
+  RunOptions sim_opt;
   sim_opt.record_trace = false;
   const CostFn price = [&](const Order& order)
       -> std::optional<std::pair<double, StaticSchedule>> {

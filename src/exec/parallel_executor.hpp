@@ -31,7 +31,7 @@ struct ExecOptions {
 /// std::invalid_argument when opt.num_threads <= 0; a numeric failure
 /// (non-SPD POTRF pivot) is reported through the result
 /// (success = false, error_kind = Numeric).
-ExecResult execute_parallel(TileMatrix& a, const TaskGraph& g,
-                            const ExecOptions& opt = {});
+RunReport execute_parallel(TileMatrix& a, const TaskGraph& g,
+                           const ExecOptions& opt = {});
 
 }  // namespace hetsched

@@ -15,6 +15,7 @@
 #include "core/tile_matrix.hpp"
 #include "fault/fault_plan.hpp"
 #include "platform/platform.hpp"
+#include "runtime/options.hpp"
 #include "runtime/run_report.hpp"
 #include "sim/scheduler.hpp"
 
@@ -36,11 +37,18 @@ namespace hetsched {
 /// Failures are reported through the result, not thrown: success = false
 /// with error_kind Numeric (non-SPD pivot), Fault (recovery machinery
 /// exhausted) or Scheduler (the policy starved ready tasks).
-ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
-                                  const Platform& calibration,
-                                  Scheduler& sched, int num_threads,
-                                  bool record_trace = true,
-                                  const FaultPlan& faults = {});
+RunReport execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                 const Platform& calibration,
+                                 Scheduler& sched, int num_threads,
+                                 bool record_trace = true,
+                                 const FaultPlan& faults = {});
+
+/// Full-options variant: the wall-clock backend honours record_trace,
+/// faults and stream and ignores the DES modeling knobs.
+RunReport execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                 const Platform& calibration,
+                                 Scheduler& sched, int num_threads,
+                                 const RunOptions& opt);
 
 /// Timing-emulation run: every worker thread *sleeps* for its calibrated
 /// task duration (scaled by `time_scale`) instead of computing, so a
@@ -56,10 +64,16 @@ ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
 /// attempts overrunning calibrated-duration x watchdog_timeout_factor
 /// (emulated sleeps are sliced, hence cancellable) and deaths abort the
 /// in-flight attempt, which is re-enqueued through the live scheduler.
-ExecResult emulate_with_scheduler(const TaskGraph& g,
-                                  const Platform& calibration,
-                                  Scheduler& sched, double time_scale = 1.0,
-                                  bool record_trace = true,
-                                  const FaultPlan& faults = {});
+RunReport emulate_with_scheduler(const TaskGraph& g,
+                                 const Platform& calibration,
+                                 Scheduler& sched, double time_scale = 1.0,
+                                 bool record_trace = true,
+                                 const FaultPlan& faults = {});
+
+/// Full-options variant (see execute_with_scheduler above).
+RunReport emulate_with_scheduler(const TaskGraph& g,
+                                 const Platform& calibration,
+                                 Scheduler& sched, double time_scale,
+                                 const RunOptions& opt);
 
 }  // namespace hetsched

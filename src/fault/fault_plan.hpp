@@ -3,7 +3,7 @@
 // A FaultPlan is a seeded, declarative description of everything that can
 // go wrong during one run: permanent worker deaths, transient slowdown
 // windows, per-task transient failure probability, and a forced POTRF
-// numeric failure. The plan is *consumed* by the runtime (SimOptions /
+// numeric failure. The plan is *consumed* by the runtime (RunOptions /
 // the scheduled executor); recovery semantics -- retry with exponential
 // backoff, orphan re-enqueueing, static-knowledge remapping, sole-copy
 // recomputation -- live in the runtimes themselves (see docs/faults.md).
@@ -56,7 +56,7 @@ struct FaultPlan {
   /// (-1 = never). Numeric failures are not retryable: the run aborts with
   /// a structured NumericError.
   int potrf_fail_step = -1;
-  /// Seed of the transient-failure draw (independent of SimOptions noise).
+  /// Seed of the transient-failure draw (independent of RunOptions noise).
   unsigned seed = 0;
   RetryPolicy retry;
   /// Executor watchdog: a task attempt exceeding calibrated duration x
@@ -84,7 +84,7 @@ struct FaultPlan {
   double backoff_s(int failed_attempts) const;
 };
 
-/// Fault/recovery accounting, reported by SimResult and ExecResult.
+/// Fault/recovery accounting, reported by RunReport::faults.
 struct FaultStats {
   std::int64_t worker_deaths = 0;
   std::int64_t transient_failures = 0;  ///< failed attempts (injected)

@@ -1,0 +1,77 @@
+// Fixed-capacity lock-free single-producer/single-consumer ring.
+//
+// One ring per event producer (worker thread, fault-service thread, DES
+// driver loop); the sink thread is the sole consumer of every ring. The
+// hot-path contract is wait-free and allocation-free: `try_push` either
+// copies the event into a pre-allocated slot or returns false (the caller
+// counts the drop -- see obs/stream.hpp for the backpressure policy).
+//
+// Standard two-counter design: `tail_` is written only by the producer,
+// `head_` only by the consumer; each side reads the other's counter with
+// acquire ordering and publishes its own with release ordering, which
+// makes the slot contents visible without any lock. Counters are
+// monotonically increasing uint64s (no wrap handling needed at any
+// realistic event rate) and live on separate cache lines to avoid
+// producer/consumer false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetsched::obs {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so the index
+  /// mask replaces a modulo on the hot path.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Producer side. False when full -- the event is dropped by the caller.
+  bool try_push(const T& v) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= buf_.size()) return false;
+    buf_[static_cast<std::size_t>(tail) & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = buf_[static_cast<std::size_t>(head) & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side estimate (exact when the producer is quiescent).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace hetsched::obs

@@ -1,0 +1,80 @@
+#include "obs/stream.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hetsched::obs {
+
+TraceStreamer::TraceStreamer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity < 2 ? 2 : ring_capacity) {}
+
+TraceStreamer::~TraceStreamer() {
+  if (running_) end_run();
+}
+
+void TraceStreamer::add_sink(Sink* sink) {
+  if (running_)
+    throw std::logic_error("TraceStreamer: add_sink during an active run");
+  sinks_.push_back(sink);
+}
+
+void TraceStreamer::add_owned_sink(std::unique_ptr<Sink> sink) {
+  add_sink(sink.get());
+  owned_sinks_.push_back(std::move(sink));
+}
+
+void TraceStreamer::begin_run(int num_producers) {
+  if (running_) end_run();
+  if (num_producers <= 0)
+    throw std::invalid_argument("TraceStreamer: num_producers <= 0");
+  lanes_.clear();
+  lanes_.reserve(static_cast<std::size_t>(num_producers));
+  for (int i = 0; i < num_producers; ++i)
+    lanes_.push_back(std::make_unique<Lane>(ring_capacity_));
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  sink_thread_ = std::thread([this] { drain_loop(); });
+}
+
+void TraceStreamer::end_run() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  sink_thread_.join();
+  running_ = false;
+}
+
+std::uint64_t TraceStreamer::dropped_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_)
+    total += lane->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t TraceStreamer::drain_once() {
+  std::size_t n = 0;
+  TraceEvent e;
+  for (const auto& lane : lanes_) {
+    while (lane->ring.try_pop(e)) {
+      for (Sink* s : sinks_) s->on_event(seq_, e);
+      ++seq_;
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceStreamer::drain_loop() {
+  for (;;) {
+    // Order matters: observe stop *before* draining, so a residue pushed
+    // before stop was set is always picked up by one more pass.
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    const std::size_t n = drain_once();
+    if (n == 0) {
+      if (stopping) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  for (Sink* s : sinks_) s->flush();
+}
+
+}  // namespace hetsched::obs

@@ -1,0 +1,97 @@
+// TraceStreamer: the conveyor between the runtime's hot paths and the
+// sinks (docs/observability.md).
+//
+// One fixed-capacity SPSC ring per producer (worker thread, fault-service
+// thread, or the DES driver loop); a dedicated sink thread round-robins
+// the rings, stamps a global sequence number and fans each event out to
+// every attached sink. Memory is bounded by ring capacity alone:
+// when a ring is full the producer drops the event and bumps a counter
+// instead of blocking (backpressure policy: drop + count, surfaced as
+// RunReport::dropped_events).
+//
+// Lifecycle: attach sinks, then RunEngine calls begin_run() / emit() /
+// end_run() around each run. A streamer is reusable across runs (the
+// experiment runner reuses one per series); sinks see the concatenated
+// stream with a monotonically increasing seq.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/ring.hpp"
+#include "obs/sink.hpp"
+
+namespace hetsched::obs {
+
+class TraceStreamer {
+ public:
+  /// Per-producer ring capacity (events). 1<<14 events of ~64 bytes keeps
+  /// a 12-producer run under 13 MB while absorbing multi-millisecond sink
+  /// stalls at full emission rate.
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 14;
+
+  explicit TraceStreamer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~TraceStreamer();
+
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+
+  /// Attach a sink. Caller keeps ownership (must outlive the streamer) --
+  /// or hands it over via the owned variant. Only valid between runs.
+  void add_sink(Sink* sink);
+  void add_owned_sink(std::unique_ptr<Sink> sink);
+
+  /// Starts the sink thread with one fresh ring per producer. Producer
+  /// indices [0, num_producers) are handed out by the runtime: one per
+  /// worker thread plus one shared by single-threaded drivers (the DES
+  /// loop, the fault-service thread).
+  void begin_run(int num_producers);
+
+  /// Wait-free hot-path append; drops (and counts) when the ring is full.
+  /// Each producer index must be used by at most one thread at a time.
+  void emit(int producer, const TraceEvent& e) noexcept {
+    Lane& lane = *lanes_[static_cast<std::size_t>(producer)];
+    if (!lane.ring.try_push(e))
+      lane.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drains every ring to the sinks, flushes them and joins the sink
+  /// thread. Must be called after all producers stopped emitting.
+  void end_run();
+
+  bool active() const noexcept { return running_; }
+  int num_producers() const noexcept {
+    return static_cast<int>(lanes_.size());
+  }
+
+  /// Events dropped by full rings in the current / most recent run.
+  std::uint64_t dropped_events() const noexcept;
+
+  /// Events delivered to the sinks since construction.
+  std::uint64_t delivered_events() const noexcept { return seq_; }
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t cap) : ring(cap) {}
+    SpscRing<TraceEvent> ring;
+    alignas(64) std::atomic<std::uint64_t> dropped{0};
+  };
+
+  void drain_loop();
+  std::size_t drain_once();
+
+  std::size_t ring_capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<Sink*> sinks_;
+  std::vector<std::unique_ptr<Sink>> owned_sinks_;
+  std::thread sink_thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::uint64_t seq_ = 0;  // sink-thread only while running
+};
+
+}  // namespace hetsched::obs

@@ -15,17 +15,16 @@
 
 namespace hetsched {
 
-SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
-                   const SimOptions& opt) {
+RunReport simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
+                   const RunOptions& opt) {
   RunEngine engine(g, p, sched, opt);
   DiscreteEventBackend backend;
   return engine.run(backend);
 }
 
-ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
-                                  const Platform& calibration,
-                                  Scheduler& sched, int num_threads,
-                                  bool record_trace, const FaultPlan& faults) {
+RunReport execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                 const Platform& calibration, Scheduler& sched,
+                                 int num_threads, const RunOptions& opt) {
   if (num_threads <= 0)
     throw std::invalid_argument("execute_with_scheduler: num_threads <= 0");
   if (calibration.num_workers() != num_threads)
@@ -33,30 +32,43 @@ ExecResult execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
         "execute_with_scheduler: calibration platform must model exactly "
         "num_threads workers (policies may queue tasks on any modeled "
         "worker)");
-  RunOptions opt;
-  opt.record_trace = record_trace;
-  opt.faults = faults;
   RunEngine engine(g, calibration, sched, opt);
   ComputeBackend backend(a);
   return engine.run(backend);
 }
 
-ExecResult emulate_with_scheduler(const TaskGraph& g,
-                                  const Platform& calibration,
-                                  Scheduler& sched, double time_scale,
-                                  bool record_trace, const FaultPlan& faults) {
-  if (time_scale <= 0.0)
-    throw std::invalid_argument("emulate_with_scheduler: time_scale <= 0");
+RunReport execute_with_scheduler(TileMatrix& a, const TaskGraph& g,
+                                 const Platform& calibration, Scheduler& sched,
+                                 int num_threads, bool record_trace,
+                                 const FaultPlan& faults) {
   RunOptions opt;
   opt.record_trace = record_trace;
   opt.faults = faults;
+  return execute_with_scheduler(a, g, calibration, sched, num_threads, opt);
+}
+
+RunReport emulate_with_scheduler(const TaskGraph& g,
+                                 const Platform& calibration, Scheduler& sched,
+                                 double time_scale, const RunOptions& opt) {
+  if (time_scale <= 0.0)
+    throw std::invalid_argument("emulate_with_scheduler: time_scale <= 0");
   RunEngine engine(g, calibration, sched, opt);
   EmulationBackend backend(time_scale);
   return engine.run(backend);
 }
 
-ExecResult execute_parallel(TileMatrix& a, const TaskGraph& g,
-                            const ExecOptions& opt) {
+RunReport emulate_with_scheduler(const TaskGraph& g,
+                                 const Platform& calibration, Scheduler& sched,
+                                 double time_scale, bool record_trace,
+                                 const FaultPlan& faults) {
+  RunOptions opt;
+  opt.record_trace = record_trace;
+  opt.faults = faults;
+  return emulate_with_scheduler(g, calibration, sched, time_scale, opt);
+}
+
+RunReport execute_parallel(TileMatrix& a, const TaskGraph& g,
+                           const ExecOptions& opt) {
   if (opt.num_threads <= 0)
     throw std::invalid_argument("execute_parallel: num_threads <= 0");
   // A homogeneous calibration sized to the pool keeps the scheduler

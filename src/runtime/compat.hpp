@@ -1,0 +1,16 @@
+// Deprecated spellings of the unified runtime API, kept so downstream
+// code written against the pre-unification simulator/executor split keeps
+// compiling (with a warning). Nothing in this repository uses them; new
+// code should spell runtime::RunReport / RunOptions directly.
+#pragma once
+
+#include "runtime/options.hpp"
+#include "runtime/run_report.hpp"
+
+namespace hetsched {
+
+using SimResult [[deprecated("use runtime::RunReport")]] = runtime::RunReport;
+using ExecResult [[deprecated("use runtime::RunReport")]] = runtime::RunReport;
+using SimOptions [[deprecated("use RunOptions")]] = RunOptions;
+
+}  // namespace hetsched

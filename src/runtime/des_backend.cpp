@@ -11,6 +11,8 @@
 
 #include "core/numeric_error.hpp"
 #include "fault/fault_error.hpp"
+#include "obs/event.hpp"
+#include "obs/stream.hpp"
 #include "runtime/engine.hpp"
 #include "sim/data_manager.hpp"
 #include "sim/event_queue.hpp"
@@ -33,6 +35,8 @@ class DesRun final : public SchedulerHost {
         opt_(engine.options()),
         lifecycle_(engine.lifecycle()),
         trace_(engine.trace()),
+        stream_(engine.stream()),
+        lane_(engine.platform().num_workers()),
         has_faults_(!opt_.faults.empty()),
         data_(max_tile_handle(graph_) + 1, platform_.num_memory_nodes(),
               tile_bytes(platform_)),
@@ -179,6 +183,11 @@ class DesRun final : public SchedulerHost {
     return has_faults_ && lost_tiles_.count(tile) != 0;
   }
 
+  // The whole DES runs on one thread, so every event uses the same lane.
+  void emit(const obs::TraceEvent& e) {
+    if (stream_) stream_->emit(lane_, e);
+  }
+
   // Ensures a fetch of `tile` to `node` exists; returns its id, or -1 if the
   // tile is already valid at `node`.
   int ensure_fetch(int tile, int node) {
@@ -228,14 +237,16 @@ class DesRun final : public SchedulerHost {
     ++transfer_hops_;
     const bool final_hop = f.hops_left == 0;
     const int to_node = final_hop ? f.dst : 0;
-    if (opt_.record_trace) {
+    if (opt_.record_trace || stream_) {
       TransferRecord r;
       r.tile = f.tile;
       r.from_node = final_hop && f.dst != 0 ? 0 : first_valid_node(f.tile);
       r.to_node = to_node;
       r.start = f.hop_start;
       r.end = now_;
-      trace_.record_transfer(r);
+      if (opt_.record_trace) trace_.record_transfer(r);
+      emit(obs::TraceEvent::transfer(r.tile, r.from_node, r.to_node, r.start,
+                                     r.end));
     }
     if (final_hop) {
       const bool dst_dead =
@@ -352,6 +363,8 @@ class DesRun final : public SchedulerHost {
       if (slow != 1.0) {
         duration *= slow;
         ++fstats_.slowdown_hits;
+        emit(obs::TraceEvent::fault_event(obs::FaultEventKind::SlowdownHit,
+                                          now_, worker, w.current_task));
       }
     }
     w.state = WorkerState::S::Computing;
@@ -374,20 +387,23 @@ class DesRun final : public SchedulerHost {
       std::bernoulli_distribution fail(opt_.faults.transient_failure_prob);
       attempt_failed = fail(fault_rng_);
     }
-    if (opt_.record_trace) {
+    if (opt_.record_trace || stream_) {
       ComputeRecord r;
       r.worker = worker;
       r.task = task;
       r.kernel = graph_.task(task).kernel;
       r.start = w.current_start;
       r.end = now_;
-      trace_.record_compute(r);
+      if (opt_.record_trace) trace_.record_compute(r);
+      emit(obs::TraceEvent::compute(worker, task, r.kernel, r.start, r.end));
     }
     const int node = platform_.worker(worker).memory_node;
     for (const TaskAccess& a : graph_.task(task).accesses)
       data_.unpin(a.tile, node);
     if (attempt_failed) {
       ++fstats_.transient_failures;
+      emit(obs::TraceEvent::fault_event(obs::FaultEventKind::TransientFailure,
+                                        now_, worker, task));
       const int att = ++attempts_[static_cast<std::size_t>(task)];
       if (att > opt_.faults.retry.max_retries)
         throw FaultError(FaultError::Kind::RetryBudgetExhausted, task, -1,
@@ -395,6 +411,8 @@ class DesRun final : public SchedulerHost {
       ++fstats_.retries;
       const double delay = opt_.faults.backoff_s(att);
       fstats_.recovery_time_s += delay;
+      emit(obs::TraceEvent::fault_event(obs::FaultEventKind::Retry, now_,
+                                        worker, task, -1, delay));
       events_.push(now_ + delay, EventType::RetryRelease, task, 0);
       w.state = WorkerState::S::Idle;
       w.current_task = -1;
@@ -425,6 +443,8 @@ class DesRun final : public SchedulerHost {
     --alive_workers_;
     ++fstats_.worker_deaths;
     fstats_.degraded = true;
+    emit(obs::TraceEvent::fault_event(obs::FaultEventKind::WorkerDeath, now_,
+                                      worker));
     if (alive_workers_ == 0 && !lifecycle_.all_done())
       throw FaultError(FaultError::Kind::AllWorkersDead, -1, -1, 0);
 
@@ -462,6 +482,8 @@ class DesRun final : public SchedulerHost {
     if (orphan >= 0) stranded.push_back(orphan);
     for (const int task : stranded) {
       ++fstats_.tasks_requeued;
+      emit(obs::TraceEvent::fault_event(obs::FaultEventKind::TaskRequeued,
+                                        now_, worker, task));
       sched_.on_task_ready(*this, task);
     }
   }
@@ -483,6 +505,8 @@ class DesRun final : public SchedulerHost {
     for (const int t : sole) {
       data_.lose_replica(t, node);
       ++fstats_.sole_copy_losses;
+      emit(obs::TraceEvent::fault_event(obs::FaultEventKind::SoleCopyLoss,
+                                        now_, -1, -1, t));
       // An in-flight fetch sourced from this replica still delivers (the
       // bits are on the wire -- same optimism as LRU eviction of fetch
       // sources); the tile reappears at the fetch destination.
@@ -572,6 +596,8 @@ class DesRun final : public SchedulerHost {
     job.seconds = best_seconds;
     ++fstats_.recomputations;
     fstats_.recovery_time_s += job.seconds;
+    emit(obs::TraceEvent::fault_event(obs::FaultEventKind::Recomputation,
+                                      now_, best, -1, tile, job.seconds));
     pending_recovery_[static_cast<std::size_t>(best)].push_back(job);
   }
 
@@ -647,6 +673,8 @@ class DesRun final : public SchedulerHost {
   const RunOptions& opt_;
   TaskLifecycle& lifecycle_;
   Trace& trace_;
+  obs::TraceStreamer* stream_;  ///< optional, owned by the caller
+  int lane_;  ///< streaming lane of the (single) driver thread
   bool has_faults_;
   DataManager data_;
   std::mt19937_64 rng_;

@@ -32,8 +32,23 @@ void RunEngine::validate(const Backend& backend) const {
 
 RunReport RunEngine::run(Backend& backend) {
   validate(backend);
+  // One streaming lane per worker plus one shared by single-threaded
+  // drivers (DES) and the fault-service thread (threaded backend).
+  if (opt_.stream) opt_.stream->begin_run(platform_.num_workers() + 1);
   const auto t0 = std::chrono::steady_clock::now();
-  backend.drive(*this);
+  try {
+    backend.drive(*this);
+  } catch (...) {
+    // The DES backend reports failure by throwing; drain and stop the
+    // sink thread before the exception escapes.
+    if (opt_.stream) opt_.stream->end_run();
+    throw;
+  }
+  if (opt_.stream) {
+    opt_.stream->end_run();
+    report_.dropped_events =
+        static_cast<std::int64_t>(opt_.stream->dropped_events());
+  }
   report_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -9,13 +9,14 @@
 #pragma once
 
 #include "core/task_graph.hpp"
+#include "obs/stream.hpp"
 #include "platform/platform.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/lifecycle.hpp"
 #include "runtime/options.hpp"
 #include "runtime/run_report.hpp"
+#include "runtime/trace.hpp"
 #include "sim/scheduler.hpp"
-#include "sim/trace.hpp"
 
 namespace hetsched {
 
@@ -39,6 +40,11 @@ class RunEngine {
   TaskLifecycle& lifecycle() { return lifecycle_; }
   Trace& trace() { return trace_; }
   RunReport& report() { return report_; }
+  /// Streaming observability, or nullptr. Backends emit TraceEvents at the
+  /// same sites where they record into the post-run trace / FaultStats.
+  /// Producer lanes: worker w -> lane w; any driver/service thread -> lane
+  /// num_workers (the engine opens num_workers + 1 lanes).
+  obs::TraceStreamer* stream() { return opt_.stream; }
 
  private:
   void validate(const Backend& backend) const;

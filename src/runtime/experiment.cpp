@@ -10,6 +10,7 @@
 
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
+#include "obs/stream.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/random_sched.hpp"
@@ -81,14 +82,23 @@ std::unique_ptr<Scheduler> make_policy(const std::string& name,
 ExperimentCell repeat_averaged(
     const std::string& policy, const TaskGraph& g, const Platform& p, int n,
     const RunOptions& base, int runs, const WorkerFilter& filter,
-    const std::function<double(int, const Platform&, double)>& metric) {
+    const std::function<double(int, const Platform&, double)>& metric,
+    obs::Sink* sink) {
   const auto& m = metric ? metric : default_metric;
+  // One streamer for all repeats: the sink sees the concatenated stream
+  // (seq monotonic across runs), and memory stays bounded by the rings.
+  std::unique_ptr<obs::TraceStreamer> streamer;
+  if (sink != nullptr) {
+    streamer = std::make_unique<obs::TraceStreamer>();
+    streamer->add_sink(sink);
+  }
   std::vector<double> xs;
   xs.reserve(static_cast<std::size_t>(runs));
   for (int r = 0; r < runs; ++r) {
     RunOptions opt = base;
     opt.noise_seed = static_cast<unsigned>(r);
     opt.record_trace = false;
+    opt.stream = streamer.get();
     auto s = make_policy(policy, g, p, static_cast<unsigned>(r), filter);
     xs.push_back(m(n, p, simulate(g, p, *s, opt).makespan_s));
   }
@@ -129,7 +139,7 @@ ExperimentTable run_experiment(const Experiment& e) {
         const auto& metric =
             s.metric ? s.metric : (e.metric ? e.metric : default_metric);
         cell = repeat_averaged(s.scheduler, g, p, n, s.options, s.runs,
-                               s.filter, metric);
+                               s.filter, metric, s.sink);
       } else if (s.value) {
         cell.mean = s.value(n, g, p, row);
       } else {

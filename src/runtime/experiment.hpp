@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/task_graph.hpp"
+#include "obs/sink.hpp"
 #include "platform/platform.hpp"
 #include "runtime/options.hpp"
 #include "sched/static_hints.hpp"
@@ -63,6 +64,12 @@ struct SeriesSpec {
   std::function<double(int n, const TaskGraph& g, const Platform& p)> scale;
   /// Per-series metric override; empty inherits the experiment metric.
   std::function<double(int n, const Platform& p, double seconds)> metric;
+  /// Optional event sink (not owned; must outlive the run). Every repeat
+  /// of this scheduler series streams its events through a per-series
+  /// TraceStreamer into this sink -- e.g. a MetricsAggregator accumulating
+  /// across the sweep, or a JsonlSink capturing one series' full stream.
+  /// Ignored by derived series.
+  obs::Sink* sink = nullptr;
 };
 
 struct Experiment {
@@ -107,10 +114,14 @@ std::unique_ptr<Scheduler> make_policy(const std::string& name,
 
 /// Mean +/- sample stddev of `runs` seeded simulations of `policy` (seed r
 /// overrides options.noise_seed and seeds the random policy; traces off).
+/// With a non-null `sink`, the repeats stream their events through one
+/// TraceStreamer into it (the sink sees the runs concatenated, seq
+/// monotonic across repeats).
 ExperimentCell repeat_averaged(
     const std::string& policy, const TaskGraph& g, const Platform& p, int n,
     const RunOptions& base, int runs, const WorkerFilter& filter,
-    const std::function<double(int, const Platform&, double)>& metric);
+    const std::function<double(int, const Platform&, double)>& metric,
+    obs::Sink* sink = nullptr);
 
 /// Runs every (size x series) cell. Scheduler series simulate; derived
 /// series see the row built so far (series are evaluated left to right).

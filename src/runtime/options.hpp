@@ -1,6 +1,7 @@
-// Knobs of one run through the RunEngine. Formerly SimOptions (the alias
-// remains): the DES backend consumes every field; the wall-clock backends
-// consume record_trace and faults and ignore the modeling knobs.
+// Knobs of one run through the RunEngine (formerly SimOptions, now a
+// [[deprecated]] alias in runtime/compat.hpp): the DES backend consumes
+// every field; the wall-clock backends consume record_trace, faults and
+// stream and ignore the modeling knobs.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +9,10 @@
 #include "fault/fault_plan.hpp"
 
 namespace hetsched {
+
+namespace obs {
+class TraceStreamer;
+}
 
 struct RunOptions {
   /// Issue data prefetches when a task is queued on a worker (StarPU does).
@@ -19,7 +24,9 @@ struct RunOptions {
   double noise_cv = 0.0;
   /// Seed for the noise generator.
   unsigned noise_seed = 0;
-  /// Record per-task Gantt data (cheap; disable for huge sweeps).
+  /// Record per-task Gantt data (cheap; disable for huge sweeps). The
+  /// post-run trace is O(tasks); for arbitrarily long runs turn it off and
+  /// attach a streamer instead (memory bounded by ring capacity).
   bool record_trace = true;
   /// Byte capacity of each accelerator memory node (0 = unlimited). Under
   /// pressure, least-recently-used clean replicas are evicted; sole copies
@@ -31,9 +38,12 @@ struct RunOptions {
   /// default -- leaves the run bit-for-bit identical to one without the
   /// fault subsystem.
   FaultPlan faults;
+  /// Streaming observability (see src/obs and docs/observability.md):
+  /// when non-null, every backend emits compute/transfer/fault events
+  /// into the streamer's lock-free rings as they happen; the engine runs
+  /// begin_run/end_run around the drive and reports ring overflow through
+  /// RunReport::dropped_events. Not owned; must outlive the run.
+  obs::TraceStreamer* stream = nullptr;
 };
-
-/// Legacy name; see RunOptions.
-using SimOptions = RunOptions;
 
 }  // namespace hetsched

@@ -1,20 +1,21 @@
 // Unified outcome of one run of a task graph through any runtime backend.
 //
 // Historically the simulator returned a SimResult and the executors an
-// ExecResult, with overlapping-but-diverging fields. RunReport merges them:
-// every backend fills the subset it can measure (the DES backend has no
-// meaningful wall clock beyond host overhead; the compute backend moves no
-// modeled tiles), and `SimResult` / `ExecResult` remain as aliases so
-// existing call sites keep compiling.
+// ExecResult, with overlapping-but-diverging fields. runtime::RunReport
+// merges them: every backend fills the subset it can measure (the DES
+// backend has no meaningful wall clock beyond host overhead; the compute
+// backend moves no modeled tiles). The legacy names survive only as
+// [[deprecated]] aliases in runtime/compat.hpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "fault/fault_plan.hpp"
-#include "sim/trace.hpp"
+#include "runtime/trace.hpp"
 
 namespace hetsched {
+namespace runtime {
 
 /// Coarse taxonomy of run failures, aligned with the CLI exit codes
 /// (Scheduler -> 3, Numeric -> 4, Fault -> 5). The throwing entry point
@@ -48,6 +49,10 @@ struct RunReport {
   std::int64_t capacity_overflows = 0;
   /// Fault injection / recovery accounting (all zero without a plan).
   FaultStats faults;
+  /// Events the streaming observability layer dropped because a ring was
+  /// full (0 when no streamer was attached; see docs/observability.md).
+  /// When 0, the streamed event set equals the post-run trace.
+  std::int64_t dropped_events = 0;
   /// Structured description of the failure ("" on success).
   std::string error;
   RunErrorKind error_kind = RunErrorKind::None;
@@ -55,8 +60,11 @@ struct RunReport {
   std::string backend;
 };
 
-/// Legacy names; see RunReport.
-using SimResult = RunReport;
-using ExecResult = RunReport;
+}  // namespace runtime
+
+// RunReport predates the runtime namespace at most call sites; the
+// unqualified names remain first-class citizens of hetsched.
+using runtime::RunErrorKind;
+using runtime::RunReport;
 
 }  // namespace hetsched

@@ -14,6 +14,8 @@
 #include "core/numeric_error.hpp"
 #include "core/tiled_cholesky.hpp"
 #include "kernels/scratch.hpp"
+#include "obs/event.hpp"
+#include "obs/stream.hpp"
 #include "runtime/engine.hpp"
 
 namespace hetsched {
@@ -135,6 +137,9 @@ void ThreadedBackend::drive(RunEngine& engine) {
   const int num_threads = calibration.num_workers();
   const FaultPlan* faults = opt.faults.empty() ? nullptr : &opt.faults;
   const bool can_cancel = cancellable();
+  // Streaming lanes: worker thread w owns lane w; the fault service thread
+  // owns the extra lane the engine opened at num_workers.
+  obs::TraceStreamer* const stream = engine.stream();
 
   const auto t0 = Clock::now();
   WallClockHost host(g, calibration, lifecycle, t0);
@@ -190,8 +195,9 @@ void ThreadedBackend::drive(RunEngine& engine) {
   };
 
   // Records a failed attempt and either schedules a retry after backoff or
-  // aborts the run with a structured message.
-  const auto retry_or_abort = [&](int task, const char* why) {
+  // aborts the run with a structured message. `worker` is the calling
+  // worker thread (it doubles as the streaming lane).
+  const auto retry_or_abort = [&](int worker, int task, const char* why) {
     const int att = ++fr->attempts[static_cast<std::size_t>(task)];
     if (att > fr->plan.retry.max_retries) {
       fail_run("retry budget exhausted: task " + std::to_string(task) +
@@ -203,6 +209,10 @@ void ThreadedBackend::drive(RunEngine& engine) {
     ++fr->stats.retries;
     const double delay = fr->plan.backoff_s(att);
     fr->stats.recovery_time_s += delay;
+    if (stream)
+      stream->emit(worker, obs::TraceEvent::fault_event(
+                               obs::FaultEventKind::Retry, host.now(), worker,
+                               task, -1, delay));
     fr->delayed.push_back({Clock::now() + to_duration(delay), task});
     cv_service.notify_all();  // the service re-arms on the new timer
   };
@@ -266,7 +276,11 @@ void ThreadedBackend::drive(RunEngine& engine) {
         std::bernoulli_distribution fail(fr->plan.transient_failure_prob);
         if (fail(fr->rng)) {
           ++fr->stats.transient_failures;
-          retry_or_abort(task, "injected transient failure");
+          if (stream)
+            stream->emit(worker, obs::TraceEvent::fault_event(
+                                     obs::FaultEventKind::TransientFailure,
+                                     host.now(), worker, task));
+          retry_or_abort(worker, task, "injected transient failure");
           continue;
         }
       }
@@ -319,6 +333,10 @@ void ThreadedBackend::drive(RunEngine& engine) {
       // executor traced them.
       if (opt.record_trace)
         records.push_back({worker, task, g.task(task).kernel, start, end});
+      if (stream)
+        stream->emit(worker, obs::TraceEvent::compute(
+                                 worker, task, g.task(task).kernel, start,
+                                 end));
       if (!ok) {
         fail_run(attempt_error, RunErrorKind::Numeric);
         break;
@@ -327,12 +345,20 @@ void ThreadedBackend::drive(RunEngine& engine) {
         if (timed_out) {
           // Watchdog cancel: the attempt overran its deadline.
           ++fr->stats.watchdog_timeouts;
-          retry_or_abort(task, "watchdog timeout");
+          if (stream)
+            stream->emit(worker, obs::TraceEvent::fault_event(
+                                     obs::FaultEventKind::WatchdogTimeout,
+                                     host.now(), worker, task));
+          retry_or_abort(worker, task, "watchdog timeout");
           continue;
         }
         // Death cancel: the attempt is orphaned; re-enqueue it through
         // the (already degraded) live scheduler and retire this thread.
         ++fr->stats.tasks_requeued;
+        if (stream)
+          stream->emit(worker, obs::TraceEvent::fault_event(
+                                   obs::FaultEventKind::TaskRequeued,
+                                   host.now(), worker, task));
         push_ready(task);
         cv_work.notify_all();
         break;
@@ -375,10 +401,18 @@ void ThreadedBackend::drive(RunEngine& engine) {
         --fr->alive;
         ++fr->stats.worker_deaths;
         fr->stats.degraded = true;
+        if (stream)
+          stream->emit(num_threads, obs::TraceEvent::fault_event(
+                                        obs::FaultEventKind::WorkerDeath,
+                                        host.now(), d.worker));
         auto& run = fr->running[static_cast<std::size_t>(d.worker)];
         if (run.task >= 0 && run.cancel) run.cancel->store(true);
         for (const int t : sched.on_worker_dead(host, d.worker)) {
           ++fr->stats.tasks_requeued;
+          if (stream)
+            stream->emit(num_threads, obs::TraceEvent::fault_event(
+                                          obs::FaultEventKind::TaskRequeued,
+                                          host.now(), d.worker, t));
           push_ready(t);
         }
         if (fr->alive == 0 && !lifecycle.all_done())

@@ -1,10 +1,10 @@
-#include "sim/trace.hpp"
+#include "runtime/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
 
-namespace hetsched {
+namespace hetsched::runtime {
 namespace {
 
 char kernel_letter(Kernel k) {
@@ -137,4 +137,4 @@ std::string Trace::to_svg(const std::vector<int>& workers) const {
   return svg.str();
 }
 
-}  // namespace hetsched
+}  // namespace hetsched::runtime

@@ -6,7 +6,7 @@
 // simulator evicts least-recently-used *clean* replicas (copies that also
 // exist on another node); pinned replicas (inputs of a committed task) and
 // sole copies are never evicted -- if nothing is evictable, the overflow is
-// counted rather than modeled, see SimResult::capacity_overflows.
+// counted rather than modeled, see RunReport::capacity_overflows.
 // Initially every tile is valid in RAM only, as when the application has
 // just allocated the matrix. This mirrors StarPU's data-handle coherence.
 #pragma once

@@ -13,7 +13,8 @@
 //     runtime overhead and system noise (10 seeded runs give the avg +/-
 //     stddev error bars of Figures 3, 6 and 11).
 //
-// SimOptions and SimResult are aliases of RunOptions and RunReport.
+// The legacy SimOptions / SimResult spellings live on as [[deprecated]]
+// aliases in runtime/compat.hpp.
 #pragma once
 
 #include "core/task_graph.hpp"
@@ -31,7 +32,7 @@ namespace hetsched {
 /// FaultError on an unrecoverable injected fault (retry budget exhausted,
 /// every worker dead, unrecoverable sole-copy data loss) and NumericError
 /// for a forced POTRF failure.
-SimResult simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
-                   const SimOptions& opt = {});
+RunReport simulate(const TaskGraph& g, const Platform& p, Scheduler& sched,
+                   const RunOptions& opt = {});
 
 }  // namespace hetsched

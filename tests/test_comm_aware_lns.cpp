@@ -19,7 +19,7 @@ namespace {
 double replay_with_comm(const TaskGraph& g, const Platform& p,
                         const StaticSchedule& s) {
   FixedScheduleScheduler replay(s);
-  SimOptions opt;
+  RunOptions opt;
   opt.record_trace = false;
   return simulate(g, p, replay, opt).makespan_s;
 }

@@ -32,11 +32,11 @@ TEST(Dmdar, PopsDataReadyTaskFirst) {
   g.add_edge(t2, t1);
   const Platform p = testutil::tiny_hetero().with_bus_bandwidth(512.0);
 
-  SimOptions opt;
+  RunOptions opt;
   opt.prefetch = false;  // make residency the only differentiator
 
   DmdaScheduler dmdar = make_dmdar();
-  const SimResult r = simulate(g, p, dmdar, opt);
+  const RunReport r = simulate(g, p, dmdar, opt);
   // Execution order on the GPU: t2 first, then t1 (tile 1 resident after
   // t2 wrote it), then t0.
   std::vector<int> order;
@@ -47,7 +47,7 @@ TEST(Dmdar, PopsDataReadyTaskFirst) {
   EXPECT_EQ(order[2], t0);
 
   DmdaScheduler dmda = make_dmda();
-  const SimResult r2 = simulate(g, p, dmda, opt);
+  const RunReport r2 = simulate(g, p, dmda, opt);
   std::vector<int> order2;
   for (const ComputeRecord& c : r2.trace.compute()) order2.push_back(c.task);
   EXPECT_EQ(order2[1], t0);  // FIFO: arrival order t0 then t1
@@ -60,7 +60,7 @@ TEST(Dmdar, CholeskyRespectsBounds) {
   const TaskGraph g = build_cholesky_dag(n);
   const Platform p = mirage_platform();
   DmdaScheduler dmdar = make_dmdar();
-  const SimResult r = simulate(g, p, dmdar);
+  const RunReport r = simulate(g, p, dmdar);
   EXPECT_GE(r.makespan_s, mixed_bound(n, p).makespan_s - 1e-9);
   EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
 }

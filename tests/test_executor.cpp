@@ -30,7 +30,7 @@ TEST_P(ExecutorSweep, ParallelFactorMatchesSequential) {
   TileMatrix par = TileMatrix::from_dense(a, n, nb);
   ExecOptions opt;
   opt.num_threads = threads;
-  const ExecResult r = execute_parallel(par, g, opt);
+  const RunReport r = execute_parallel(par, g, opt);
   ASSERT_TRUE(r.success);
   EXPECT_GT(r.wall_seconds, 0.0);
   EXPECT_LT(DenseMatrix::max_abs_diff_lower(seq.to_dense(), par.to_dense()),
@@ -49,7 +49,7 @@ TEST(Executor, TraceCoversAllTasks) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   ExecOptions opt;
   opt.num_threads = 3;
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
   // Workers stay in range.
@@ -66,7 +66,7 @@ TEST(Executor, TraceRespectsDependencies) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   ExecOptions opt;
   opt.num_threads = 4;
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   ASSERT_TRUE(r.success);
   std::vector<double> start(static_cast<std::size_t>(g.num_tasks()));
   std::vector<double> end(static_cast<std::size_t>(g.num_tasks()));
@@ -91,7 +91,7 @@ TEST(Executor, PrioritiesAffectOrderOnSingleThread) {
   ExecOptions opt;
   opt.num_threads = 1;
   opt.priorities = bottom_levels_fastest(g, mirage_platform().timings());
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   ASSERT_TRUE(r.success);
 }
 
@@ -101,7 +101,7 @@ TEST(Executor, FailsCleanlyOnNonSpd) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   ExecOptions opt;
   opt.num_threads = 2;
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   EXPECT_FALSE(r.success);
 }
 
@@ -111,7 +111,7 @@ TEST(Executor, ManyThreadsMoreThanTasks) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   ExecOptions opt;
   opt.num_threads = 16;
-  const ExecResult r = execute_parallel(a, g, opt);
+  const RunReport r = execute_parallel(a, g, opt);
   EXPECT_TRUE(r.success);
 }
 

@@ -98,12 +98,12 @@ TEST(FaultInjection, EmptyPlanIsBitForBitIdentical) {
   const TaskGraph g = build_cholesky_dag(8);
   const Platform p = mirage_platform();
   DmdaScheduler base = make_dmdas(g, p);
-  const SimResult ref = simulate(g, p, base);
+  const RunReport ref = simulate(g, p, base);
 
   DmdaScheduler with_empty = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults = FaultPlan{};  // explicit empty plan
-  const SimResult r = simulate(g, p, with_empty, opt);
+  const RunReport r = simulate(g, p, with_empty, opt);
 
   EXPECT_EQ(r.makespan_s, ref.makespan_s);  // bit-for-bit, not NEAR
   EXPECT_EQ(r.transfer_hops, ref.transfer_hops);
@@ -123,12 +123,12 @@ TEST(FaultInjection, PostCompletionDeathChangesNothing) {
   const TaskGraph g = build_cholesky_dag(8);
   const Platform p = mirage_platform();
   DmdaScheduler base = make_dmdas(g, p);
-  const SimResult ref = simulate(g, p, base);
+  const RunReport ref = simulate(g, p, base);
 
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({0, 10.0 * ref.makespan_s});
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
   EXPECT_EQ(r.makespan_s, ref.makespan_s);
   EXPECT_EQ(r.faults.worker_deaths, 0);  // the run ends before the death
 }
@@ -142,9 +142,9 @@ TEST(FaultInjection, GpuDeathBeforeSteadyStateRecovers) {
   const double healthy = simulate(g, p, base).makespan_s;
 
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({9, 0.1 * healthy});  // first GPU, early
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
 
   EXPECT_EQ(r.faults.worker_deaths, 1);
   EXPECT_TRUE(r.faults.degraded);
@@ -162,9 +162,9 @@ TEST(FaultInjection, GpuDeathInSteadyStateRecomputesSoleCopies) {
   const double healthy = simulate(g, p, base).makespan_s;
 
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({9, 0.7 * healthy});  // deep in the run
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
 
   EXPECT_EQ(r.faults.worker_deaths, 1);
   // Mid-run the GPU memory holds sole copies; losing the node forces
@@ -183,9 +183,9 @@ TEST(FaultInjection, CpuDeathLosesNoData) {
   const double healthy = simulate(g, p, base).makespan_s;
 
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({0, 0.3 * healthy});  // CPU: shared RAM node
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
   EXPECT_EQ(r.faults.worker_deaths, 1);
   EXPECT_EQ(r.faults.sole_copy_losses, 0);
   EXPECT_EQ(r.faults.recomputations, 0);
@@ -197,7 +197,7 @@ TEST(FaultInjection, AllWorkersDeadAborts) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(2);
   EagerScheduler sched;
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({0, 1.0});
   opt.faults.deaths.push_back({1, 1.5});
   try {
@@ -215,7 +215,7 @@ TEST(FaultInjection, RecomputeDisabledAbortsOnSoleCopyLoss) {
   const double healthy = simulate(g, p, base).makespan_s;
 
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({9, 0.7 * healthy});
   opt.faults.allow_recompute = false;
   try {
@@ -241,11 +241,11 @@ TEST(FaultInjection, HintedKernelsFallBackWhenGpuClassDies) {
         hints::force_kernel_to_class(Kernel::GEMM, 1));
     return simulate(g, p, h).makespan_s;
   }();
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({9, 0.2 * healthy});
   opt.faults.deaths.push_back({10, 0.2 * healthy});
   opt.faults.deaths.push_back({11, 0.2 * healthy});
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
   EXPECT_EQ(r.faults.worker_deaths, 3);
   const StaticSchedule s = schedule_from_trace(r.trace, g.num_tasks());
   EXPECT_EQ(s.validate(g, p), "");
@@ -258,15 +258,15 @@ TEST(FaultInjection, FixedScheduleRemapsDeadWorkerSequence) {
   const TaskGraph g = build_cholesky_dag(4);
   const Platform p = tiny_hetero();
   DmdaScheduler capture = make_dmdas(g, p);
-  const SimResult healthy = simulate(g, p, capture);
+  const RunReport healthy = simulate(g, p, capture);
   const StaticSchedule plan = schedule_from_trace(healthy.trace,
                                                   g.num_tasks());
   ASSERT_EQ(plan.validate(g, p), "");
 
   FixedScheduleScheduler replay(plan);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.deaths.push_back({2, 0.3 * healthy.makespan_s});  // the GPU
-  const SimResult r = simulate(g, p, replay, opt);
+  const RunReport r = simulate(g, p, replay, opt);
   EXPECT_EQ(r.faults.worker_deaths, 1);
   const StaticSchedule s = schedule_from_trace(r.trace, g.num_tasks());
   EXPECT_EQ(s.validate(g, p), "");
@@ -282,11 +282,11 @@ TEST(FaultInjection, TransientFailuresRetryToCompletion) {
   const TaskGraph g = build_cholesky_dag(8);
   const Platform p = mirage_platform();
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.transient_failure_prob = 0.2;
   opt.faults.seed = 42;
   opt.faults.retry.max_retries = 50;
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
   EXPECT_GT(r.faults.transient_failures, 0);
   // Under a generous budget every injected failure earns one retry.
   EXPECT_EQ(r.faults.retries, r.faults.transient_failures);
@@ -300,7 +300,7 @@ TEST(FaultInjection, RetryBudgetExhaustionAborts) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(2);
   EagerScheduler sched;
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.transient_failure_prob = 1.0;  // every attempt fails
   opt.faults.retry.max_retries = 2;
   try {
@@ -316,14 +316,14 @@ TEST(FaultInjection, RetryBudgetExhaustionAborts) {
 TEST(FaultInjection, FaultSequencesAreSeeded) {
   const TaskGraph g = build_cholesky_dag(6);
   const Platform p = mirage_platform();
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.transient_failure_prob = 0.15;
   opt.faults.seed = 7;
   opt.faults.retry.max_retries = 50;
   DmdaScheduler a = make_dmdas(g, p);
   DmdaScheduler b = make_dmdas(g, p);
-  const SimResult ra = simulate(g, p, a, opt);
-  const SimResult rb = simulate(g, p, b, opt);
+  const RunReport ra = simulate(g, p, a, opt);
+  const RunReport rb = simulate(g, p, b, opt);
   EXPECT_EQ(ra.makespan_s, rb.makespan_s);
   EXPECT_EQ(ra.faults.transient_failures, rb.faults.transient_failures);
 }
@@ -334,7 +334,7 @@ TEST(FaultInjection, ForcedPotrfFailureReportsTile) {
   const TaskGraph g = build_cholesky_dag(8);
   const Platform p = mirage_platform();
   DmdaScheduler sched = make_dmdas(g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.faults.potrf_fail_step = 3;
   try {
     simulate(g, p, sched, opt);
@@ -383,7 +383,7 @@ TEST(FaultInjection, EmulatedTransientFailuresRecover) {
   plan.transient_failure_prob = 0.3;
   plan.seed = 7;
   plan.retry.max_retries = 50;
-  const ExecResult r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-3,
+  const RunReport r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-3,
                                               /*record_trace=*/true, plan);
   EXPECT_TRUE(r.success) << r.error;
   // Every injected failure is absorbed by exactly one retry; equality
@@ -399,7 +399,7 @@ TEST(FaultInjection, EmulatedWorkerDeathRecovers) {
   EagerScheduler sched;
   FaultPlan plan;
   plan.deaths.push_back({1, 0.004});  // mid-first-task at time_scale 1e-3
-  const ExecResult r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-3,
+  const RunReport r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-3,
                                               /*record_trace=*/true, plan);
   EXPECT_TRUE(r.success) << r.error;
   EXPECT_EQ(r.faults.worker_deaths, 1);
@@ -420,7 +420,7 @@ TEST(FaultInjection, EmulatedWatchdogTimeoutExhaustsBudget) {
   // attempt times out and the budget runs dry.
   plan.watchdog_timeout_factor = 1e-4;
   plan.retry.max_retries = 2;
-  const ExecResult r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-2,
+  const RunReport r = emulate_with_scheduler(g, p, sched, /*time_scale=*/1e-2,
                                               /*record_trace=*/false, plan);
   EXPECT_FALSE(r.success);
   EXPECT_GT(r.faults.watchdog_timeouts, 0);
@@ -438,7 +438,7 @@ TEST(FaultInjection, SeededRandomPlansCompleteValidatorClean) {
     DmdaScheduler base = make_dmdas(g, p);
     const double healthy = simulate(g, p, base).makespan_s;
 
-    SimOptions opt;
+    RunOptions opt;
     opt.faults.seed = seed;
     opt.faults.retry.max_retries = 50;
     std::uniform_real_distribution<double> frac(0.05, 0.95);
@@ -451,7 +451,7 @@ TEST(FaultInjection, SeededRandomPlansCompleteValidatorClean) {
     opt.faults.transient_failure_prob = prob(r);
 
     DmdaScheduler sched = make_dmdas(g, p);
-    const SimResult res = simulate(g, p, sched, opt);
+    const RunReport res = simulate(g, p, sched, opt);
     EXPECT_EQ(res.faults.worker_deaths, 1) << "seed " << seed;
     const StaticSchedule sfi = schedule_from_trace(res.trace, g.num_tasks());
     EXPECT_EQ(sfi.validate(g, p), "") << "seed " << seed;

@@ -102,7 +102,7 @@ TEST(Integration, CpScheduleInjectionMatchesTheory) {
   const CpResult cp = cp_solve(g, p, opt);
   ASSERT_EQ(cp.schedule.validate(g, p), "");
   FixedScheduleScheduler replay(cp.schedule);
-  const SimResult sim = simulate(g, p, replay);
+  const RunReport sim = simulate(g, p, replay);
   EXPECT_NEAR(sim.makespan_s, cp.makespan_s, cp.makespan_s * 0.01);
 }
 

@@ -237,7 +237,7 @@ TEST(OptKernelsEndToEnd, ParallelFactorizationResidualSmall) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   ExecOptions opt;
   opt.num_threads = 4;
-  const ExecResult r = execute_parallel(tiled, g, opt);
+  const RunReport r = execute_parallel(tiled, g, opt);
   ASSERT_TRUE(r.success) << r.error;
 
   // Residual of the computed factor: max |A - L L^T| over the lower

@@ -66,9 +66,9 @@ TEST(SimCapacity, EvictionTriggersOnPressure) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}, {1, 2, 2.0}};
   FixedScheduleScheduler sched(fixed);
-  SimOptions opt;
+  RunOptions opt;
   opt.accel_memory_bytes = 512;
-  const SimResult r = simulate(g, slow_bus(), sched, opt);
+  const RunReport r = simulate(g, slow_bus(), sched, opt);
   EXPECT_EQ(r.evictions, 1);
   EXPECT_EQ(r.capacity_overflows, 0);
   EXPECT_EQ(r.transfer_hops, 2);
@@ -87,17 +87,17 @@ TEST(SimCapacity, EvictedTileIsRefetched) {
   fixed.entries = {{0, 2, 0.0}, {1, 2, 2.0}, {2, 2, 4.0}};
 
   FixedScheduleScheduler limited(fixed);
-  SimOptions opt;
+  RunOptions opt;
   opt.accel_memory_bytes = 512;
   opt.prefetch = false;  // keep the access pattern strictly sequential
-  const SimResult small = simulate(g, slow_bus(), limited, opt);
+  const RunReport small = simulate(g, slow_bus(), limited, opt);
   EXPECT_EQ(small.transfer_hops, 3);
   EXPECT_EQ(small.evictions, 2);
 
   FixedScheduleScheduler unlimited(fixed);
-  SimOptions opt2;
+  RunOptions opt2;
   opt2.prefetch = false;
-  const SimResult big = simulate(g, slow_bus(), unlimited, opt2);
+  const RunReport big = simulate(g, slow_bus(), unlimited, opt2);
   EXPECT_EQ(big.transfer_hops, 2);  // tile 0 cached across task 2
   EXPECT_EQ(big.evictions, 0);
   EXPECT_LT(big.makespan_s, small.makespan_s);
@@ -112,9 +112,9 @@ TEST(SimCapacity, PinnedWorkingSetOverflows) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}};
   FixedScheduleScheduler sched(fixed);
-  SimOptions opt;
+  RunOptions opt;
   opt.accel_memory_bytes = 512;
-  const SimResult r = simulate(g, slow_bus(), sched, opt);
+  const RunReport r = simulate(g, slow_bus(), sched, opt);
   EXPECT_GE(r.capacity_overflows, 1);
   EXPECT_NEAR(r.makespan_s, 3.0, 1e-2);  // still completes correctly
 }
@@ -129,9 +129,9 @@ TEST(SimCapacity, DirtySoleCopyNotEvicted) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}, {1, 2, 2.0}};
   FixedScheduleScheduler sched(fixed);
-  SimOptions opt;
+  RunOptions opt;
   opt.accel_memory_bytes = 512;
-  const SimResult r = simulate(g, slow_bus(), sched, opt);
+  const RunReport r = simulate(g, slow_bus(), sched, opt);
   EXPECT_EQ(r.evictions, 0);
   EXPECT_GE(r.capacity_overflows, 1);
 }
@@ -144,13 +144,13 @@ TEST(SimCapacity, CholeskyUnderMemoryPressureStillValid) {
   const Platform p = mirage_platform();
 
   DmdaScheduler s1 = make_dmda();
-  const SimResult unlimited = simulate(g, p, s1);
+  const RunReport unlimited = simulate(g, p, s1);
 
-  SimOptions opt;
+  RunOptions opt;
   // Room for ~12 tiles of 960^2 doubles.
   opt.accel_memory_bytes = 12ull * 960 * 960 * sizeof(double);
   DmdaScheduler s2 = make_dmda();
-  const SimResult tight = simulate(g, p, s2, opt);
+  const RunReport tight = simulate(g, p, s2, opt);
 
   EXPECT_GT(tight.evictions, 0);
   EXPECT_GE(tight.transfer_hops, unlimited.transfer_hops);

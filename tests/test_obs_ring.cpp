@@ -1,0 +1,215 @@
+// SPSC ring and TraceStreamer unit tests: wrap-around FIFO order, overflow
+// drop accounting, and a real concurrent producer/consumer pair (the
+// memory-ordering contract is exercised under ThreadSanitizer in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/ring.hpp"
+#include "obs/sink.hpp"
+#include "obs/stream.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, PopOnEmptyFails) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, FifoAcrossManyWrapArounds) {
+  SpscRing<int> ring(4);  // tiny on purpose: indices wrap every 4 pushes
+  int expected = 0;
+  for (int v = 0; v < 1000;) {
+    while (v < 1000 && ring.try_push(v)) ++v;
+    int out = -1;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, 1000);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, OverflowRejectsAndCountsDrops) {
+  SpscRing<int> ring(4);
+  int accepted = 0;
+  int dropped = 0;
+  for (int v = 0; v < 10; ++v)
+    (ring.try_push(v) ? accepted : dropped) += 1;
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(dropped, 6);
+  EXPECT_EQ(ring.size(), 4u);
+  // Popping frees slots for new pushes.
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(42));
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t v = 0; v < kCount;) {
+      if (ring.try_push(v))
+        ++v;
+      else
+        std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    std::uint64_t out = 0;
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);  // in order, no tears, no skips
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(TraceStreamer, DeliversEveryEventInProducerOrder) {
+  TraceStreamer st(1 << 10);
+  std::ostringstream out;
+  JsonlSink jsonl(out);
+  NullSink counter;
+  st.add_sink(&jsonl);
+  st.add_sink(&counter);
+  st.begin_run(2);
+  for (int i = 0; i < 100; ++i)
+    st.emit(i % 2, TraceEvent::compute(i % 2, i, Kernel::GEMM, i, i + 1));
+  st.end_run();
+  EXPECT_EQ(st.dropped_events(), 0u);
+  EXPECT_EQ(st.delivered_events(), 100u);
+  EXPECT_EQ(counter.count(), 100u);
+  // JSONL: one line per event, seq dense from 0.
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("{\"seq\":" + std::to_string(lines) + ",", 0), 0u)
+        << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 100);
+}
+
+// A sink slow enough that a tiny ring must overflow: drop-counting is the
+// backpressure policy, the producer never blocks.
+class SlowSink final : public Sink {
+ public:
+  void on_event(std::uint64_t, const TraceEvent&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++count_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+TEST(TraceStreamer, OverflowDropsAreCountedNotBlocking) {
+  TraceStreamer st(/*ring_capacity=*/4);
+  SlowSink slow;
+  st.add_sink(&slow);
+  st.begin_run(1);
+  constexpr std::uint64_t kEmitted = 300;
+  for (std::uint64_t i = 0; i < kEmitted; ++i)
+    st.emit(0, TraceEvent::compute(0, static_cast<int>(i), Kernel::POTRF,
+                                   static_cast<double>(i),
+                                   static_cast<double>(i) + 1.0));
+  st.end_run();
+  EXPECT_GT(st.dropped_events(), 0u);
+  EXPECT_EQ(st.dropped_events() + st.delivered_events(), kEmitted);
+  EXPECT_EQ(slow.count(), st.delivered_events());
+}
+
+TEST(TraceStreamer, ReusableAcrossRunsWithMonotonicSeq) {
+  TraceStreamer st;
+  NullSink counter;
+  st.add_sink(&counter);
+  st.begin_run(1);
+  st.emit(0, TraceEvent::compute(0, 0, Kernel::POTRF, 0.0, 1.0));
+  st.end_run();
+  st.begin_run(3);
+  st.emit(2, TraceEvent::transfer(5, 0, 1, 1.0, 2.0));
+  st.end_run();
+  EXPECT_EQ(st.delivered_events(), 2u);
+  EXPECT_EQ(counter.count(), 2u);
+  EXPECT_EQ(st.dropped_events(), 0u);
+}
+
+TEST(TraceStreamer, AddSinkDuringRunThrows) {
+  TraceStreamer st;
+  NullSink sink;
+  st.begin_run(1);
+  EXPECT_THROW(st.add_sink(&sink), std::logic_error);
+  st.end_run();
+}
+
+TEST(JsonlSink, FormatCoversAllKinds) {
+  const std::string c =
+      JsonlSink::format(7, TraceEvent::compute(1, 42, Kernel::GEMM, 0.5, 1.5));
+  EXPECT_EQ(c,
+            "{\"seq\":7,\"kind\":\"compute\",\"worker\":1,\"task\":42,"
+            "\"kernel\":\"GEMM\",\"start\":0.5,\"end\":1.5}\n");
+  const std::string t =
+      JsonlSink::format(8, TraceEvent::transfer(3, 0, 2, 1.0, 2.0));
+  EXPECT_EQ(t,
+            "{\"seq\":8,\"kind\":\"transfer\",\"tile\":3,\"from\":0,\"to\":2,"
+            "\"start\":1,\"end\":2}\n");
+  const std::string f = JsonlSink::format(
+      9, TraceEvent::fault_event(FaultEventKind::Retry, 2.5, 1, 10, -1, 0.25));
+  EXPECT_EQ(f,
+            "{\"seq\":9,\"kind\":\"fault\",\"event\":\"retry\",\"worker\":1,"
+            "\"task\":10,\"tile\":-1,\"time\":2.5,\"value\":0.25}\n");
+}
+
+TEST(MetricsAggregator, TalliesFaultEventsIntoFaultStats) {
+  MetricsAggregator m;
+  std::uint64_t seq = 0;
+  m.on_event(seq++, TraceEvent::fault_event(FaultEventKind::WorkerDeath, 1.0, 2));
+  m.on_event(seq++,
+             TraceEvent::fault_event(FaultEventKind::TransientFailure, 1.1, 0, 7));
+  m.on_event(seq++,
+             TraceEvent::fault_event(FaultEventKind::Retry, 1.1, 0, 7, -1, 0.5));
+  m.on_event(seq++,
+             TraceEvent::fault_event(FaultEventKind::Recomputation, 1.2, 1, -1, 3,
+                                     0.25));
+  m.on_event(seq++, TraceEvent::compute(0, 0, Kernel::POTRF, 0.0, 2.0));
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_EQ(s.fault_events, 4u);
+  EXPECT_EQ(s.compute_events, 1u);
+  EXPECT_EQ(s.faults.worker_deaths, 1);
+  EXPECT_EQ(s.faults.transient_failures, 1);
+  EXPECT_EQ(s.faults.retries, 1);
+  EXPECT_EQ(s.faults.recomputations, 1);
+  EXPECT_TRUE(s.faults.degraded);
+  EXPECT_DOUBLE_EQ(s.faults.recovery_time_s, 0.75);
+  EXPECT_DOUBLE_EQ(s.makespan_s, 2.0);
+}
+
+}  // namespace
+}  // namespace hetsched::obs

@@ -76,7 +76,7 @@ KernelHistogram histogram_of(const TaskGraph& g) {
 }
 
 void check_invariants(const TaskGraph& g, const Platform& p,
-                      const SimResult& r) {
+                      const RunReport& r) {
   // Exactly-once execution.
   ASSERT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
   std::vector<int> seen(static_cast<std::size_t>(g.num_tasks()), 0);
@@ -134,7 +134,7 @@ TEST_P(RandomDagProperty, InvariantsHoldOnMirage) {
     case 4: sched = std::make_unique<WorkStealingScheduler>(); break;
     default: sched = std::make_unique<DmdaScheduler>(make_dmdar()); break;
   }
-  const SimResult r = simulate(g, p, *sched);
+  const RunReport r = simulate(g, p, *sched);
   check_invariants(g, p, r);
 }
 
@@ -153,10 +153,10 @@ TEST(RandomDagProperty, InvariantsHoldUnderMemoryPressure) {
   for (unsigned seed = 1; seed <= 4; ++seed) {
     const TaskGraph g = random_dag(5, 6, 10, seed);
     const Platform p = mirage_platform();
-    SimOptions opt;
+    RunOptions opt;
     opt.accel_memory_bytes = 4ull * 960 * 960 * sizeof(double);
     DmdaScheduler dmda = make_dmda();
-    const SimResult r = simulate(g, p, dmda, opt);
+    const RunReport r = simulate(g, p, dmda, opt);
     check_invariants(g, p, r);
   }
 }
@@ -164,7 +164,7 @@ TEST(RandomDagProperty, InvariantsHoldUnderMemoryPressure) {
 TEST(RandomDagProperty, BitReproducible) {
   const TaskGraph g = random_dag(6, 8, 12, 42);
   const Platform p = mirage_platform();
-  SimOptions opt;
+  RunOptions opt;
   opt.noise_cv = 0.02;
   opt.noise_seed = 5;
   RandomScheduler s1(9), s2(9);

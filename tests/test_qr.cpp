@@ -158,7 +158,7 @@ TEST(QrSched, SimulatedOnMirageRespectsBounds) {
   const TaskGraph g = build_qr_dag(n);
   const Platform p = mirage_platform();
   DmdaScheduler dmdas = make_dmdas(g, p);
-  const SimResult r = simulate(g, p, dmdas);
+  const RunReport r = simulate(g, p, dmdas);
   EXPECT_GE(r.makespan_s,
             area_bound_for(qr_histogram(n), p).makespan_s - 1e-9);
   EXPECT_GE(r.makespan_s, qr_mixed_bound(n, p).makespan_s - 1e-9);

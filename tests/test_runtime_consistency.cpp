@@ -43,7 +43,7 @@ TEST(RuntimeConsistency, DesReproducesGoldenMakespansBitForBit) {
   for (const Golden& gold : kGolden) {
     const TaskGraph g = build_cholesky_dag(gold.n);
     auto s = make_policy(gold.sched, g, p, /*seed=*/0);
-    const SimResult r = simulate(g, p, *s);
+    const RunReport r = simulate(g, p, *s);
     EXPECT_EQ(r.makespan_s, gold.makespan_s)
         << "n=" << gold.n << " sched=" << gold.sched;
     EXPECT_EQ(r.backend, "des");
@@ -61,7 +61,7 @@ TEST(RuntimeConsistency, EmulationMatchesDesMappingUnderFixedSchedule) {
   ASSERT_TRUE(plan.validate(g, p).empty());
 
   FixedScheduleScheduler des_sched(plan);
-  const SimResult sim = simulate(g, p, des_sched);
+  const RunReport sim = simulate(g, p, des_sched);
   ASSERT_EQ(sim.trace.compute().size(),
             static_cast<std::size_t>(g.num_tasks()));
   for (const ComputeRecord& c : sim.trace.compute())
@@ -69,7 +69,7 @@ TEST(RuntimeConsistency, EmulationMatchesDesMappingUnderFixedSchedule) {
 
   const double scale = 0.05;
   FixedScheduleScheduler emu_sched(plan);
-  const ExecResult r = emulate_with_scheduler(g, p, emu_sched, scale);
+  const RunReport r = emulate_with_scheduler(g, p, emu_sched, scale);
   ASSERT_TRUE(r.success) << r.error;
   ASSERT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
   for (const ComputeRecord& c : r.trace.compute())
@@ -96,7 +96,7 @@ TEST(RuntimeConsistency, ThreadedBackendReportsStarvationAsSchedulerError) {
   const TaskGraph g = build_cholesky_dag(3);
   const Platform p = mirage_platform().without_communication();
   BlackHoleScheduler sched;
-  const ExecResult r = emulate_with_scheduler(g, p, sched, 0.01);
+  const RunReport r = emulate_with_scheduler(g, p, sched, 0.01);
   EXPECT_FALSE(r.success);
   EXPECT_EQ(r.error_kind, RunErrorKind::Scheduler);
   EXPECT_NE(r.error.find("black-hole"), std::string::npos) << r.error;
@@ -116,14 +116,14 @@ TEST(RuntimeConsistency, BackendLabelsIdentifyTheDriver) {
     const Platform p = homogeneous_platform(threads);
     TileMatrix a = TileMatrix::random_spd(n, nb, 11);
     auto s = make_policy("eager", g, p);
-    const ExecResult r = execute_with_scheduler(a, g, p, *s, threads);
+    const RunReport r = execute_with_scheduler(a, g, p, *s, threads);
     ASSERT_TRUE(r.success);
     EXPECT_EQ(r.backend, "compute");
   }
   {
     const Platform p = mirage_platform().without_communication();
     auto s = make_policy("dmda", g, p);
-    const ExecResult r = emulate_with_scheduler(g, p, *s, 0.02);
+    const RunReport r = emulate_with_scheduler(g, p, *s, 0.02);
     ASSERT_TRUE(r.success);
     EXPECT_EQ(r.backend, "emulation");
   }

@@ -22,7 +22,7 @@ void expect_correct_factor(const TaskGraph& g, Scheduler& sched, int threads,
   ASSERT_TRUE(tiled_cholesky_sequential(seq));
 
   TileMatrix par = TileMatrix::from_dense(a, n, nb);
-  const ExecResult r = execute_with_scheduler(par, g, calib, sched, threads);
+  const RunReport r = execute_with_scheduler(par, g, calib, sched, threads);
   ASSERT_TRUE(r.success);
   EXPECT_LT(DenseMatrix::max_abs_diff_lower(seq.to_dense(), par.to_dense()),
             1e-11);
@@ -74,7 +74,7 @@ TEST(ScheduledExecutor, TraceRespectsDependencies) {
   const TaskGraph g = build_cholesky_dag(n, nb);
   TileMatrix a = TileMatrix::random_spd(n, nb, 78);
   DmdaScheduler sched = make_dmda();
-  const ExecResult r = execute_with_scheduler(
+  const RunReport r = execute_with_scheduler(
       a, g, homogeneous_platform(threads), sched, threads);
   ASSERT_TRUE(r.success);
   std::vector<double> start(static_cast<std::size_t>(g.num_tasks()));
@@ -103,7 +103,7 @@ TEST(ScheduledExecutor, NonSpdFailsCleanly) {
   const TaskGraph g = build_cholesky_dag(2, 8);
   TileMatrix a(2, 8);  // zeros
   EagerScheduler sched;
-  const ExecResult r =
+  const RunReport r =
       execute_with_scheduler(a, g, homogeneous_platform(2), sched, 2);
   EXPECT_FALSE(r.success);
 }
@@ -124,7 +124,7 @@ TEST(EmulatedExecutor, HeterogeneousWallClockTracksSimulation) {
   const double sim_mk = simulate(g, p, sim_sched).makespan_s;
 
   DmdaScheduler emu_sched = make_dmdas(g, p);
-  const ExecResult r = emulate_with_scheduler(g, p, emu_sched, scale);
+  const RunReport r = emulate_with_scheduler(g, p, emu_sched, scale);
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.trace.compute().size(), static_cast<std::size_t>(g.num_tasks()));
   EXPECT_GT(r.wall_seconds, sim_mk * scale * 0.9);
@@ -138,7 +138,7 @@ TEST(EmulatedExecutor, GpuWorkersRunShorterTasks) {
   const TaskGraph g = build_cholesky_dag(n);
   const Platform p = mirage_platform().without_communication();
   DmdaScheduler sched = make_dmda();
-  const ExecResult r = emulate_with_scheduler(g, p, sched, 0.02);
+  const RunReport r = emulate_with_scheduler(g, p, sched, 0.02);
   ASSERT_TRUE(r.success);
   for (const ComputeRecord& c : r.trace.compute()) {
     const double expect = p.worker_time(c.worker, c.kernel) * 0.02;

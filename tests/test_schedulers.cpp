@@ -21,7 +21,7 @@ TEST(EagerSched, DrainsFifo) {
   // Single worker: tasks run in ready (submission) order.
   const TaskGraph g = independent_gemms(3);
   EagerScheduler sched;
-  const SimResult r = simulate(g, tiny_homog(1), sched);
+  const RunReport r = simulate(g, tiny_homog(1), sched);
   ASSERT_EQ(r.trace.compute().size(), 3u);
   EXPECT_EQ(r.trace.compute()[0].task, 0);
   EXPECT_EQ(r.trace.compute()[1].task, 1);
@@ -33,7 +33,7 @@ TEST(RandomSched, FavorsFastResources) {
   // worker must receive far more tasks than either CPU.
   const TaskGraph g = independent_gemms(300);
   RandomScheduler sched(123);
-  const SimResult r = simulate(g, tiny_hetero().without_communication(), sched);
+  const RunReport r = simulate(g, tiny_hetero().without_communication(), sched);
   std::map<int, int> count;
   for (const ComputeRecord& c : r.trace.compute()) ++count[c.worker];
   EXPECT_GT(count[2], count[0] * 2);
@@ -48,9 +48,9 @@ TEST(RandomSched, IgnoresLoad) {
   // dmda balances perfectly.
   const TaskGraph g = independent_gemms(40);
   RandomScheduler rnd(5);
-  const SimResult r = simulate(g, tiny_homog(2), rnd);
+  const RunReport r = simulate(g, tiny_homog(2), rnd);
   DmdaScheduler dmda = make_dmda();
-  const SimResult d = simulate(g, tiny_homog(2), dmda);
+  const RunReport d = simulate(g, tiny_homog(2), dmda);
   EXPECT_DOUBLE_EQ(d.makespan_s, 20 * 8.0);   // perfect balance
   EXPECT_GT(r.makespan_s, d.makespan_s);      // random leaves idle gaps
 }
@@ -59,7 +59,7 @@ TEST(DmdaSched, PicksFastestResourceForSingleTask) {
   // One GEMM: CPU would take 8 s, GPU 1 s -> dmda must pick the GPU.
   const TaskGraph g = independent_gemms(1);
   DmdaScheduler sched = make_dmda();
-  const SimResult r = simulate(g, tiny_hetero().without_communication(), sched);
+  const RunReport r = simulate(g, tiny_hetero().without_communication(), sched);
   EXPECT_EQ(r.trace.compute()[0].worker, 2);
   EXPECT_DOUBLE_EQ(r.makespan_s, 1.0);
 }
@@ -70,7 +70,7 @@ TEST(DmdaSched, SpillsToCpuWhenGpuBusy) {
   // task to each CPU: optimal makespan 8 with a 7/1/1 split.
   const TaskGraph g = independent_gemms(9);
   DmdaScheduler sched = make_dmda();
-  const SimResult r = simulate(g, tiny_hetero().without_communication(), sched);
+  const RunReport r = simulate(g, tiny_hetero().without_communication(), sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 8.0);
   std::map<int, int> count;
   for (const ComputeRecord& c : r.trace.compute()) ++count[c.worker];
@@ -86,12 +86,12 @@ TEST(DmdaSched, AccountsForTransfers) {
   g.add_task(Kernel::TRSM, 0, 1, -1, 1.0, {{0, AccessMode::ReadWrite}});
   const Platform p = tiny_hetero().with_bus_bandwidth(512.0 / 7.0);
   DmdaScheduler sched = make_dmda();
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_EQ(r.trace.compute()[0].worker, 0);  // CPU_0
   EXPECT_DOUBLE_EQ(r.makespan_s, 4.0);
   // Without the transfer cost the GPU wins.
   DmdaScheduler sched2 = make_dmda();
-  const SimResult r2 = simulate(g, p.without_communication(), sched2);
+  const RunReport r2 = simulate(g, p.without_communication(), sched2);
   EXPECT_EQ(r2.trace.compute()[0].worker, 2);
 }
 
@@ -105,7 +105,7 @@ TEST(DmdasSched, RunsHighPriorityFirst) {
   opt.sorted = true;
   opt.priorities = {5.0, 1.0, 9.0};
   DmdaScheduler sched{std::move(opt)};
-  const SimResult r = simulate(g, tiny_homog(1), sched);
+  const RunReport r = simulate(g, tiny_homog(1), sched);
   ASSERT_EQ(r.trace.compute().size(), 3u);
   EXPECT_EQ(r.trace.compute()[0].task, 2);
   EXPECT_EQ(r.trace.compute()[1].task, 0);
@@ -120,7 +120,7 @@ TEST(DmdasSched, EqualPrioritiesFallBackToFifo) {
   opt.sorted = true;
   opt.priorities = {3.0, 3.0};
   DmdaScheduler sched{std::move(opt)};
-  const SimResult r = simulate(g, tiny_homog(1), sched);
+  const RunReport r = simulate(g, tiny_homog(1), sched);
   EXPECT_EQ(r.trace.compute()[0].task, 0);
   EXPECT_EQ(r.trace.compute()[1].task, 1);
 }

@@ -27,7 +27,7 @@ TEST(Simulator, SingleWorkerSerializesChain) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(1);
   EagerScheduler sched;
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // POTRF 2 + TRSM 4 + SYRK 4 + POTRF 2.
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
   EXPECT_EQ(r.transfer_hops, 0);
@@ -36,7 +36,7 @@ TEST(Simulator, SingleWorkerSerializesChain) {
 TEST(Simulator, ChainGainsNothingFromMoreWorkers) {
   const TaskGraph g = chain4();
   EagerScheduler sched;
-  const SimResult r = simulate(g, tiny_homog(3), sched);
+  const RunReport r = simulate(g, tiny_homog(3), sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
 }
 
@@ -44,7 +44,7 @@ TEST(Simulator, IndependentTasksSpreadAcrossWorkers) {
   const TaskGraph g = independent_gemms(4);
   EagerScheduler sched;
   // 4 GEMMs of 8s on 2 CPUs -> 16s.
-  const SimResult r = simulate(g, tiny_homog(2), sched);
+  const RunReport r = simulate(g, tiny_homog(2), sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 16.0);
 }
 
@@ -52,14 +52,14 @@ TEST(Simulator, ForkJoinByHand) {
   const TaskGraph g = fork_join(2);
   EagerScheduler sched;
   // POTRF 2 + GEMM 8 (parallel pair) + SYRK 4.
-  const SimResult r = simulate(g, tiny_homog(2), sched);
+  const RunReport r = simulate(g, tiny_homog(2), sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 14.0);
 }
 
 TEST(Simulator, TraceAccountsEveryTask) {
   const TaskGraph g = build_cholesky_dag(4);
   DmdaScheduler sched = make_dmda();
-  const SimResult r = simulate(g, tiny_homog(3), sched);
+  const RunReport r = simulate(g, tiny_homog(3), sched);
   EXPECT_EQ(r.trace.compute().size(),
             static_cast<std::size_t>(g.num_tasks()));
   // Every task appears exactly once.
@@ -74,16 +74,16 @@ TEST(Simulator, RuntimeOverheadAddsPerTask) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(1);
   EagerScheduler sched;
-  SimOptions opt;
+  RunOptions opt;
   opt.per_task_overhead_s = 0.5;
-  const SimResult r = simulate(g, p, sched, opt);
+  const RunReport r = simulate(g, p, sched, opt);
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0 + 4 * 0.5);
 }
 
 TEST(Simulator, NoiseIsSeededAndDeterministic) {
   const TaskGraph g = build_cholesky_dag(3);
   const Platform p = tiny_homog(2);
-  SimOptions opt;
+  RunOptions opt;
   opt.noise_cv = 0.05;
   opt.noise_seed = 7;
   EagerScheduler s1, s2, s3;
@@ -98,7 +98,7 @@ TEST(Simulator, NoiseIsSeededAndDeterministic) {
 TEST(Simulator, NoiseAveragesNearNominal) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(1);
-  SimOptions opt;
+  RunOptions opt;
   opt.noise_cv = 0.05;
   double sum = 0.0;
   for (unsigned seed = 0; seed < 20; ++seed) {
@@ -128,7 +128,7 @@ TEST(Simulator, TransfersSerializeOnChannel) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}};  // worker 2 is the GPU
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // Two h2d transfers of ~1 s each on the same link, then 1 s of GEMM.
   EXPECT_NEAR(r.makespan_s, 3.0, 1e-3);
   EXPECT_EQ(r.transfer_hops, 2);
@@ -141,7 +141,7 @@ TEST(Simulator, NoCommPlatformSkipsTransfers) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}};
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 1.0);
   EXPECT_EQ(r.transfer_hops, 0);
 }
@@ -156,7 +156,7 @@ TEST(Simulator, WriteBackRequiresDeviceToHostHop) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}, {1, 0, 0.0}};
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // h2d (1 s) + gemm (1 s) + d2h (1 s) + cpu potrf (2 s).
   EXPECT_NEAR(r.makespan_s, 5.0, 1e-2);
   EXPECT_EQ(r.transfer_hops, 2);
@@ -171,17 +171,17 @@ TEST(Simulator, PrefetchOverlapsTransferWithCompute) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}, {1, 2, 1.0}};
 
-  SimOptions with_prefetch;
+  RunOptions with_prefetch;
   with_prefetch.prefetch = true;
   FixedScheduleScheduler s1(fixed);
-  const SimResult r1 = simulate(g, p, s1, with_prefetch);
+  const RunReport r1 = simulate(g, p, s1, with_prefetch);
   // fetch0 [0,1], compute0 [1,2] || fetch1 [1,2], compute1 [2,3].
   EXPECT_NEAR(r1.makespan_s, 3.0, 1e-2);
 
-  SimOptions no_prefetch;
+  RunOptions no_prefetch;
   no_prefetch.prefetch = false;
   FixedScheduleScheduler s2(fixed);
-  const SimResult r2 = simulate(g, p, s2, no_prefetch);
+  const RunReport r2 = simulate(g, p, s2, no_prefetch);
   // fetch0 [0,1], compute0 [1,2], fetch1 [2,3], compute1 [3,4].
   EXPECT_NEAR(r2.makespan_s, 4.0, 1e-2);
 }
@@ -198,7 +198,7 @@ TEST(Simulator, DistinctGpuLinksRunInParallel) {
   StaticSchedule fixed;
   fixed.entries = {{0, 1, 0.0}, {1, 2, 0.0}};  // workers 1, 2 are the GPUs
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // Parallel fetches (~1 s) + parallel computes (1 s).
   EXPECT_NEAR(r.makespan_s, 2.0, 1e-2);
   EXPECT_EQ(r.transfer_hops, 2);
@@ -217,7 +217,7 @@ TEST(Simulator, DeviceToDeviceStagesThroughRam) {
   StaticSchedule fixed;
   fixed.entries = {{0, 1, 0.0}, {1, 2, 0.0}};
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // h2d to GPU1 (1) + compute (1) + d2h (1) + h2d to GPU2 (1) + compute (1).
   EXPECT_NEAR(r.makespan_s, 5.0, 1e-2);
   EXPECT_EQ(r.transfer_hops, 3);
@@ -239,11 +239,11 @@ TEST(Simulator, SharedBusContentionSlowsConcurrentHops) {
   fixed.entries = {{0, 1, 0.0}, {1, 2, 0.0}};
 
   FixedScheduleScheduler s1(fixed);
-  const SimResult uncontended = simulate(g, base, s1);
+  const RunReport uncontended = simulate(g, base, s1);
   EXPECT_NEAR(uncontended.makespan_s, 2.0, 1e-2);
 
   FixedScheduleScheduler s2(fixed);
-  const SimResult contended = simulate(g, base.with_shared_bus(512.0), s2);
+  const RunReport contended = simulate(g, base.with_shared_bus(512.0), s2);
   EXPECT_NEAR(contended.makespan_s, 3.0, 1e-2);
 }
 
@@ -255,7 +255,7 @@ TEST(Simulator, SharedBusIrrelevantForSerialHops) {
   StaticSchedule fixed;
   fixed.entries = {{0, 2, 0.0}};
   FixedScheduleScheduler sched(fixed);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   // The two input hops share the one h2d channel and never overlap.
   EXPECT_NEAR(r.makespan_s, 3.0, 1e-2);
 }
@@ -310,7 +310,7 @@ TEST_P(BoundConsistency, SimulatedMakespanRespectsLowerBounds) {
       sched = std::make_unique<DmdaScheduler>(make_dmdas(g, p));
       break;
   }
-  const SimResult r = simulate(g, p, *sched);
+  const RunReport r = simulate(g, p, *sched);
   // The mixed bound (and a fortiori the area bound and critical path,
   // which ignore communications) must never exceed any simulated run.
   EXPECT_GE(r.makespan_s, mixed_bound(n, p).makespan_s - 1e-9);
@@ -330,7 +330,7 @@ TEST(Simulator, AllWorkUltimatelyExecutes) {
   const TaskGraph g = build_cholesky_dag(8);
   const Platform p = mirage_platform();
   DmdaScheduler sched = make_dmdas(g, p);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   double busy = 0.0;
   for (int w = 0; w < p.num_workers(); ++w) busy += r.trace.busy_seconds(w);
   // Total busy time equals the sum of per-task calibrated durations on the

@@ -92,7 +92,7 @@ TEST(Hints, SimulationHonoursTrsmRule) {
   const int cpu = p.class_index("CPU");
   DmdaScheduler sched =
       make_dmdas(g, p, hints::force_trsm_distance_to_class(2, cpu));
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   for (const ComputeRecord& c : r.trace.compute()) {
     const Task& t = g.task(c.task);
     if (t.kernel == Kernel::TRSM && tile_diagonal_distance(t) >= 2)
@@ -108,7 +108,7 @@ TEST(Hints, SimulationHonoursGemmSyrkOnGpuRule) {
   DmdaScheduler sched = make_dmda(
       hints::combine(hints::force_kernel_to_class(Kernel::GEMM, gpu),
                      hints::force_kernel_to_class(Kernel::SYRK, gpu)));
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   for (const ComputeRecord& c : r.trace.compute()) {
     const Kernel k = g.task(c.task).kernel;
     if (k == Kernel::GEMM || k == Kernel::SYRK)
@@ -122,7 +122,7 @@ TEST(Hints, ImpossibleFilterFallsBackToAllWorkers) {
   const Platform p = testutil::tiny_homog(2);
   DmdaScheduler sched =
       make_dmda([](const Task&, const Worker&) { return false; });
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
 }
 

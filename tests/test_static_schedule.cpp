@@ -97,7 +97,7 @@ TEST(FixedSchedule, ReplaysExactOrder) {
   const TaskGraph g = chain4();
   const Platform p = tiny_homog(2);
   FixedScheduleScheduler sched(serial_schedule());
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
   // Everything on worker 0, in order.
   for (const ComputeRecord& c : r.trace.compute()) EXPECT_EQ(c.worker, 0);
@@ -113,7 +113,7 @@ TEST(FixedSchedule, WorkConservingReplayShiftsEarlier) {
   StaticSchedule s;
   s.entries = {{0, 0, 0.0}, {1, 0, 20.0}};  // 12 s of pointless slack
   FixedScheduleScheduler sched(s);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 16.0);
 }
 
@@ -128,7 +128,7 @@ TEST(FixedSchedule, CrossWorkerOrderRespected) {
   StaticSchedule s;
   s.entries = {{0, 0, 0.0}, {1, 1, 0.0}};
   FixedScheduleScheduler sched(s);
-  const SimResult r = simulate(g, p, sched);
+  const RunReport r = simulate(g, p, sched);
   EXPECT_DOUBLE_EQ(r.makespan_s, 8.0);
 }
 

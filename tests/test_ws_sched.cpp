@@ -21,7 +21,7 @@ using testutil::tiny_homog;
 TEST(WsSched, CompletesChain) {
   const TaskGraph g = chain4();
   WorkStealingScheduler ws;
-  const SimResult r = simulate(g, tiny_homog(2), ws);
+  const RunReport r = simulate(g, tiny_homog(2), ws);
   EXPECT_DOUBLE_EQ(r.makespan_s, 12.0);
 }
 
@@ -30,7 +30,7 @@ TEST(WsSched, StealsBalanceLoad) {
   // finish in exactly 4 waves regardless of the deal order.
   const TaskGraph g = independent_gemms(8);
   WorkStealingScheduler ws;
-  const SimResult r = simulate(g, tiny_homog(2), ws);
+  const RunReport r = simulate(g, tiny_homog(2), ws);
   EXPECT_DOUBLE_EQ(r.makespan_s, 4 * 8.0);
   std::map<int, int> count;
   for (const ComputeRecord& c : r.trace.compute()) ++count[c.worker];
@@ -45,7 +45,7 @@ TEST(WsSched, IdleWorkerStealsFromLoadedVictim) {
   // worker empties its deque while others still hold work.
   const TaskGraph g = independent_gemms(9);
   WorkStealingScheduler ws;
-  const SimResult r = simulate(g, tiny_homog(3), ws);
+  const RunReport r = simulate(g, tiny_homog(3), ws);
   EXPECT_DOUBLE_EQ(r.makespan_s, 3 * 8.0);
   EXPECT_GE(ws.steals(), 0);
 }
@@ -55,7 +55,7 @@ TEST(WsSched, RespectsBoundsOnCholesky) {
   const TaskGraph g = build_cholesky_dag(n);
   const Platform p = mirage_platform();
   WorkStealingScheduler ws;
-  const SimResult r = simulate(g, p, ws);
+  const RunReport r = simulate(g, p, ws);
   EXPECT_GE(r.makespan_s, mixed_bound(n, p).makespan_s - 1e-9);
 }
 

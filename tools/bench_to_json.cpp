@@ -15,11 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/flops.hpp"
-#include "core/kernels.hpp"
-#include "core/kernel_types.hpp"
-#include "kernels/engine.hpp"
-#include "kernels/ref.hpp"
+#include "hetsched.hpp"
 
 namespace {
 

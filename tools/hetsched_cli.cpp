@@ -7,6 +7,7 @@
 //                         [--no-comm] [--trsm-cpu-k=K] [--gemm-syrk-gpu]
 //                         [--overhead=SECONDS] [--noise=CV] [--seed=S]
 //                         [--memory-tiles=M] [--trace]
+//                         [--trace-stream=FILE] [--metrics-interval=S]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
 //                         [--csv|--json]
@@ -15,33 +16,23 @@
 //                         --slow-from=T --slow-until=T --slow-factor=F]
 //                         [--fail-prob=P] [--retries=R] [--potrf-fail-k=K]
 //                         [--seed=S] [--emulate [--time-scale=X]] [--trace]
-//                         [--json]
+//                         [--json] [--trace-stream=FILE]
+//                         [--metrics-interval=S]
 //
 // Every command prints a short human-readable report (or machine-readable
 // JSON where --json is accepted); `hetsched_cli --help` lists the commands
 // and exit codes. Exit code 0 on success, 2 on bad usage, 3 if the
 // scheduling policy starved ready tasks (SchedulerError), 4 on a numeric
 // (non-SPD) failure, 5 on an unrecoverable injected fault (FaultError).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
-#include "bounds/bounds.hpp"
-#include "core/cholesky_dag.hpp"
-#include "core/flops.hpp"
-#include "core/lu_dag.hpp"
-#include "core/numeric_error.hpp"
-#include "core/qr_dag.hpp"
-#include "cp/cp_solver.hpp"
-#include "exec/scheduled_executor.hpp"
-#include "fault/fault_error.hpp"
-#include "fault/recovery.hpp"
-#include "platform/calibration.hpp"
-#include "runtime/experiment.hpp"
-#include "sched/fixed_sched.hpp"
-#include "sim/simulator.hpp"
+#include "hetsched.hpp"
 
 namespace {
 
@@ -80,6 +71,9 @@ struct Args {
   int potrf_fail_k = -1;
   bool emulate = false;
   double time_scale = 1.0;
+  // Streaming observability (simulate and faults).
+  std::string trace_stream;       ///< JSONL event stream destination
+  double metrics_interval = 0.0;  ///< live metrics line period, seconds
 };
 
 [[noreturn]] void help() {
@@ -100,6 +94,8 @@ struct Args {
       "common flags: --algo=cholesky|lu|qr --tiles=N\n"
       "  --sched=random|eager|ws|dmda|dmdar|dmdas\n"
       "  --platform=mirage|related|homogeneous --no-comm --seed=S --trace\n"
+      "  --trace-stream=FILE  stream events as JSONL while running\n"
+      "  --metrics-interval=S live aggregate metrics on stderr every S s\n"
       "(see the header of tools/hetsched_cli.cpp for the full per-command\n"
       "flag list)\n"
       "\n"
@@ -160,6 +156,9 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "retries", &v)) a.retries = std::atoi(v.c_str());
     else if (parse_flag(arg, "potrf-fail-k", &v)) a.potrf_fail_k = std::atoi(v.c_str());
     else if (parse_flag(arg, "time-scale", &v)) a.time_scale = std::atof(v.c_str());
+    else if (parse_flag(arg, "trace-stream", &v)) a.trace_stream = v;
+    else if (parse_flag(arg, "metrics-interval", &v))
+      a.metrics_interval = std::atof(v.c_str());
     else if (arg == "--emulate") a.emulate = true;
     else if (arg == "--integral") a.integral = true;
     else if (arg == "--prefix") a.prefix = true;
@@ -230,6 +229,49 @@ std::unique_ptr<Scheduler> build_scheduler(const Args& a, const TaskGraph& g,
   }
 }
 
+// Streaming attachments of one run: a JSONL sink for --trace-stream, a
+// metrics aggregator for --metrics-interval (live stderr lines) and for
+// the faults --json report (whose fault totals come from the aggregated
+// event stream). Build one, pass &streamer through RunOptions::stream.
+struct Streaming {
+  // `force_metrics` attaches the aggregator even without an interval
+  // (quiet aggregation for the JSON report).
+  Streaming(const Args& a, const Platform& p, double bound_s,
+            bool force_metrics)
+      : label(a.trace_stream.empty() ? "metrics" : a.trace_stream) {
+    if (!a.trace_stream.empty()) {
+      auto jsonl = std::make_unique<obs::JsonlSink>(a.trace_stream);
+      if (!jsonl->ok())
+        throw std::invalid_argument("--trace-stream: cannot open " +
+                                    a.trace_stream);
+      streamer.add_owned_sink(std::move(jsonl));
+      used = true;
+    }
+    if (a.metrics_interval > 0.0 || force_metrics) {
+      metrics.configure(p);
+      metrics.set_reference_bound(bound_s);
+      if (a.metrics_interval > 0.0)
+        metrics.set_report(stderr, a.metrics_interval);
+      streamer.add_sink(&metrics);
+      used = true;
+    }
+  }
+
+  obs::TraceStreamer* stream() { return used ? &streamer : nullptr; }
+
+  void report_drops(const RunReport& r) const {
+    if (!used) return;
+    std::printf("streamed %llu events to %s (%lld dropped)\n",
+                static_cast<unsigned long long>(streamer.delivered_events()),
+                label.c_str(), static_cast<long long>(r.dropped_events));
+  }
+
+  obs::TraceStreamer streamer;
+  obs::MetricsAggregator metrics;
+  bool used = false;
+  std::string label;
+};
+
 int cmd_bounds(const Args& a) {
   const Platform p = build_platform(a, a.tiles);
   const TaskGraph g = build_graph(a, a.tiles);
@@ -259,7 +301,7 @@ int cmd_simulate(const Args& a) {
   const Platform p = build_platform(a, a.tiles);
   const TaskGraph g = build_graph(a, a.tiles);
   auto sched = build_scheduler(a, g, p);
-  SimOptions opt;
+  RunOptions opt;
   opt.per_task_overhead_s = a.overhead;
   opt.noise_cv = a.noise;
   opt.noise_seed = a.seed;
@@ -267,7 +309,10 @@ int cmd_simulate(const Args& a) {
     opt.accel_memory_bytes = static_cast<std::size_t>(a.memory_tiles) *
                              static_cast<std::size_t>(p.nb()) *
                              static_cast<std::size_t>(p.nb()) * sizeof(double);
-  const SimResult r = simulate(g, p, *sched, opt);
+  const double bound = algo_mixed(a, a.tiles, p).makespan_s;
+  Streaming streaming(a, p, bound, /*force_metrics=*/false);
+  opt.stream = streaming.stream();
+  const RunReport r = simulate(g, p, *sched, opt);
   std::printf("%s on %s (%s, %d tasks): makespan %.4f s = %.1f GFLOP/s\n",
               sched->name().c_str(), p.name().c_str(), a.algo.c_str(),
               g.num_tasks(), r.makespan_s,
@@ -276,9 +321,9 @@ int cmd_simulate(const Args& a) {
               static_cast<long long>(r.transfer_hops),
               r.bytes_transferred / 1e9, static_cast<long long>(r.evictions),
               static_cast<long long>(r.capacity_overflows));
-  const double bound = algo_mixed(a, a.tiles, p).makespan_s;
   std::printf("mixed bound: %.4f s -> efficiency %.1f%%\n", bound,
               bound / r.makespan_s * 100.0);
+  streaming.report_drops(r);
   if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
   return 0;
 }
@@ -302,7 +347,7 @@ int cmd_solve(const Args& a) {
   std::printf("schedule validity: %s\n", err.empty() ? "OK" : err.c_str());
   if (a.inject) {
     FixedScheduleScheduler replay(res.schedule);
-    const SimResult sim = simulate(g, p, replay);
+    const RunReport sim = simulate(g, p, replay);
     std::printf("injected into the simulator: %.4f s (%.2f%% of the CP "
                 "value)\n",
                 sim.makespan_s, sim.makespan_s / res.makespan_s * 100.0);
@@ -344,7 +389,8 @@ void print_fault_stats(const FaultStats& f) {
 // ({"command": ..., "results": [{...}]}).
 void print_faults_json(const Args& a, const std::string& sched_name,
                        double makespan, double wall_seconds,
-                       const FaultStats& f, double healthy_bound) {
+                       const FaultStats& f, double healthy_bound,
+                       std::int64_t dropped_events) {
   std::printf("{\n  \"command\": \"faults\",\n  \"results\": [\n");
   std::printf("    {\"sched\": \"%s\", \"algo\": \"%s\", \"tiles\": %d, "
               "\"mode\": \"%s\", ",
@@ -360,7 +406,7 @@ void print_faults_json(const Args& a, const std::string& sched_name,
               "\"retries\": %lld, \"tasks_requeued\": %lld, "
               "\"slowdown_hits\": %lld, \"watchdog_timeouts\": %lld, "
               "\"sole_copy_losses\": %lld, \"recomputations\": %lld, "
-              "\"recovery_time_s\": %.6f}\n",
+              "\"recovery_time_s\": %.6f, \"dropped_events\": %lld}\n",
               static_cast<long long>(f.worker_deaths),
               static_cast<long long>(f.transient_failures),
               static_cast<long long>(f.retries),
@@ -368,7 +414,8 @@ void print_faults_json(const Args& a, const std::string& sched_name,
               static_cast<long long>(f.slowdown_hits),
               static_cast<long long>(f.watchdog_timeouts),
               static_cast<long long>(f.sole_copy_losses),
-              static_cast<long long>(f.recomputations), f.recovery_time_s);
+              static_cast<long long>(f.recomputations), f.recovery_time_s,
+              static_cast<long long>(dropped_events));
   std::printf("  ]\n}\n");
 }
 
@@ -380,12 +427,23 @@ int cmd_faults(const Args& a) {
   if (plan.empty() && !a.json)
     std::printf("note: empty fault plan -- this is a plain run\n");
 
+  const double healthy = algo_mixed(a, a.tiles, p).makespan_s;
+  // With --json the metrics aggregator is always attached: the report's
+  // fault totals are read back from the aggregated event stream, so the
+  // flat row and a streamed JSONL trace describe the same events.
+  Streaming streaming(a, p, healthy, /*force_metrics=*/a.json);
+
   double makespan = 0.0;
   double wall = 0.0;
+  std::int64_t dropped = 0;
   FaultStats fstats;
   if (a.emulate) {
-    const ExecResult r =
-        emulate_with_scheduler(g, p, *sched, a.time_scale, a.trace, plan);
+    RunOptions ropt;
+    ropt.record_trace = a.trace;
+    ropt.faults = plan;
+    ropt.stream = streaming.stream();
+    const RunReport r =
+        emulate_with_scheduler(g, p, *sched, a.time_scale, ropt);
     if (!r.success) {
       std::fprintf(stderr, "emulation failed: %s\n", r.error.c_str());
       // Mirror the simulator path's exception-to-exit-code mapping; the
@@ -399,6 +457,7 @@ int cmd_faults(const Args& a) {
     }
     makespan = r.makespan_s;
     wall = r.wall_seconds;
+    dropped = r.dropped_events;
     fstats = r.faults;
     if (!a.json) {
       std::printf("%s emulated on %s (%d tasks): makespan %.4f s "
@@ -406,28 +465,35 @@ int cmd_faults(const Args& a) {
                   sched->name().c_str(), p.name().c_str(), g.num_tasks(),
                   makespan, r.wall_seconds);
       print_fault_stats(r.faults);
+      streaming.report_drops(r);
       if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
     }
   } else {
-    SimOptions opt;
+    RunOptions opt;
     opt.noise_seed = a.seed;
     opt.faults = plan;
-    const SimResult r = simulate(g, p, *sched, opt);
+    opt.stream = streaming.stream();
+    const RunReport r = simulate(g, p, *sched, opt);
     makespan = r.makespan_s;
     wall = r.wall_seconds;
+    dropped = r.dropped_events;
     fstats = r.faults;
     if (!a.json) {
       std::printf("%s on %s (%d tasks): makespan %.4f s = %.1f GFLOP/s\n",
                   sched->name().c_str(), p.name().c_str(), g.num_tasks(),
                   r.makespan_s, algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
       print_fault_stats(r.faults);
+      streaming.report_drops(r);
       if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
     }
   }
 
-  const double healthy = algo_mixed(a, a.tiles, p).makespan_s;
   if (a.json) {
-    print_faults_json(a, sched->name(), makespan, wall, fstats, healthy);
+    // The aggregated stream is authoritative unless a ring overflowed (the
+    // report's own counters are then the complete account).
+    if (dropped == 0) fstats = streaming.metrics.snapshot().faults;
+    print_faults_json(a, sched->name(), makespan, wall, fstats, healthy,
+                      dropped);
     return 0;
   }
   std::printf("mixed bound (healthy) : %.4f s -> efficiency %.1f%%\n",

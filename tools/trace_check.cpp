@@ -1,0 +1,188 @@
+// trace_check: validates a JSONL event stream written by --trace-stream
+// (obs::JsonlSink) without a JSON library -- the schema is flat and fixed,
+// so a hand-rolled field scanner is enough and keeps the tool dependency
+// free. Checks, per line:
+//  * the line parses as one of the three kinds with exactly the documented
+//    fields (docs/observability.md);
+//  * "seq" is dense and strictly increasing from the first line's value;
+//  * timestamps are finite, end >= start, and non-negative;
+//  * fault "event" names one of the known FaultEventKind spellings.
+// Exit 0 and a one-line summary on success; exit 1 with the offending line
+// number on the first violation. CI runs it after a CLI --trace-stream
+// smoke run.
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace {
+
+// Cursor over one line: the serializer emits fields in a fixed order, so
+// parsing is "expect this key, read its value" in sequence.
+struct LineParser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  explicit LineParser(const std::string& line) : s(line) {}
+
+  bool lit(const char* text) {
+    const std::size_t n = std::strlen(text);
+    if (s.compare(pos, n, text) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool integer(long long& out) {
+    const char* begin = s.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtoll(begin, &end, 10);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool number(double& out) {
+    const char* begin = s.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin || !std::isfinite(out)) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  // "word" -- the serializer never escapes kernel / event names.
+  bool quoted(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    const std::size_t close = s.find('"', pos + 1);
+    if (close == std::string::npos) return false;
+    out = s.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    return !out.empty();
+  }
+
+  bool done() const { return pos == s.size(); }
+};
+
+bool known_fault_event(const std::string& name) {
+  static const char* kKnown[] = {
+      "worker_death",     "transient_failure", "retry",
+      "task_requeued",    "slowdown_hit",      "watchdog_timeout",
+      "sole_copy_loss",   "recomputation"};
+  for (const char* k : kKnown)
+    if (name == k) return true;
+  return false;
+}
+
+bool known_kernel(const std::string& name) {
+  return name == "POTRF" || name == "TRSM" || name == "SYRK" ||
+         name == "GEMM" || name == "GETRF" || name == "GEQRT" ||
+         name == "TSQRT" || name == "ORMQR" || name == "TSMQR";
+}
+
+struct Counts {
+  std::uint64_t compute = 0, transfer = 0, fault = 0;
+};
+
+// Returns nullptr on success or a static description of the violation.
+const char* check_line(const std::string& line, long long expect_seq,
+                       Counts& counts) {
+  LineParser p(line);
+  long long seq = -1;
+  if (!p.lit("{\"seq\":") || !p.integer(seq)) return "malformed seq field";
+  if (seq != expect_seq) return "seq not dense/monotonic";
+  if (!p.lit(",\"kind\":\"")) return "missing kind field";
+
+  long long i = 0;
+  double start = 0.0, end = 0.0, value = 0.0;
+  std::string word;
+  if (p.lit("compute\"")) {
+    ++counts.compute;
+    if (!p.lit(",\"worker\":") || !p.integer(i) || i < 0)
+      return "compute: bad worker";
+    if (!p.lit(",\"task\":") || !p.integer(i) || i < 0)
+      return "compute: bad task";
+    if (!p.lit(",\"kernel\":") || !p.quoted(word) || !known_kernel(word))
+      return "compute: unknown kernel";
+    if (!p.lit(",\"start\":") || !p.number(start)) return "compute: bad start";
+    if (!p.lit(",\"end\":") || !p.number(end)) return "compute: bad end";
+  } else if (p.lit("transfer\"")) {
+    ++counts.transfer;
+    if (!p.lit(",\"tile\":") || !p.integer(i) || i < 0)
+      return "transfer: bad tile";
+    if (!p.lit(",\"from\":") || !p.integer(i) || i < 0)
+      return "transfer: bad from";
+    if (!p.lit(",\"to\":") || !p.integer(i) || i < 0) return "transfer: bad to";
+    if (!p.lit(",\"start\":") || !p.number(start)) return "transfer: bad start";
+    if (!p.lit(",\"end\":") || !p.number(end)) return "transfer: bad end";
+  } else if (p.lit("fault\"")) {
+    ++counts.fault;
+    if (!p.lit(",\"event\":") || !p.quoted(word) || !known_fault_event(word))
+      return "fault: unknown event";
+    if (!p.lit(",\"worker\":") || !p.integer(i)) return "fault: bad worker";
+    if (!p.lit(",\"task\":") || !p.integer(i)) return "fault: bad task";
+    if (!p.lit(",\"tile\":") || !p.integer(i)) return "fault: bad tile";
+    if (!p.lit(",\"time\":") || !p.number(start)) return "fault: bad time";
+    end = start;
+    if (!p.lit(",\"value\":") || !p.number(value) || value < 0.0)
+      return "fault: bad value";
+  } else {
+    return "unknown kind";
+  }
+  if (!p.lit("}") || !p.done()) return "trailing garbage after event";
+  if (start < 0.0) return "negative timestamp";
+  if (end < start) return "end before start";
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr,
+                 "usage: trace_check FILE.jsonl\n"
+                 "Validates a --trace-stream JSONL file: schema, dense "
+                 "monotonic seq, sane timestamps.\n");
+    return argc == 2 ? 0 : 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::string line;
+  long long lineno = 0;
+  long long first_seq = -1;
+  Counts counts;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first_seq < 0) {
+      // Streamers persist across runs (experiment series), so a file may
+      // start at a non-zero seq; density is required from there on.
+      LineParser p(line);
+      long long seq = 0;
+      first_seq = (p.lit("{\"seq\":") && p.integer(seq)) ? seq : 0;
+    }
+    const char* err = check_line(line, first_seq + lineno, counts);
+    if (err != nullptr) {
+      std::fprintf(stderr, "trace_check: %s:%lld: %s\n  %s\n", argv[1],
+                   lineno + 1, err, line.c_str());
+      return 1;
+    }
+    ++lineno;
+  }
+  if (lineno == 0) {
+    std::fprintf(stderr, "trace_check: %s: empty stream\n", argv[1]);
+    return 1;
+  }
+  std::printf("trace_check: %lld events ok (%llu compute, %llu transfer, "
+              "%llu fault)\n",
+              lineno, static_cast<unsigned long long>(counts.compute),
+              static_cast<unsigned long long>(counts.transfer),
+              static_cast<unsigned long long>(counts.fault));
+  return 0;
+}
