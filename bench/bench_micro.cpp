@@ -13,6 +13,7 @@
 #include "core/kernels.hpp"
 #include "core/tile_matrix.hpp"
 #include "kernels/engine.hpp"
+#include "kernels/pack_cache.hpp"
 #include "kernels/ref.hpp"
 #include "platform/calibration.hpp"
 #include "sched/dmda.hpp"
@@ -209,6 +210,37 @@ void BM_KernelPotrf(benchmark::State& state) {
   }
   flops_rate(state, Kernel::POTRF);
 }
+
+// Packed-tile cache on vs off for repeated GEMMs on the same operands (the
+// DAG's hot pattern: one TRSM output tile feeding O(n) consumers). The
+// cached variant packs each operand once and reuses the panels; the gap to
+// the uncached variant is the per-call packing cost the cache removes.
+template <bool kCache>
+void BM_KernelGemmNTPackCache(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  kernels::PackedTileCache cache;
+  const auto a = noise_tile(nb, 1);
+  const auto b = noise_tile(nb, 2);
+  auto c = noise_tile(nb, 3);
+  kernels::PackCacheBinding bind(kCache ? &cache : nullptr);
+  for (auto _ : state) {
+    kernels::gemm(nb, a.data(), nb, b.data(), nb, c.data(), nb);
+    benchmark::DoNotOptimize(c[0]);
+  }
+  flops_rate(state, Kernel::GEMM);
+}
+BENCHMARK(BM_KernelGemmNTPackCache<false>)
+    ->Name("BM_KernelGemmNTPackCache/off")
+    ->Arg(64)
+    ->Arg(192)
+    ->Arg(480)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelGemmNTPackCache<true>)
+    ->Name("BM_KernelGemmNTPackCache/on")
+    ->Arg(64)
+    ->Arg(192)
+    ->Arg(480)
+    ->Unit(benchmark::kMillisecond);
 
 #define HETSCHED_KERNEL_BENCH(name)                                        \
   BENCHMARK(name<false>)                                                   \

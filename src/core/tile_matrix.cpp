@@ -1,5 +1,6 @@
 #include "core/tile_matrix.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace hetsched {
@@ -66,6 +67,36 @@ DenseMatrix TileMatrix::to_dense() const {
 
 TileMatrix TileMatrix::random_spd(int n_tiles, int nb, unsigned seed) {
   return from_dense(DenseMatrix::random_spd(n_tiles * nb, seed), n_tiles, nb);
+}
+
+TileMatrix TileMatrix::synthetic_spd(int n_tiles, int nb, unsigned seed) {
+  TileMatrix t(n_tiles, nb);
+  t.refill_synthetic_spd(seed);
+  return t;
+}
+
+void TileMatrix::refill_synthetic_spd(unsigned seed) {
+  // splitmix64 per entry: deterministic, seekable, no RNG object state.
+  std::uint64_t x = static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
+                    0xbf58476d1ce4e5b9ULL;
+  const auto next = [&x]() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return static_cast<double>(z >> 11) * 0x1p-53 * 2.0 - 1.0;  // [-1, 1)
+  };
+  for (double& v : storage_) v = next();
+  // Every |entry| < 1, so row sums are < N and a diagonal of 2N keeps all
+  // Schur complements strictly diagonally dominant.
+  const double lift = 2.0 * static_cast<double>(n_tiles_ * nb_);
+  for (int k = 0; k < n_tiles_; ++k) {
+    double* diag = tile(k, k);
+    for (int j = 0; j < nb_; ++j)
+      diag[static_cast<std::size_t>(j) * (static_cast<std::size_t>(nb_) + 1)] =
+          lift;
+  }
 }
 
 }  // namespace hetsched

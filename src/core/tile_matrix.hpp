@@ -42,7 +42,22 @@ class TileMatrix {
   DenseMatrix to_dense() const;
 
   /// Deterministic random SPD tiled matrix (via DenseMatrix::random_spd).
+  /// Exact Gram construction, O(N^3) in the matrix dimension: fine for
+  /// correctness tests, prohibitive as benchmark input beyond N ~ 2000.
   static TileMatrix random_spd(int n_tiles, int nb, unsigned seed);
+
+  /// Deterministic diagonally-dominant SPD tiled matrix, O(N^2): random
+  /// off-diagonal entries in [-1, 1] with the diagonal lifted to 2N, so
+  /// Cholesky always succeeds. The benchmark-input generator (exec CLI,
+  /// bench_to_json --runtime, bench_pack_cache) for sizes where
+  /// random_spd's Gram product would dominate the wall time.
+  static TileMatrix synthetic_spd(int n_tiles, int nb, unsigned seed);
+
+  /// Rewrites this matrix with the synthetic_spd content in place, without
+  /// reallocating storage. Benchmarks re-factorizing the same buffers use
+  /// this to keep tile addresses stable across repetitions, the way a
+  /// long-lived application reuses its matrix memory.
+  void refill_synthetic_spd(unsigned seed);
 
  private:
   int n_tiles_;

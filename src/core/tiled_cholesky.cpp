@@ -39,6 +39,16 @@ void execute_task_checked(TileMatrix& a, const Task& t) {
   (void)execute_task(a, t);
 }
 
+double* task_output_tile(TileMatrix& a, const Task& t) {
+  switch (t.kernel) {
+    case Kernel::POTRF: return a.tile(t.k, t.k);
+    case Kernel::TRSM: return a.tile(t.i, t.k);
+    case Kernel::SYRK: return a.tile(t.j, t.j);
+    case Kernel::GEMM: return a.tile(t.i, t.j);
+    default: return nullptr;
+  }
+}
+
 bool tiled_cholesky_sequential(TileMatrix& a) {
   const int n = a.n_tiles();
   const int nb = a.nb();

@@ -17,6 +17,11 @@ bool execute_task(TileMatrix& a, const Task& t);
 /// non-SPD input aborts deterministically instead of racing NaNs.
 void execute_task_checked(TileMatrix& a, const Task& t);
 
+/// The tile a Cholesky task writes (POTRF -> (k,k), TRSM -> (i,k),
+/// SYRK -> (j,j), GEMM -> (i,j)), or nullptr for non-Cholesky kernels.
+/// The compute backend bumps this tile's pack-cache epoch after the task.
+double* task_output_tile(TileMatrix& a, const Task& t);
+
 /// Sequential tiled Cholesky (Algorithm 1): factorizes `a` in place into its
 /// lower Cholesky factor. Returns false if the matrix is not positive
 /// definite.

@@ -14,6 +14,7 @@
 
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
+#include "kernels/pack_cache.hpp"
 #include "runtime/run_report.hpp"
 
 namespace hetsched {
@@ -24,6 +25,9 @@ struct ExecOptions {
   std::vector<double> priorities;
   /// Record a wall-clock Gantt trace.
   bool record_trace = true;
+  /// Packed-tile cache policy for this run (default: follow the
+  /// HETSCHED_PACK_CACHE environment, on when unset).
+  kernels::PackCacheOptions pack_cache;
 };
 
 /// Factorizes `a` in place by executing the tasks of `g` on a thread pool.

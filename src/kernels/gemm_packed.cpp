@@ -9,11 +9,10 @@
 namespace hetsched::kernels::detail {
 namespace {
 
-inline int round_up(int v, int to) { return (v + to - 1) / to * to; }
+using MicroKernel = void (*)(int, const double*, const double*, double*);
 
-// Packs A(mc x kc) (column-major, leading dimension lda) into kMR-tall
-// row micro-panels: panel ir starts at dst + ir*kc and stores column p of
-// its rows contiguously. Rows beyond mc are zero-padded.
+}  // namespace
+
 void pack_a(int mc, int kc, const double* a, int lda, double* dst) {
   for (int ir = 0; ir < mc; ir += kMR) {
     const int mr = std::min(kMR, mc - ir);
@@ -28,10 +27,6 @@ void pack_a(int mc, int kc, const double* a, int lda, double* dst) {
   }
 }
 
-// Packs op(B)(kc x n) into kNR-wide column micro-panels: panel jr starts at
-// dst + jr*kc and stores row p of its columns contiguously. For kNT the
-// element op(B)(p, j) lives at b[j + p*ldb]; for kNN at b[p + j*ldb].
-// Columns beyond n are zero-padded.
 void pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
             double* dst) {
   for (int jr = 0; jr < n; jr += kNR) {
@@ -57,10 +52,6 @@ void pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
   }
 }
 
-using MicroKernel = void (*)(int, const double*, const double*, double*);
-
-}  // namespace
-
 void micro_8x4_generic(int kc, const double* pa, const double* pb,
                        double* acc) {
   // Local accumulator array; with kMR*kNR = 32 doubles the compiler keeps
@@ -80,39 +71,70 @@ void micro_8x4_generic(int kc, const double* pa, const double* pb,
 
 void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
                  const double* b, int ldb, BLayout layout, double* c, int ldc,
-                 bool lower_only) {
+                 bool lower_only, const PackedView* packed_a,
+                 const PackedView* packed_b) {
   if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0) return;
   const MicroKernel micro =
       engine_tier() == Tier::kAvx2 ? micro_8x4_avx2 : micro_8x4_generic;
+  const PackGeometry g = pack_geometry();
 
-  TileScratch& scratch = active_scratch();
-  double* pb = scratch.b_panel(static_cast<std::size_t>(round_up(n, kNR)) *
-                               static_cast<std::size_t>(kKC));
-  double* pa = scratch.a_panel(
-      static_cast<std::size_t>(round_up(std::min(m, kMC), kMR)) *
-      static_cast<std::size_t>(kKC));
+  // Per-call scratch only for operands without a pre-packed image.
+  double* pb = nullptr;
+  double* pa = nullptr;
+  if (packed_a == nullptr || packed_b == nullptr) {
+    TileScratch& scratch = active_scratch();
+    if (packed_b == nullptr) pb = scratch.b_panel(b_call_doubles(n, g));
+    if (packed_a == nullptr) pa = scratch.a_panel(a_call_doubles(m, g));
+  }
+  // Full-image layout constants (see pack_geometry.hpp): slice pc of an A
+  // image starts a_rows * pc doubles in, of a B image b_cols * pc.
+  const int a_rows = packed_a != nullptr ? a_slice_rows(packed_a->dim, g) : 0;
+  const int b_cols = packed_b != nullptr ? round_up(packed_b->dim, kNR) : 0;
 
-  for (int pc = 0; pc < k; pc += kKC) {
-    const int kc = std::min(kKC, k - pc);
-    const double* bpc = layout == BLayout::kNT
-                            ? b + static_cast<std::ptrdiff_t>(pc) * ldb
-                            : b + pc;
-    pack_b(kc, n, bpc, ldb, layout, pb);
-    for (int ic = 0; ic < m; ic += kMC) {
-      const int mc = std::min(kMC, m - ic);
-      pack_a(mc, kc, a + ic + static_cast<std::ptrdiff_t>(pc) * lda, lda, pa);
+  for (int pc = 0; pc < k; pc += g.kc) {
+    const int kc = std::min(g.kc, k - pc);
+    const double* pbs;  // packed slice, offset to C's column 0
+    int bstride;        // doubles per packed column micro-panel
+    if (packed_b != nullptr) {
+      bstride = std::min(g.kc, packed_b->k_total - pc);
+      pbs = packed_b->data +
+            static_cast<std::size_t>(b_cols) * static_cast<std::size_t>(pc) +
+            static_cast<std::ptrdiff_t>(packed_b->col_offset) * bstride;
+    } else {
+      const double* bpc = layout == BLayout::kNT
+                              ? b + static_cast<std::ptrdiff_t>(pc) * ldb
+                              : b + pc;
+      pack_b(kc, n, bpc, ldb, layout, pb);
+      pbs = pb;
+      bstride = kc;
+    }
+    for (int ic = 0; ic < m; ic += g.mc) {
+      const int mc = std::min(g.mc, m - ic);
+      const double* pas;  // packed block at row ic
+      int astride;        // doubles per packed row micro-panel
+      if (packed_a != nullptr) {
+        astride = std::min(g.kc, packed_a->k_total - pc);
+        pas = packed_a->data +
+              static_cast<std::size_t>(a_rows) * static_cast<std::size_t>(pc) +
+              static_cast<std::ptrdiff_t>(ic) * astride;
+      } else {
+        pack_a(mc, kc, a + ic + static_cast<std::ptrdiff_t>(pc) * lda, lda,
+               pa);
+        pas = pa;
+        astride = kc;
+      }
       for (int jr = 0; jr < n; jr += kNR) {
         // Every remaining micro-tile of this A block would be strictly
         // above the diagonal: nothing left to store in this block row.
         if (lower_only && jr > ic + mc - 1) break;
         const int nr = std::min(kNR, n - jr);
-        const double* pbj = pb + static_cast<std::ptrdiff_t>(jr) * kc;
+        const double* pbj = pbs + static_cast<std::ptrdiff_t>(jr) * bstride;
         for (int ir = 0; ir < mc; ir += kMR) {
           const int mr = std::min(kMR, mc - ir);
           const int gi = ic + ir;  // global row of the micro-tile's top
           if (lower_only && gi + mr - 1 < jr) continue;  // strictly upper
           alignas(32) double acc[kMR * kNR];
-          micro(kc, pa + static_cast<std::ptrdiff_t>(ir) * kc, pbj, acc);
+          micro(kc, pas + static_cast<std::ptrdiff_t>(ir) * astride, pbj, acc);
           const bool full = mr == kMR && nr == kNR &&
                             (!lower_only || gi >= jr + kNR - 1);
           if (full) {

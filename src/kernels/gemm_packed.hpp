@@ -2,9 +2,9 @@
 //
 // GotoBLAS-style three-level blocking. For C(m x n) += alpha * A * op(B):
 //
-//   for pc in steps of kKC:                       (L3/L2: rank-kKC slices)
+//   for pc in steps of kc:                        (L3/L2: rank-kc slices)
 //     pack op(B)(pc:pc+kc, :) into ~B  (kNR-wide column micro-panels)
-//     for ic in steps of kMC:                     (L2: A block)
+//     for ic in steps of mc:                      (L2: A block)
 //       pack A(ic:ic+mc, pc:pc+kc) into ~A (kMR-tall row micro-panels)
 //       for jr in steps of kNR:                   (registers)
 //         for ir in steps of kMR:
@@ -17,16 +17,19 @@
 // C's own index space (SYRK's lower triangle); micro-tiles entirely above
 // the diagonal are skipped before any flops are spent.
 //
+// Either operand's packing can be skipped by passing a PackedView onto a
+// pre-packed full image (normally pinned in the PackedTileCache, see
+// pack_cache.hpp); panel offsets then follow the full-image layout of
+// pack_geometry.hpp instead of the per-call scratch layout. The kc/mc
+// geometry comes from pack_geometry() either way.
+//
 // This header is internal to src/kernels; the public surface is
 // core/kernels.hpp (tile API) + kernels/engine.hpp (dispatch control).
 #pragma once
 
-namespace hetsched::kernels::detail {
+#include "kernels/pack_geometry.hpp"
 
-inline constexpr int kMR = 8;   ///< micro-tile rows (register block)
-inline constexpr int kNR = 4;   ///< micro-tile columns
-inline constexpr int kKC = 256;  ///< k blocking (packed panels' depth)
-inline constexpr int kMC = 128;  ///< m blocking (packed A height)
+namespace hetsched::kernels::detail {
 
 /// How B's memory maps onto the op(B) the product consumes.
 enum class BLayout {
@@ -34,12 +37,38 @@ enum class BLayout {
   kNN,  ///< B stored k x n, product uses B    (dgemm NN)
 };
 
+/// A full packed image of an operand (layout per pack_geometry.hpp),
+/// packed with the current geometry. The consuming call may contract a
+/// depth k <= k_total -- panels are then read as prefixes -- and, for B,
+/// start at column `col_offset` (a kNR multiple).
+struct PackedView {
+  const double* data = nullptr;
+  int dim = 0;         ///< rows (A flavor) / columns (B flavor) packed
+  int k_total = 0;     ///< depth the image was packed with
+  int col_offset = 0;  ///< B only: first column consumed (kNR multiple)
+};
+
 /// C(m x n) += alpha * A(m x k) * op(B) with op per `layout`; `lower_only`
-/// confines stores to C's lower triangle (row >= col). Packs through the
-/// calling thread's active TileScratch (see scratch.hpp).
+/// confines stores to C's lower triangle (row >= col). Operands without a
+/// PackedView are packed through the calling thread's active TileScratch
+/// (see scratch.hpp); `layout` must be kNT when `packed_b` is given (the
+/// cache packs NT images only).
 void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
                  const double* b, int ldb, BLayout layout, double* c, int ldc,
-                 bool lower_only);
+                 bool lower_only, const PackedView* packed_a = nullptr,
+                 const PackedView* packed_b = nullptr);
+
+/// Packs A(mc x kc) (column-major, leading dimension lda) into kMR-tall
+/// row micro-panels: panel ir starts at dst + ir*kc and stores column p of
+/// its rows contiguously. Rows beyond mc are zero-padded.
+void pack_a(int mc, int kc, const double* a, int lda, double* dst);
+
+/// Packs op(B)(kc x n) into kNR-wide column micro-panels: panel jr starts
+/// at dst + jr*kc and stores row p of its columns contiguously. For kNT
+/// the element op(B)(p, j) lives at b[j + p*ldb]; for kNN at b[p + j*ldb].
+/// Columns beyond n are zero-padded.
+void pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
+            double* dst);
 
 /// Portable micro-kernel: acc(kMR x kNR, column-major, 32-byte aligned) :=
 /// sum_p pa[p*kMR + i] * pb[p*kNR + j]. Written to auto-vectorize at the

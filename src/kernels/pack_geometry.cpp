@@ -1,0 +1,51 @@
+#include "kernels/pack_geometry.hpp"
+
+#include <atomic>
+
+#include "kernels/pack_cache.hpp"
+
+namespace hetsched::kernels {
+namespace {
+
+// kc in the low 16 bits, mc in the high 16: one atomic word so concurrent
+// readers always see a consistent pair.
+constexpr unsigned pack_word(PackGeometry g) {
+  return static_cast<unsigned>(g.kc) | (static_cast<unsigned>(g.mc) << 16);
+}
+
+std::atomic<unsigned> g_geometry{
+    pack_word({detail::kKCDefault, detail::kMCDefault})};
+std::atomic<unsigned> g_generation{0};
+
+}  // namespace
+
+PackGeometry pack_geometry() noexcept {
+  const unsigned w = g_geometry.load(std::memory_order_relaxed);
+  return {static_cast<int>(w & 0xffffu), static_cast<int>(w >> 16)};
+}
+
+void set_pack_geometry(PackGeometry g) {
+  if (g.kc < 1) g.kc = 1;
+  if (g.kc > 0xffff) g.kc = 0xffff;
+  if (g.mc < detail::kMR) g.mc = detail::kMR;
+  g.mc = detail::round_up(g.mc, detail::kMR);
+  if (g.mc > 0xffff) g.mc = 0xffff / detail::kMR * detail::kMR;
+  // Generation first: a racing acquire() that still reads the old geometry
+  // builds a key no post-switch lookup can match.
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_geometry.store(pack_word(g), std::memory_order_relaxed);
+  process_pack_cache().invalidate_all();
+}
+
+void reset_pack_geometry() {
+  set_pack_geometry({detail::kKCDefault, detail::kMCDefault});
+}
+
+namespace detail {
+
+unsigned pack_geometry_generation() noexcept {
+  return g_generation.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace hetsched::kernels

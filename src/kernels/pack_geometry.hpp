@@ -1,0 +1,86 @@
+// Single source of truth for the packed-engine blocking geometry.
+//
+// The packed GEMM core, the per-call scratch sizing and the PackedTileCache
+// all derive panel sizes and offsets from the helpers in this header.
+// Before it existed, the scratch sizing hard-coded the kc/mc constants
+// independently of the packing loops, so a geometry switch could hand the
+// micro-kernel a stale-sized buffer; now a switch through
+// set_pack_geometry() changes every consumer at once (and invalidates the
+// pack cache, whose keys carry the geometry generation).
+//
+// kMR/kNR stay compile-time: the micro-kernel's register tile is part of
+// the ABI of every packed panel.
+#pragma once
+
+#include <cstddef>
+
+namespace hetsched::kernels {
+
+/// Cache-blocking geometry of the packed GEMM engine.
+struct PackGeometry {
+  int kc;  ///< depth of one packed slice (L1/L2 blocking)
+  int mc;  ///< height of one packed A block (L2 blocking); kMR multiple
+};
+
+/// The geometry kernel calls currently pack with (default 256 x 128).
+PackGeometry pack_geometry() noexcept;
+
+/// Overrides the process-wide geometry: kc clamped to [1, 65535], mc
+/// rounded up to a kMR multiple (the A-pack offset arithmetic requires
+/// it). Bumps the pack-geometry generation and drops every cached panel.
+/// Not thread-safe w.r.t. concurrently running kernels; intended for
+/// test/bench setup code, like set_engine_tier().
+void set_pack_geometry(PackGeometry g);
+
+/// Restores the default geometry (and invalidates the cache).
+void reset_pack_geometry();
+
+namespace detail {
+
+inline constexpr int kMR = 8;  ///< micro-tile rows (register block)
+inline constexpr int kNR = 4;  ///< micro-tile columns
+inline constexpr int kKCDefault = 256;  ///< default PackGeometry::kc
+inline constexpr int kMCDefault = 128;  ///< default PackGeometry::mc
+
+inline constexpr int round_up(int v, int to) { return (v + to - 1) / to * to; }
+
+/// Doubles one gemm_packed call needs for its per-slice B scratch panel.
+inline std::size_t b_call_doubles(int n, const PackGeometry& g) {
+  return static_cast<std::size_t>(round_up(n, kNR)) *
+         static_cast<std::size_t>(g.kc);
+}
+
+/// Doubles one gemm_packed call needs for its per-block A scratch panel.
+inline std::size_t a_call_doubles(int m, const PackGeometry& g) {
+  const int mc = m < g.mc ? m : g.mc;
+  return static_cast<std::size_t>(round_up(mc, kMR)) *
+         static_cast<std::size_t>(g.kc);
+}
+
+/// Zero-padded row count of one depth-slice of a full A-flavor pack: every
+/// block is mc tall (a kMR multiple) except the last, padded to kMR. With
+/// that, block ic of a slice starts ic * kc doubles into it.
+inline int a_slice_rows(int m, const PackGeometry& g) {
+  const int last = (m - 1) / g.mc * g.mc;  // start of the last block
+  return last + round_up(m - last, kMR);
+}
+
+/// Doubles of a full packed A image of an m x k operand (all slices).
+inline std::size_t a_pack_doubles(int m, int k, const PackGeometry& g) {
+  return static_cast<std::size_t>(a_slice_rows(m, g)) *
+         static_cast<std::size_t>(k);
+}
+
+/// Doubles of a full packed op(B) image of a k x n operand (all slices).
+/// Slice pc starts round_up(n, kNR) * pc doubles in, independent of kc.
+inline std::size_t b_pack_doubles(int n, int k) {
+  return static_cast<std::size_t>(round_up(n, kNR)) *
+         static_cast<std::size_t>(k);
+}
+
+/// Bumped by every set_pack_geometry(); folded into pack-cache keys so no
+/// stale-geometry panel can satisfy a lookup.
+unsigned pack_geometry_generation() noexcept;
+
+}  // namespace detail
+}  // namespace hetsched::kernels

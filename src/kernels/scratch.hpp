@@ -17,6 +17,13 @@
 // Buffers grow monotonically and are never shrunk; a TileScratch must only
 // ever be used by one thread at a time (the binding enforces this by
 // construction in the executors).
+//
+// Panel byte counts are not chosen here: every request goes through the
+// a_call_doubles / b_call_doubles helpers of pack_geometry.hpp -- the same
+// source of truth the PackedTileCache sizes its images with -- so a kc/mc
+// override through set_pack_geometry() resizes the scratch requests and
+// the cache layout together (ensure() then grows the buffer on the next
+// call; a stale smaller buffer can never reach the micro-kernel).
 #pragma once
 
 #include <cstddef>

@@ -78,6 +78,7 @@ RunReport execute_parallel(TileMatrix& a, const TaskGraph& g,
   CentralPriorityScheduler sched(opt.priorities);
   RunOptions ropt;
   ropt.record_trace = opt.record_trace;
+  ropt.pack_cache = opt.pack_cache;
   RunEngine engine(g, calibration, sched, ropt);
   ComputeBackend backend(a);
   return engine.run(backend);

@@ -129,6 +129,7 @@ struct FaultRuntime {
 }  // namespace
 
 void ThreadedBackend::drive(RunEngine& engine) {
+  on_drive_start(engine);
   const TaskGraph& g = engine.graph();
   const Platform& calibration = engine.platform();
   Scheduler& sched = engine.scheduler();
@@ -491,18 +492,52 @@ void ThreadedBackend::drive(RunEngine& engine) {
   res.error = error;
   res.error_kind = error_kind;
   if (fr) res.faults = fr->stats;
+  on_drive_end(engine);
+}
+
+void ComputeBackend::on_drive_start(RunEngine& engine) {
+  cache_ = kernels::resolve_pack_cache(engine.options().pack_cache);
+  if (cache_ == nullptr) return;
+  // Tile buffers routinely reuse freed addresses across matrices, so
+  // orphan any panel cached for a previous occupant of this memory before
+  // the first lookup of the run.
+  for (int i = 0; i < a_.n_tiles(); ++i)
+    for (int j = 0; j <= i; ++j) cache_->bump_epoch(a_.tile(i, j));
+  cache_baseline_ = cache_->stats();
+}
+
+void ComputeBackend::on_drive_end(RunEngine& engine) {
+  if (cache_ == nullptr) return;
+  const kernels::PackCacheStats s = cache_->stats();
+  RunReport& res = engine.report();
+  res.pack_hits = static_cast<std::int64_t>(s.hits - cache_baseline_.hits);
+  res.pack_misses =
+      static_cast<std::int64_t>(s.misses - cache_baseline_.misses);
+  res.pack_evictions =
+      static_cast<std::int64_t>(s.evictions - cache_baseline_.evictions);
+  res.pack_bytes =
+      static_cast<std::int64_t>(s.bytes_packed - cache_baseline_.bytes_packed);
 }
 
 bool ComputeBackend::run_task(RunEngine& engine, int, int task,
                               const std::atomic<bool>*, std::string* error) {
+  const Task& t = engine.graph().task(task);
+  // Consult the pack cache for this attempt's operand tiles. The DAG
+  // guarantees no concurrent writer of a tile being read, so a panel
+  // packed under the epoch observed here stays valid for the whole task.
+  kernels::PackCacheBinding cache_binding(cache_);
   // Numeric failures (non-SPD pivots) abort deterministically with the
   // tile coordinates and pivot of the first offending POTRF.
   try {
-    execute_task_checked(a_, engine.graph().task(task));
+    execute_task_checked(a_, t);
   } catch (const NumericError& e) {
     *error = e.what();
     return false;
   }
+  // The write is done (and mark_done not yet published): stale panels of
+  // the output tile stop matching before any dependent task can look up.
+  if (cache_ != nullptr)
+    if (double* out = task_output_tile(a_, t)) cache_->bump_epoch(out);
   return true;
 }
 

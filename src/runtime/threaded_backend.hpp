@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/tile_matrix.hpp"
+#include "kernels/pack_cache.hpp"
 #include "runtime/backend.hpp"
 
 namespace hetsched {
@@ -26,6 +27,12 @@ class ThreadedBackend : public Backend {
   void drive(RunEngine& engine) final;
 
  protected:
+  /// Substrate setup before the worker pool starts / teardown after it
+  /// joins and the report is assembled (the compute backend resolves its
+  /// pack cache here and writes the cache counters into the report).
+  virtual void on_drive_start(RunEngine&) {}
+  virtual void on_drive_end(RunEngine&) {}
+
   /// True when in-flight attempts can be aborted mid-run (sliced sleeps
   /// can; non-idempotent numeric kernels cannot).
   virtual bool cancellable() const = 0;
@@ -49,6 +56,8 @@ class ComputeBackend final : public ThreadedBackend {
   const char* error_prefix() const override { return "scheduled executor"; }
 
  protected:
+  void on_drive_start(RunEngine& engine) override;
+  void on_drive_end(RunEngine& engine) override;
   bool cancellable() const override { return false; }
   bool run_task(RunEngine& engine, int worker, int task,
                 const std::atomic<bool>* cancel, std::string* error) override;
@@ -56,6 +65,9 @@ class ComputeBackend final : public ThreadedBackend {
 
  private:
   TileMatrix& a_;
+  /// Resolved per run from RunOptions::pack_cache (nullptr = disabled).
+  kernels::PackedTileCache* cache_ = nullptr;
+  kernels::PackCacheStats cache_baseline_;
 };
 
 /// Sleeps each task's calibrated duration scaled by `time_scale`.

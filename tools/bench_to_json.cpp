@@ -5,14 +5,18 @@
 // the packed engine, see docs/kernels.md) are tracked per commit without
 // needing google-benchmark's console output to be parsed.
 //
-// Usage: bench_to_json [--quick] [--out=FILE]
+// Usage: bench_to_json [--quick] [--runtime] [--out=FILE]
 //   --quick   small tiles + one repetition (used as a ctest smoke test)
+//   --runtime end-to-end execute_parallel grid (tiles x nb, packed-tile
+//             cache on vs off) instead of per-kernel timings; CI uploads
+//             this output as BENCH_runtime.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hetsched.hpp"
@@ -121,21 +125,127 @@ const char* kernel_name(Kernel k) {
   }
 }
 
+bool write_json(const std::string& json, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_to_json: cannot open %s\n", out_path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return true;
+}
+
+/// End-to-end execute_parallel grid, packed-tile cache on vs off; the run
+/// with the cache on reports the cache's hit rate so CI can watch both the
+/// speedup and the reuse it comes from.
+int run_runtime_bench(bool quick, const std::string& out_path) {
+  struct Point {
+    int tiles;
+    int nb;
+  };
+  const std::vector<Point> grid = quick
+                                      ? std::vector<Point>{{6, 64}, {6, 128}}
+                                      : std::vector<Point>{{16, 64},
+                                                           {16, 96},
+                                                           {16, 192},
+                                                           {8, 480}};
+  const int reps = quick ? 1 : 3;
+  // Clamped to the hardware: oversubscribing a small CI VM would time
+  // context switching, not the runtime.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(hw == 0 ? 1 : std::min(4u, hw));
+
+  std::string json = "{\n";
+  json += "  \"tier\": \"";
+  json += kernels::tier_name(kernels::engine_tier());
+  json += "\",\n  \"threads\": " + std::to_string(threads) +
+          ",\n  \"results\": [\n";
+  bool first = true;
+  for (const Point pt : grid) {
+    // One matrix refilled in place per rep: stable tile addresses let
+    // best-of-reps measure the cache's steady state (refills reuse stale
+    // entries' buffers) rather than per-rep cold image allocation.
+    hetsched::TileMatrix m =
+        hetsched::TileMatrix::synthetic_spd(pt.tiles, pt.nb, 42);
+    const hetsched::TaskGraph g = hetsched::build_cholesky_dag(pt.tiles);
+    double bests[2] = {1e300, 1e300};
+    hetsched::RunReport best_reports[2];
+    for (int r = 0; r < reps; ++r) {
+      for (const bool cache_on : {false, true}) {  // interleaved vs drift
+        m.refill_synthetic_spd(42);
+        hetsched::ExecOptions opt;
+        opt.num_threads = threads;
+        opt.record_trace = false;
+        opt.pack_cache.mode = cache_on
+                                  ? kernels::PackCacheOptions::Mode::kOn
+                                  : kernels::PackCacheOptions::Mode::kOff;
+        hetsched::RunReport rep = hetsched::execute_parallel(m, g, opt);
+        if (!rep.success) {
+          std::fprintf(stderr, "bench_to_json: runtime run failed: %s\n",
+                       rep.error.c_str());
+          return 1;
+        }
+        if (rep.makespan_s < bests[cache_on ? 1 : 0]) {
+          bests[cache_on ? 1 : 0] = rep.makespan_s;
+          best_reports[cache_on ? 1 : 0] = std::move(rep);
+        }
+      }
+    }
+    for (const bool cache_on : {false, true}) {
+      const double best = bests[cache_on ? 1 : 0];
+      const hetsched::RunReport& best_report = best_reports[cache_on ? 1 : 0];
+      const double gf = hetsched::gflops(pt.tiles, pt.nb, best);
+      const long long lookups =
+          best_report.pack_hits + best_report.pack_misses;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(best_report.pack_hits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "%s    {\"tiles\": %d, \"nb\": %d, \"cache\": \"%s\", "
+                    "\"seconds\": %.6e, \"gflops\": %.3f, "
+                    "\"pack_hits\": %lld, \"pack_misses\": %lld, "
+                    "\"hit_rate\": %.4f}",
+                    first ? "" : ",\n", pt.tiles, pt.nb,
+                    cache_on ? "on" : "off", best, gf,
+                    static_cast<long long>(best_report.pack_hits),
+                    static_cast<long long>(best_report.pack_misses),
+                    hit_rate);
+      json += row;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool runtime = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--runtime") == 0) {
+      runtime = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--runtime] [--out=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (runtime) return run_runtime_bench(quick, out_path);
 
   const std::vector<int> sizes =
       quick ? std::vector<int>{64, 192} : std::vector<int>{192, 480, 960};
@@ -167,19 +277,5 @@ int main(int argc, char** argv) {
     }
   }
   json += "\n  ]\n}\n";
-
-  if (out_path.empty()) {
-    std::fputs(json.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "bench_to_json: cannot open %s\n",
-                   out_path.c_str());
-      return 1;
-    }
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-  }
-  return 0;
+  return write_json(json, out_path) ? 0 : 1;
 }

@@ -8,6 +8,9 @@
 //                         [--overhead=SECONDS] [--noise=CV] [--seed=S]
 //                         [--memory-tiles=M] [--trace]
 //                         [--trace-stream=FILE] [--metrics-interval=S]
+//   hetsched_cli exec     --tiles=N [--nb=B] [--threads=T] [--seed=S]
+//                         [--pack-cache=on|off|MiB] [--kernel-tier=generic|
+//                         avx2] [--trace] [--json]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
 //                         [--csv|--json]
@@ -74,6 +77,11 @@ struct Args {
   // Streaming observability (simulate and faults).
   std::string trace_stream;       ///< JSONL event stream destination
   double metrics_interval = 0.0;  ///< live metrics line period, seconds
+  // Real execution (the `exec` command) and kernel knobs.
+  int threads = 4;
+  int nb = 256;
+  std::string pack_cache;   ///< "" (default) | "on" | "off" | capacity MiB
+  std::string kernel_tier;  ///< "" (auto) | "generic" | "avx2"
 };
 
 [[noreturn]] void help() {
@@ -90,6 +98,16 @@ struct Args {
       "  faults    run under an injected fault plan; --emulate runs the\n"
       "            wall-clock emulation backend instead of the simulator;\n"
       "            --json emits the report as JSON\n"
+      "  exec      factorize a random SPD tiled matrix for real on a\n"
+      "            thread pool (the compute backend) and report wall-clock\n"
+      "            GFLOP/s plus packed-tile cache counters\n"
+      "\n"
+      "exec flags: --tiles=N --nb=B --threads=T --seed=S --trace --json\n"
+      "  --pack-cache=on|off|MiB  packed-tile cache policy: force on/off or\n"
+      "                           set capacity in MiB (default: follow the\n"
+      "                           HETSCHED_PACK_CACHE env, on when unset)\n"
+      "  --kernel-tier=generic|avx2  force the micro-kernel tier (default:\n"
+      "                           best supported, or HETSCHED_KERNEL_TIER)\n"
       "\n"
       "common flags: --algo=cholesky|lu|qr --tiles=N\n"
       "  --sched=random|eager|ws|dmda|dmdar|dmdas\n"
@@ -114,7 +132,7 @@ struct Args {
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n", why);
   std::fprintf(stderr,
-               "usage: hetsched_cli bounds|simulate|solve|sweep|faults [--key=value ...]\n"
+               "usage: hetsched_cli bounds|simulate|solve|sweep|faults|exec [--key=value ...]\n"
                "       (run `hetsched_cli --help` for details)\n");
   std::exit(2);
 }
@@ -156,6 +174,10 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "retries", &v)) a.retries = std::atoi(v.c_str());
     else if (parse_flag(arg, "potrf-fail-k", &v)) a.potrf_fail_k = std::atoi(v.c_str());
     else if (parse_flag(arg, "time-scale", &v)) a.time_scale = std::atof(v.c_str());
+    else if (parse_flag(arg, "threads", &v)) a.threads = std::atoi(v.c_str());
+    else if (parse_flag(arg, "nb", &v)) a.nb = std::atoi(v.c_str());
+    else if (parse_flag(arg, "pack-cache", &v)) a.pack_cache = v;
+    else if (parse_flag(arg, "kernel-tier", &v)) a.kernel_tier = v;
     else if (parse_flag(arg, "trace-stream", &v)) a.trace_stream = v;
     else if (parse_flag(arg, "metrics-interval", &v))
       a.metrics_interval = std::atof(v.c_str());
@@ -172,7 +194,39 @@ Args parse(int argc, char** argv) {
     else usage(("unknown option " + arg).c_str());
   }
   if (a.tiles <= 0) usage("--tiles must be positive");
+  if (a.threads <= 0) usage("--threads must be positive");
+  if (a.nb <= 0) usage("--nb must be positive");
   return a;
+}
+
+/// --pack-cache=on|off|MiB -> the runtime's cache policy knob. The
+/// default-constructed options follow the HETSCHED_PACK_CACHE environment.
+kernels::PackCacheOptions parse_pack_cache(const Args& a) {
+  kernels::PackCacheOptions opt;
+  if (a.pack_cache.empty()) return opt;
+  if (a.pack_cache == "on") {
+    opt.mode = kernels::PackCacheOptions::Mode::kOn;
+  } else if (a.pack_cache == "off") {
+    opt.mode = kernels::PackCacheOptions::Mode::kOff;
+  } else {
+    const int mib = std::atoi(a.pack_cache.c_str());
+    if (mib <= 0) usage("--pack-cache takes on, off or a capacity in MiB");
+    opt.mode = kernels::PackCacheOptions::Mode::kOn;
+    opt.capacity_mib = static_cast<std::size_t>(mib);
+  }
+  return opt;
+}
+
+/// --kernel-tier=generic|avx2 (an unsupported avx2 request falls back to
+/// generic inside set_engine_tier, matching the env-var behaviour).
+void apply_kernel_tier(const Args& a) {
+  if (a.kernel_tier.empty()) return;
+  if (a.kernel_tier == "generic")
+    kernels::set_engine_tier(kernels::Tier::kGeneric);
+  else if (a.kernel_tier == "avx2")
+    kernels::set_engine_tier(kernels::Tier::kAvx2);
+  else
+    usage("unknown --kernel-tier (generic|avx2)");
 }
 
 TaskGraph build_graph(const Args& a, int n) {
@@ -508,6 +562,59 @@ int cmd_faults(const Args& a) {
   return 0;
 }
 
+int cmd_exec(const Args& a) {
+  if (a.algo != "cholesky")
+    usage("exec runs the numeric Cholesky kernels (--algo=cholesky only)");
+  apply_kernel_tier(a);
+  TileMatrix m = TileMatrix::synthetic_spd(a.tiles, a.nb, a.seed);
+  const TaskGraph g = build_cholesky_dag(a.tiles);
+  ExecOptions opt;
+  opt.num_threads = a.threads;
+  opt.record_trace = a.trace;
+  opt.pack_cache = parse_pack_cache(a);
+  const RunReport r = execute_parallel(m, g, opt);
+  if (!r.success) {
+    std::fprintf(stderr, "execution failed: %s\n", r.error.c_str());
+    return r.error_kind == RunErrorKind::Numeric ? 4 : 5;
+  }
+  const double gf = gflops(a.tiles, a.nb, r.makespan_s);
+  const std::int64_t lookups = r.pack_hits + r.pack_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(r.pack_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  const char* tier = kernels::tier_name(kernels::engine_tier());
+  if (a.json) {
+    std::printf("{\n  \"command\": \"exec\",\n  \"results\": [\n");
+    std::printf("    {\"tiles\": %d, \"nb\": %d, \"threads\": %d, "
+                "\"tier\": \"%s\", \"seconds\": %.6f, \"gflops\": %.3f, "
+                "\"pack_hits\": %lld, \"pack_misses\": %lld, "
+                "\"pack_evictions\": %lld, \"pack_bytes\": %lld, "
+                "\"hit_rate\": %.4f}\n",
+                a.tiles, a.nb, a.threads, tier, r.makespan_s, gf,
+                static_cast<long long>(r.pack_hits),
+                static_cast<long long>(r.pack_misses),
+                static_cast<long long>(r.pack_evictions),
+                static_cast<long long>(r.pack_bytes), hit_rate);
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+  std::printf("cholesky %dx%d tiles of %d on %d threads (%s kernels): "
+              "%.4f s = %.1f GFLOP/s\n",
+              a.tiles, a.tiles, a.nb, a.threads, tier, r.makespan_s, gf);
+  if (lookups > 0)
+    std::printf("pack cache: %lld hits / %lld misses (%.1f%% hit rate), "
+                "%lld evictions, %.1f MiB packed\n",
+                static_cast<long long>(r.pack_hits),
+                static_cast<long long>(r.pack_misses), hit_rate * 100.0,
+                static_cast<long long>(r.pack_evictions),
+                static_cast<double>(r.pack_bytes) / (1024.0 * 1024.0));
+  else
+    std::printf("pack cache: off\n");
+  if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
+  return 0;
+}
+
 int cmd_sweep(const Args& a) {
   Experiment e;
   e.title = "sweep: " + a.algo + " / " + a.sched +
@@ -564,6 +671,7 @@ int main(int argc, char** argv) {
     if (a.command == "solve") return cmd_solve(a);
     if (a.command == "sweep") return cmd_sweep(a);
     if (a.command == "faults") return cmd_faults(a);
+    if (a.command == "exec") return cmd_exec(a);
   } catch (const SchedulerError& e) {
     std::fprintf(stderr, "scheduler starvation: %s\n", e.what());
     std::fprintf(stderr, "  policy=%s stuck_task=%d ready=%d\n",
