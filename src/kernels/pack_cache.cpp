@@ -5,6 +5,7 @@
 #include <climits>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -176,7 +177,11 @@ bool try_pin(Slot& s, std::uintptr_t ptr, std::uint64_t meta,
 // `keep_bytes` is retained in the slot for the caller to overwrite --
 // refilling a bumped tile then skips a multi-MiB free/alloc round trip
 // (and the page faults of re-touching a fresh mmap) per repack.
-bool tombstone(Shard& sh, Slot& s, std::size_t keep_bytes = 0) {
+// `count_eviction` is false on the same-key refill path: replacing a
+// stale version of the very tile being repacked is not capacity pressure
+// and must not inflate the evictions counter.
+bool tombstone(Shard& sh, Slot& s, std::size_t keep_bytes = 0,
+               bool count_eviction = true) {
   if (s.key_ptr.load(std::memory_order_relaxed) != 0) {
     int zero = 0;
     if (!s.refs.compare_exchange_strong(zero, kRefsEmpty,
@@ -189,7 +194,7 @@ bool tombstone(Shard& sh, Slot& s, std::size_t keep_bytes = 0) {
   while (s.refs.load(std::memory_order_acquire) != kRefsEmpty)
     std::this_thread::yield();
   if (s.bytes != 0) {
-    sh.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (count_eviction) sh.evictions.fetch_add(1, std::memory_order_relaxed);
     if (s.bytes != keep_bytes) {
       sh.resident -= s.bytes;
       std::free(s.data);
@@ -293,8 +298,10 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
   // Victim slot: prefer an empty one, then a stale entry for the same
   // tile/flavor/shape (keeps at most one version per key resident), then
   // clock order over the probe window. Every path goes through
-  // tombstone(): on an already-empty slot it just drains transient pins,
-  // which must not survive into the refs re-publication below.
+  // tombstone(): on an already-empty slot it just drains transient pins.
+  // Stragglers may still increment refs after the drain; the RMW
+  // re-publication below preserves those increments so their back-off
+  // decrements cancel exactly.
   // Shape+flavor bits of the key (everything but epoch and generation).
   // A stale entry for the same tile/flavor/shape is claimed ahead of any
   // empty slot: it keeps at most one version per key resident, and
@@ -309,7 +316,7 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
     if (s.key_ptr.load(std::memory_order_relaxed) == ptr &&
         (m & kShapeMask) == (meta & kShapeMask) &&
         s.refs.load(std::memory_order_relaxed) == 0 &&
-        tombstone(sh, s, need))
+        tombstone(sh, s, need, /*count_eviction=*/false))
       victim = &s;
   }
   for (int p = 0; p < kProbe && victim == nullptr; ++p) {
@@ -346,7 +353,14 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
   victim->bytes = need;
   victim->key_meta.store(meta, std::memory_order_relaxed);
   victim->used.store(1, std::memory_order_relaxed);
-  victim->refs.store(1, std::memory_order_relaxed);  // pre-pinned for us
+  // Re-publish refs as 1 (pre-pinned for us) with an RMW, not a store: a
+  // reader that passed the probe's key check before tombstone() cleared it
+  // may land its fetch_add only now, after the drain loop stopped watching.
+  // fetch_add maps kRefsEmpty + x -> 1 + x, so that straggler's
+  // compensating fetch_sub restores exactly 1; a blind store(1) would
+  // clobber the transient increment and let the fetch_sub erase our own
+  // pin, leaving a live Handle on an evictable (refs == 0) slot.
+  victim->refs.fetch_add(1 - kRefsEmpty, std::memory_order_acq_rel);
   victim->key_ptr.store(ptr, std::memory_order_release);  // publish
   out->slot_ = victim;
   out->data_ = data;
@@ -403,10 +417,13 @@ const EnvConfig& env_config() {
       return c;
     }
     char* end = nullptr;
-    const unsigned long long mib = std::strtoull(e, &end, 10);
-    if (end != e && *end == '\0' && mib > 0)
+    const long long mib = std::strtoll(e, &end, 10);
+    if (end != e && *end == '\0' && mib > 0 &&
+        static_cast<unsigned long long>(mib) <=
+            (std::numeric_limits<std::size_t>::max() >> 20))
       c.capacity_bytes = static_cast<std::size_t>(mib) << 20;
-    // Unparsable values keep the default-on configuration.
+    // Unparsable, negative, or out-of-range values keep the default-on
+    // configuration.
     return c;
   }();
   return cfg;
@@ -435,7 +452,11 @@ PackedTileCache* resolve_pack_cache(const PackCacheOptions& opt) {
       (opt.mode == PackCacheOptions::Mode::kAuto && pack_cache_env_enabled());
   if (!on) return nullptr;
   PackedTileCache& cache = process_pack_cache();
-  if (opt.capacity_mib > 0) cache.set_capacity(opt.capacity_mib << 20);
+  // Capacity is explicit per run: without an override the process cache is
+  // reset to the environment default, so consecutive runs in one process
+  // never inherit each other's budgets.
+  cache.set_capacity(opt.capacity_mib > 0 ? opt.capacity_mib << 20
+                                          : pack_cache_env_capacity_bytes());
   return &cache;
 }
 

@@ -146,7 +146,9 @@ struct PackCacheOptions {
     kOff,
   };
   Mode mode = Mode::kAuto;
-  /// When > 0, overrides the process cache capacity (MiB).
+  /// When > 0, overrides the process cache capacity (MiB) for this run;
+  /// 0 resets it to the environment default (overrides never persist
+  /// across runs).
   std::size_t capacity_mib = 0;
 };
 
