@@ -15,6 +15,7 @@
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
 #include "kernels/pack_cache.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/run_report.hpp"
 
 namespace hetsched {
@@ -28,6 +29,10 @@ struct ExecOptions {
   /// Packed-tile cache policy for this run (default: follow the
   /// HETSCHED_PACK_CACHE environment, on when unset).
   kernels::PackCacheOptions pack_cache;
+  /// Cooperative cancellation / deadline (see runtime/cancel.hpp). Not
+  /// owned; nullptr (the default) leaves the run unchanged. A fired token
+  /// reports RunErrorKind::Cancelled / DeadlineExceeded via the result.
+  CancelToken* cancel = nullptr;
 };
 
 /// Factorizes `a` in place by executing the tasks of `g` on a thread pool.

@@ -48,11 +48,18 @@
 // Runtime entry points, options, reports, traces and experiments.
 #include "exec/parallel_executor.hpp"
 #include "exec/scheduled_executor.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/options.hpp"
 #include "runtime/run_report.hpp"
 #include "runtime/trace.hpp"
 #include "sim/simulator.hpp"
+
+// Serving layer: job queue, batch fusion, the factorization server.
+#include "serve/batch.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/server.hpp"
 
 // Streaming observability: rings, sinks, metrics.
 #include "obs/event.hpp"

@@ -79,6 +79,7 @@ RunReport execute_parallel(TileMatrix& a, const TaskGraph& g,
   RunOptions ropt;
   ropt.record_trace = opt.record_trace;
   ropt.pack_cache = opt.pack_cache;
+  ropt.cancel = opt.cancel;
   RunEngine engine(g, calibration, sched, ropt);
   ComputeBackend backend(a);
   return engine.run(backend);

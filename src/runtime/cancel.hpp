@@ -1,0 +1,88 @@
+// Cooperative cancellation shared by the runtime backends and the serving
+// layer (docs/serving.md).
+//
+// A CancelToken is a poll-only flag with an optional wall-clock deadline:
+// the owner arms it (cancel() / set_deadline_*) and any number of threads
+// poll status(). Deadlines trip lazily -- the first poller past the
+// deadline CASes the reason in -- so no timer thread is needed; an
+// explicit cancel() always wins over a concurrent deadline trip of the
+// same instant (first writer wins, later writers are ignored).
+//
+// The runtime honors a token attached through RunOptions::cancel at task
+// boundaries (both threaded backends, the DES event loop) and inside
+// sliced emulated attempts; non-idempotent numeric kernels finish their
+// current tile before the worker retires. A fired token surfaces as
+// RunErrorKind::Cancelled / DeadlineExceeded in the RunReport.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace hetsched {
+
+/// Why a run (or a serving-layer job) was asked to stop.
+enum class CancelReason : int {
+  kNone = 0,      ///< not cancelled
+  kCancelled,     ///< explicit cancel() (drain, client abort, shed)
+  kDeadline,      ///< the wall-clock deadline elapsed
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the wall-clock deadline. Call before sharing the token with
+  /// pollers; re-arming while polled is not supported.
+  void set_deadline(Clock::time_point tp) {
+    deadline_ = tp;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  void set_deadline_after(double seconds) {
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  /// Requests cooperative cancellation. Idempotent; loses against an
+  /// already-tripped deadline (the first recorded reason sticks).
+  void cancel() { trip(CancelReason::kCancelled); }
+
+  /// Current reason; trips the deadline as a side effect when it elapsed.
+  CancelReason status() const {
+    const int r = reason_.load(std::memory_order_acquire);
+    if (r != static_cast<int>(CancelReason::kNone))
+      return static_cast<CancelReason>(r);
+    if (has_deadline_.load(std::memory_order_acquire) &&
+        Clock::now() >= deadline_)
+      return trip(CancelReason::kDeadline);
+    return CancelReason::kNone;
+  }
+
+  bool cancelled() const { return status() != CancelReason::kNone; }
+
+  /// Seconds until the armed deadline (negative once past; a large value
+  /// when none is armed). Lets pollers bound their sleeps.
+  double seconds_to_deadline() const {
+    if (!has_deadline_.load(std::memory_order_acquire)) return 1e30;
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  CancelReason trip(CancelReason why) const {
+    int expected = static_cast<int>(CancelReason::kNone);
+    if (reason_.compare_exchange_strong(expected, static_cast<int>(why),
+                                        std::memory_order_acq_rel))
+      return why;
+    return static_cast<CancelReason>(expected);
+  }
+
+  mutable std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+};
+
+}  // namespace hetsched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <random>
@@ -718,7 +719,35 @@ void DesRun::run(RunEngine& engine) {
   lifecycle_.seed(sched_, *this);
   try_start_all_idle();
 
+  // The DES clock is virtual, but the cancel token (when attached) is
+  // wall-clock: polled every 64 events so a deadline bounds the host time
+  // a simulation may consume. A fired token is the one DES failure that
+  // is reported through the returned report instead of thrown -- the
+  // serving layer and the CLI share the threaded backends' taxonomy.
+  CancelToken* const token = engine.options().cancel;
+  std::uint32_t polls = 0;
   while (!lifecycle_.all_done()) {
+    if (token != nullptr && (polls++ & 0x3F) == 0) {
+      const CancelReason why = token->status();
+      if (why != CancelReason::kNone) {
+        RunReport& res = engine.report();
+        res.success = false;
+        res.makespan_s = now_;
+        res.transfer_hops = transfer_hops_;
+        res.bytes_transferred = static_cast<double>(transfer_hops_) *
+                                static_cast<double>(data_.tile_bytes());
+        res.evictions = evictions_;
+        res.capacity_overflows = capacity_overflows_;
+        res.faults = fstats_;
+        res.error = why == CancelReason::kDeadline
+                        ? "deadline exceeded: simulation aborted mid-run"
+                        : "cancelled: simulation aborted mid-run";
+        res.error_kind = why == CancelReason::kDeadline
+                             ? RunErrorKind::DeadlineExceeded
+                             : RunErrorKind::Cancelled;
+        return;
+      }
+    }
     if (events_.empty()) throw_starvation();
     const Event e = events_.pop();
     now_ = e.time;

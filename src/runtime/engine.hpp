@@ -45,6 +45,9 @@ class RunEngine {
   /// Producer lanes: worker w -> lane w; any driver/service thread -> lane
   /// num_workers (the engine opens num_workers + 1 lanes).
   obs::TraceStreamer* stream() { return opt_.stream; }
+  /// Cooperative cancellation of this run, or nullptr (see
+  /// runtime/cancel.hpp). Backends poll it at task boundaries.
+  CancelToken* cancel() { return opt_.cancel; }
 
  private:
   void validate(const Backend& backend) const;

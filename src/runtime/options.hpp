@@ -8,6 +8,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "kernels/pack_cache.hpp"
+#include "runtime/cancel.hpp"
 
 namespace hetsched {
 
@@ -51,6 +52,14 @@ struct RunOptions {
   /// begin_run/end_run around the drive and reports ring overflow through
   /// RunReport::dropped_events. Not owned; must outlive the run.
   obs::TraceStreamer* stream = nullptr;
+  /// Cooperative cancellation / deadline of this run (see runtime/cancel.hpp
+  /// and docs/serving.md): backends poll the token at task boundaries (and
+  /// inside sliced emulated attempts) and fail the run with
+  /// RunErrorKind::Cancelled / DeadlineExceeded once it fires. In-flight
+  /// numeric kernels finish their current tile first -- cancellation never
+  /// tears a half-written tile. Not owned; must outlive the run. nullptr
+  /// (the default) leaves every run bit-for-bit unchanged.
+  CancelToken* cancel = nullptr;
 };
 
 }  // namespace hetsched

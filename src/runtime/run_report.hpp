@@ -18,14 +18,18 @@ namespace hetsched {
 namespace runtime {
 
 /// Coarse taxonomy of run failures, aligned with the CLI exit codes
-/// (Scheduler -> 3, Numeric -> 4, Fault -> 5). The throwing entry point
-/// (`simulate`) reports the same taxonomy through exception types instead
-/// (SchedulerError / NumericError / FaultError).
+/// (Scheduler -> 3, Numeric -> 4, Fault -> 5, Cancelled/DeadlineExceeded
+/// -> 6). The throwing entry point (`simulate`) reports the scheduler /
+/// numeric / fault kinds through exception types instead (SchedulerError /
+/// NumericError / FaultError); a fired CancelToken is reported through the
+/// returned report on every backend, including the DES one.
 enum class RunErrorKind {
-  None,       ///< success (or not yet run)
-  Scheduler,  ///< the policy starved ready tasks
-  Numeric,    ///< a kernel failed numerically (non-SPD POTRF pivot)
-  Fault,      ///< an injected fault exhausted the recovery machinery
+  None,              ///< success (or not yet run)
+  Scheduler,         ///< the policy starved ready tasks
+  Numeric,           ///< a kernel failed numerically (non-SPD POTRF pivot)
+  Fault,             ///< an injected fault exhausted the recovery machinery
+  Cancelled,         ///< RunOptions::cancel fired (explicit cancel)
+  DeadlineExceeded,  ///< RunOptions::cancel tripped its wall-clock deadline
 };
 
 /// Outcome of one run (any backend).

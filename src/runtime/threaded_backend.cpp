@@ -137,6 +137,7 @@ void ThreadedBackend::drive(RunEngine& engine) {
   TaskLifecycle& lifecycle = engine.lifecycle();
   const int num_threads = calibration.num_workers();
   const FaultPlan* faults = opt.faults.empty() ? nullptr : &opt.faults;
+  CancelToken* const token = opt.cancel;
   const bool can_cancel = cancellable();
   // Streaming lanes: worker thread w owns lane w; the fault service thread
   // owns the extra lane the engine opened at num_workers.
@@ -195,6 +196,23 @@ void ThreadedBackend::drive(RunEngine& engine) {
     ++wake_epoch;
   };
 
+  // Polls the run's cancel token; fires the structured failure once and
+  // tells the caller to retire. Cancellation is cooperative: callers check
+  // at task boundaries, so an in-flight numeric kernel always finishes its
+  // tile (emulated attempts additionally poll the token inside their
+  // sliced sleep and abort early).
+  const auto token_fired = [&]() -> bool {
+    if (token == nullptr) return false;
+    const CancelReason r = token->status();
+    if (r == CancelReason::kNone) return false;
+    fail_run(r == CancelReason::kDeadline
+                 ? "deadline exceeded: run aborted at a task boundary"
+                 : "cancelled: run aborted at a task boundary",
+             r == CancelReason::kDeadline ? RunErrorKind::DeadlineExceeded
+                                          : RunErrorKind::Cancelled);
+    return true;
+  };
+
   // Records a failed attempt and either schedules a retry after backoff or
   // aborts the run with a structured message. `worker` is the calling
   // worker thread (it doubles as the streaming lane).
@@ -251,6 +269,7 @@ void ThreadedBackend::drive(RunEngine& engine) {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       if (lifecycle.all_done() || failed.load()) break;
+      if (token_fired()) break;
       if (fr && fr->dead[static_cast<std::size_t>(worker)] != 0) break;
       const int task = sched.pop_task(host, worker);
       if (task < 0) {
@@ -265,7 +284,14 @@ void ThreadedBackend::drive(RunEngine& engine) {
         }
         waiting_epoch[static_cast<std::size_t>(worker)] = wake_epoch;
         ++waiting;
-        cv_work.wait(lock);
+        if (token == nullptr) {
+          cv_work.wait(lock);
+        } else {
+          // A parked worker must still observe an external cancel (or its
+          // deadline tripping) with nothing left to notify it; bounded
+          // waits turn the token into a poll without a watcher thread.
+          cv_work.wait_for(lock, std::chrono::milliseconds(2));
+        }
         --waiting;
         waiting_epoch[static_cast<std::size_t>(worker)] = kNotWaiting;
         continue;
@@ -364,6 +390,10 @@ void ThreadedBackend::drive(RunEngine& engine) {
         cv_work.notify_all();
         break;
       }
+      // A token that fired during the attempt aborts before publication:
+      // the completed tile is intact, but its successors are never
+      // released, so no new work starts after the cancellation point.
+      if (token_fired()) break;
       newly.clear();
       lifecycle.mark_done(task, newly);
       for (const int s : newly) push_ready(s);
@@ -547,14 +577,17 @@ bool EmulationBackend::run_task(RunEngine& engine, int worker, int task,
   double seconds =
       engine.platform().worker_time(worker, engine.graph().task(task).kernel) *
       time_scale_;
-  if (cancel == nullptr) {
+  const CancelToken* const token = engine.options().cancel;
+  if (cancel == nullptr && token == nullptr) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     return true;
   }
-  // Sliced sleep so the watchdog (or a death) can abort the attempt.
+  // Sliced sleep so the watchdog, a death, or the run's cancel token can
+  // abort the attempt mid-sleep.
   constexpr double kSlice = 200e-6;
   while (seconds > 0.0) {
-    if (cancel->load()) return true;  // aborted; caller handles it
+    if (cancel != nullptr && cancel->load()) return true;  // caller handles it
+    if (token != nullptr && token->cancelled()) return true;
     const double s = std::min(seconds, kSlice);
     std::this_thread::sleep_for(std::chrono::duration<double>(s));
     seconds -= s;

@@ -1,0 +1,73 @@
+// Bounded priority job queue with admission control (docs/serving.md).
+//
+// Pure data structure: all methods must be called under the owning
+// server's mutex (single-threaded unit tests call them directly). Policy:
+//   - depth cap: when full, either shed the lowest-priority queued job to
+//     admit a strictly higher-priority one (shed_low_priority), or reject
+//     with kQueueFull;
+//   - latency SLO: when an estimated queue wait (depth x the EMA of batch
+//     service time per job) exceeds max_latency_ms, reject with kLatency
+//     -- overload is surfaced to clients instead of silently growing tail
+//     latency.
+// Ordering is (priority desc, id asc): FIFO within a priority band.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace hetsched::serve {
+
+/// Admission policy knobs of the bounded queue.
+struct AdmissionControl {
+  std::size_t max_depth = 64;      ///< queued jobs (running jobs excluded)
+  bool shed_low_priority = true;   ///< evict lower priority work when full
+  /// Reject when depth x est. per-job service time exceeds this (0 = off).
+  double max_latency_ms = 0.0;
+};
+
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(AdmissionControl ctl) : ctl_(ctl) {}
+
+  /// Admission decision for `job`. On a shed, the evicted record is
+  /// returned for the caller to finalize (mark kShed, fire its token).
+  struct Admission {
+    bool admitted = false;
+    RejectReason reason = RejectReason::kNone;
+    JobPtr shed;  ///< removed to make room (null unless shedding happened)
+  };
+  Admission admit(const JobPtr& job);
+
+  /// Puts an already-admitted job back (retry after backoff). Bypasses
+  /// admission control: the job holds a slot it was granted at admission.
+  void requeue(const JobPtr& job) { jobs_.push_back(job); }
+
+  /// Highest-priority queued job (null when empty).
+  JobPtr pop_best();
+
+  /// Pops up to `max_more` further jobs with the same (tiles, nb) batch
+  /// geometry as `like`, best-priority first.
+  std::vector<JobPtr> pop_batch_like(const JobSpec& like, int max_more);
+
+  /// Removes and returns everything still queued (drain / cancel paths).
+  std::vector<JobPtr> drain_all();
+
+  std::size_t depth() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  /// Feeds the service-time estimate with one completed batch: `jobs`
+  /// factorizations took `ms` of wall time together.
+  void observe_service(int jobs, double ms);
+  double est_service_ms() const { return est_service_ms_; }
+
+ private:
+  bool before(const JobPtr& a, const JobPtr& b) const;
+
+  AdmissionControl ctl_;
+  std::vector<JobPtr> jobs_;  // unsorted; depth is small by construction
+  double est_service_ms_ = 0.0;
+};
+
+}  // namespace hetsched::serve

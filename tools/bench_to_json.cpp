@@ -5,11 +5,14 @@
 // the packed engine, see docs/kernels.md) are tracked per commit without
 // needing google-benchmark's console output to be parsed.
 //
-// Usage: bench_to_json [--quick] [--runtime] [--out=FILE]
+// Usage: bench_to_json [--quick] [--runtime] [--serving] [--out=FILE]
 //   --quick   small tiles + one repetition (used as a ctest smoke test)
 //   --runtime end-to-end execute_parallel grid (tiles x nb, packed-tile
 //             cache on vs off) instead of per-kernel timings; CI uploads
 //             this output as BENCH_runtime.json
+//   --serving FactorizationServer batch-mode sweep (throughput, latency
+//             and pack-cache hit rate per max_batch at small nb); CI
+//             uploads this output as BENCH_serving.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
@@ -226,25 +229,118 @@ int run_runtime_bench(bool quick, const std::string& out_path) {
   return write_json(json, out_path) ? 0 : 1;
 }
 
+/// Batch-mode serving sweep: one FactorizationServer per max_batch value,
+/// fed the same set of small-geometry jobs. Fusing more jobs per batch
+/// amortizes graph construction and keeps the packed-tile cache warm (the
+/// nb = 64..96 regime BENCH_runtime shows the cache pays most in), so the
+/// sweep reports throughput, mean latency and the cache hit rate side by
+/// side per batch size.
+int run_serving_bench(bool quick, const std::string& out_path) {
+  const int tiles = quick ? 5 : 8;
+  const int jobs = quick ? 8 : 32;
+  const std::vector<int> nbs = quick ? std::vector<int>{64}
+                                     : std::vector<int>{64, 96};
+  const std::vector<int> batch_sizes = quick ? std::vector<int>{1, 4}
+                                             : std::vector<int>{1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(hw == 0 ? 1 : std::min(4u, hw));
+
+  std::string json = "{\n";
+  json += "  \"tier\": \"";
+  json += kernels::tier_name(kernels::engine_tier());
+  json += "\",\n  \"threads\": " + std::to_string(threads) +
+          ",\n  \"jobs\": " + std::to_string(jobs) + ",\n  \"results\": [\n";
+  bool first = true;
+  for (const int nb : nbs) {
+    for (const int max_batch : batch_sizes) {
+      hetsched::serve::ServerOptions so;
+      so.threads = threads;
+      so.max_batch = max_batch;
+      so.admission.max_depth = static_cast<std::size_t>(jobs) + 1;
+      hetsched::serve::FactorizationServer server(so);
+      // Submit everything before starting the dispatcher so every batch is
+      // as full as max_batch allows (steady-state backlog, not arrival
+      // timing, is what the sweep varies).
+      std::vector<int> ids;
+      ids.reserve(static_cast<std::size_t>(jobs));
+      for (int i = 0; i < jobs; ++i) {
+        hetsched::serve::JobSpec spec;
+        spec.tiles = tiles;
+        spec.nb = nb;
+        spec.seed = static_cast<unsigned>(i);
+        const hetsched::serve::SubmitResult res = server.submit(spec);
+        if (!res.admitted) {
+          std::fprintf(stderr, "bench_to_json: serving submit rejected: %s\n",
+                       res.message.c_str());
+          return 1;
+        }
+        ids.push_back(res.id);
+      }
+      const auto t0 = Clock::now();
+      server.start();
+      for (const int id : ids) {
+        const auto s = server.wait(id);
+        if (s.state != hetsched::serve::JobState::kDone) {
+          std::fprintf(stderr, "bench_to_json: serving job %d ended %s: %s\n",
+                       id, hetsched::serve::to_string(s.state),
+                       s.error.c_str());
+          return 1;
+        }
+      }
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const hetsched::serve::ServeMetrics m = server.metrics();
+      server.shutdown(
+          hetsched::serve::FactorizationServer::Shutdown::kGraceful);
+      const long long lookups = m.pack_hits + m.pack_misses;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(m.pack_hits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      char row[384];
+      std::snprintf(row, sizeof(row),
+                    "%s    {\"tiles\": %d, \"nb\": %d, \"max_batch\": %d, "
+                    "\"batches\": %lld, \"seconds\": %.6e, "
+                    "\"jobs_per_s\": %.3f, \"latency_ms_mean\": %.3f, "
+                    "\"pack_hits\": %lld, \"pack_misses\": %lld, "
+                    "\"hit_rate\": %.4f}",
+                    first ? "" : ",\n", tiles, nb, max_batch,
+                    static_cast<long long>(m.batches), secs,
+                    secs > 0.0 ? static_cast<double>(jobs) / secs : 0.0,
+                    m.latency_ms_mean, static_cast<long long>(m.pack_hits),
+                    static_cast<long long>(m.pack_misses), hit_rate);
+      json += row;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool runtime = false;
+  bool serving = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--runtime") == 0) {
       runtime = true;
+    } else if (std::strcmp(argv[i], "--serving") == 0) {
+      serving = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--runtime] [--out=FILE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--runtime] [--serving] [--out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (serving) return run_serving_bench(quick, out_path);
   if (runtime) return run_runtime_bench(quick, out_path);
 
   const std::vector<int> sizes =

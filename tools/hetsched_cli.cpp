@@ -10,7 +10,10 @@
 //                         [--trace-stream=FILE] [--metrics-interval=S]
 //   hetsched_cli exec     --tiles=N [--nb=B] [--threads=T] [--seed=S]
 //                         [--pack-cache=on|off|MiB] [--kernel-tier=generic|
-//                         avx2] [--trace] [--json]
+//                         avx2] [--deadline-ms=D] [--trace] [--json]
+//   hetsched_cli submit   --socket=PATH [--count=N] [--tiles=N] [--nb=B]
+//                         [--seed=S] [--priority=P] [--deadline-ms=D]
+//                         [--wait] [--metrics] [--drain] [--ping]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
 //                         [--csv|--json]
@@ -20,13 +23,19 @@
 //                         [--fail-prob=P] [--retries=R] [--potrf-fail-k=K]
 //                         [--seed=S] [--emulate [--time-scale=X]] [--trace]
 //                         [--json] [--trace-stream=FILE]
-//                         [--metrics-interval=S]
+//                         [--metrics-interval=S] [--deadline-ms=D]
 //
 // Every command prints a short human-readable report (or machine-readable
 // JSON where --json is accepted); `hetsched_cli --help` lists the commands
 // and exit codes. Exit code 0 on success, 2 on bad usage, 3 if the
 // scheduling policy starved ready tasks (SchedulerError), 4 on a numeric
-// (non-SPD) failure, 5 on an unrecoverable injected fault (FaultError).
+// (non-SPD) failure, 5 on an unrecoverable injected fault (FaultError),
+// 6 when the run was cancelled or its --deadline-ms elapsed.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +43,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "hetsched.hpp"
 
@@ -82,6 +92,17 @@ struct Args {
   int nb = 256;
   std::string pack_cache;   ///< "" (default) | "on" | "off" | capacity MiB
   std::string kernel_tier;  ///< "" (auto) | "generic" | "avx2"
+  // Cooperative deadline (exec / faults): abort at a task boundary after
+  // this many wall-clock milliseconds (0 = none). Exit code 6 when it fires.
+  double deadline_ms = 0.0;
+  // Serving client (the `submit` command).
+  std::string socket_path;  ///< hetsched_serve Unix socket
+  int count = 1;            ///< jobs to submit
+  int priority = 0;         ///< admission priority of submitted jobs
+  bool wait = false;        ///< block until every submitted job is terminal
+  bool metrics = false;     ///< fetch the server metrics JSON
+  bool drain = false;       ///< ask the server to drain
+  bool ping = false;        ///< liveness probe only
 };
 
 [[noreturn]] void help() {
@@ -101,8 +122,15 @@ struct Args {
       "  exec      factorize a random SPD tiled matrix for real on a\n"
       "            thread pool (the compute backend) and report wall-clock\n"
       "            GFLOP/s plus packed-tile cache counters\n"
+      "  submit    client of a running hetsched_serve daemon: submit jobs\n"
+      "            over its Unix socket (--socket=PATH), optionally --wait\n"
+      "            for results, fetch --metrics, ask it to --drain or\n"
+      "            --ping it (see docs/serving.md)\n"
       "\n"
       "exec flags: --tiles=N --nb=B --threads=T --seed=S --trace --json\n"
+      "  --deadline-ms=D          abort cooperatively once D ms of wall\n"
+      "                           clock elapse (exit code 6); also accepted\n"
+      "                           by `faults`\n"
       "  --pack-cache=on|off|MiB  packed-tile cache policy: force on/off or\n"
       "                           set capacity in MiB (default: follow the\n"
       "                           HETSCHED_PACK_CACHE env, on when unset)\n"
@@ -125,14 +153,16 @@ struct Args {
       "  4  numeric failure: a tile factorization hit a non-SPD pivot\n"
       "     (NumericError)\n"
       "  5  unrecoverable injected fault: every worker died or a task\n"
-      "     exhausted its retry budget (FaultError)\n");
+      "     exhausted its retry budget (FaultError)\n"
+      "  6  cancelled: the run's --deadline-ms elapsed (or a submitted\n"
+      "     job came back cancelled / deadline-exceeded under --wait)\n");
   std::exit(0);
 }
 
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n", why);
   std::fprintf(stderr,
-               "usage: hetsched_cli bounds|simulate|solve|sweep|faults|exec [--key=value ...]\n"
+               "usage: hetsched_cli bounds|simulate|solve|sweep|faults|exec|submit [--key=value ...]\n"
                "       (run `hetsched_cli --help` for details)\n");
   std::exit(2);
 }
@@ -181,6 +211,14 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "trace-stream", &v)) a.trace_stream = v;
     else if (parse_flag(arg, "metrics-interval", &v))
       a.metrics_interval = std::atof(v.c_str());
+    else if (parse_flag(arg, "deadline-ms", &v)) a.deadline_ms = std::atof(v.c_str());
+    else if (parse_flag(arg, "socket", &v)) a.socket_path = v;
+    else if (parse_flag(arg, "count", &v)) a.count = std::atoi(v.c_str());
+    else if (parse_flag(arg, "priority", &v)) a.priority = std::atoi(v.c_str());
+    else if (arg == "--wait") a.wait = true;
+    else if (arg == "--metrics") a.metrics = true;
+    else if (arg == "--drain") a.drain = true;
+    else if (arg == "--ping") a.ping = true;
     else if (arg == "--emulate") a.emulate = true;
     else if (arg == "--integral") a.integral = true;
     else if (arg == "--prefix") a.prefix = true;
@@ -196,6 +234,8 @@ Args parse(int argc, char** argv) {
   if (a.tiles <= 0) usage("--tiles must be positive");
   if (a.threads <= 0) usage("--threads must be positive");
   if (a.nb <= 0) usage("--nb must be positive");
+  if (a.deadline_ms < 0.0) usage("--deadline-ms must be non-negative");
+  if (a.count <= 0) usage("--count must be positive");
   return a;
 }
 
@@ -473,6 +513,18 @@ void print_faults_json(const Args& a, const std::string& sched_name,
   std::printf("  ]\n}\n");
 }
 
+// Shared exit-code mapping of report-carried failures (the --help text):
+// 3 scheduler starvation, 4 numeric, 6 cancelled / deadline, 5 the rest.
+int failure_exit_code(const RunReport& r) {
+  switch (r.error_kind) {
+    case RunErrorKind::Scheduler: return 3;
+    case RunErrorKind::Numeric: return 4;
+    case RunErrorKind::Cancelled:
+    case RunErrorKind::DeadlineExceeded: return 6;
+    default: return 5;
+  }
+}
+
 int cmd_faults(const Args& a) {
   const Platform p = build_platform(a, a.tiles);
   const TaskGraph g = build_graph(a, a.tiles);
@@ -491,11 +543,14 @@ int cmd_faults(const Args& a) {
   double wall = 0.0;
   std::int64_t dropped = 0;
   FaultStats fstats;
+  CancelToken deadline;
+  if (a.deadline_ms > 0.0) deadline.set_deadline_after(a.deadline_ms / 1000.0);
   if (a.emulate) {
     RunOptions ropt;
     ropt.record_trace = a.trace;
     ropt.faults = plan;
     ropt.stream = streaming.stream();
+    if (a.deadline_ms > 0.0) ropt.cancel = &deadline;
     const RunReport r =
         emulate_with_scheduler(g, p, *sched, a.time_scale, ropt);
     if (!r.success) {
@@ -503,11 +558,7 @@ int cmd_faults(const Args& a) {
       // Mirror the simulator path's exception-to-exit-code mapping; the
       // threaded backends report failures through the result instead of
       // throwing across worker threads.
-      switch (r.error_kind) {
-        case RunErrorKind::Scheduler: return 3;
-        case RunErrorKind::Numeric: return 4;
-        default: return 5;
-      }
+      return failure_exit_code(r);
     }
     makespan = r.makespan_s;
     wall = r.wall_seconds;
@@ -527,7 +578,14 @@ int cmd_faults(const Args& a) {
     opt.noise_seed = a.seed;
     opt.faults = plan;
     opt.stream = streaming.stream();
+    if (a.deadline_ms > 0.0) opt.cancel = &deadline;
     const RunReport r = simulate(g, p, *sched, opt);
+    // The DES backend throws for scheduler/numeric/fault failures but
+    // reports a fired CancelToken through the result.
+    if (!r.success) {
+      std::fprintf(stderr, "simulation aborted: %s\n", r.error.c_str());
+      return failure_exit_code(r);
+    }
     makespan = r.makespan_s;
     wall = r.wall_seconds;
     dropped = r.dropped_events;
@@ -568,14 +626,19 @@ int cmd_exec(const Args& a) {
   apply_kernel_tier(a);
   TileMatrix m = TileMatrix::synthetic_spd(a.tiles, a.nb, a.seed);
   const TaskGraph g = build_cholesky_dag(a.tiles);
+  CancelToken deadline;
   ExecOptions opt;
   opt.num_threads = a.threads;
   opt.record_trace = a.trace;
   opt.pack_cache = parse_pack_cache(a);
+  if (a.deadline_ms > 0.0) {
+    deadline.set_deadline_after(a.deadline_ms / 1000.0);
+    opt.cancel = &deadline;
+  }
   const RunReport r = execute_parallel(m, g, opt);
   if (!r.success) {
     std::fprintf(stderr, "execution failed: %s\n", r.error.c_str());
-    return r.error_kind == RunErrorKind::Numeric ? 4 : 5;
+    return failure_exit_code(r);
   }
   const double gf = gflops(a.tiles, a.nb, r.makespan_s);
   const std::int64_t lookups = r.pack_hits + r.pack_misses;
@@ -613,6 +676,118 @@ int cmd_exec(const Args& a) {
     std::printf("pack cache: off\n");
   if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
   return 0;
+}
+
+// ---- `submit`: line-protocol client of the hetsched_serve daemon ----
+// (protocol in docs/serving.md; the daemon lives in tools/hetsched_serve.)
+
+// Connects to the daemon's Unix socket, retrying for ~5 s so scripted
+// "start daemon & submit" sequences need no explicit readiness dance.
+int connect_with_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    ::usleep(100 * 1000);
+  }
+  return -1;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string msg = line + "\n";
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n = ::write(fd, msg.data() + off, msg.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_line(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+}
+
+int cmd_submit(const Args& a) {
+  if (a.socket_path.empty()) usage("submit needs --socket=PATH");
+  const int fd = connect_with_retry(a.socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n",
+                 a.socket_path.c_str());
+    return 1;
+  }
+  int worst = 0;
+  std::string reply;
+  const auto rpc = [&](const std::string& req) -> bool {
+    if (send_line(fd, req) && recv_line(fd, &reply)) return true;
+    std::fprintf(stderr, "error: connection lost talking to %s\n",
+                 a.socket_path.c_str());
+    return false;
+  };
+  if (a.ping) {
+    if (!rpc("PING")) { ::close(fd); return 1; }
+    std::printf("%s\n", reply.c_str());
+    ::close(fd);
+    return reply == "PONG" ? 0 : 1;
+  }
+  std::vector<int> ids;
+  if (!a.metrics && !a.drain) {
+    // Plain `submit` (no --metrics/--drain): push --count jobs.
+    for (int i = 0; i < a.count; ++i) {
+      char req[160];
+      std::snprintf(req, sizeof req, "SUBMIT %d %d %u %d %.3f", a.tiles, a.nb,
+                    a.seed + static_cast<unsigned>(i), a.priority,
+                    a.deadline_ms);
+      if (!rpc(req)) { ::close(fd); return 1; }
+      int id = -1;
+      if (std::sscanf(reply.c_str(), "OK %d", &id) == 1) {
+        ids.push_back(id);
+      } else {
+        std::fprintf(stderr, "rejected: %s\n", reply.c_str());
+        worst = std::max(worst, 1);
+      }
+    }
+    std::printf("submitted %zu/%d job(s)\n", ids.size(), a.count);
+  }
+  if (a.wait) {
+    for (const int id : ids) {
+      if (!rpc("WAIT " + std::to_string(id))) { ::close(fd); return 1; }
+      std::printf("%s\n", reply.c_str());
+      // "DONE <id> <state> <attempts> <latency_ms> [error...]"
+      char state[48] = {0};
+      int rid = -1;
+      if (std::sscanf(reply.c_str(), "DONE %d %47s", &rid, state) == 2) {
+        const std::string s = state;
+        if (s == "failed") worst = std::max(worst, 4);
+        else if (s != "done") worst = std::max(worst, 6);
+      } else {
+        worst = std::max(worst, 1);
+      }
+    }
+  }
+  if (a.metrics) {
+    if (!rpc("METRICS")) { ::close(fd); return 1; }
+    std::printf("%s\n", reply.c_str());
+  }
+  if (a.drain) {
+    if (!rpc("DRAIN")) { ::close(fd); return 1; }
+    std::printf("%s\n", reply.c_str());
+  }
+  ::close(fd);
+  return worst;
 }
 
 int cmd_sweep(const Args& a) {
@@ -672,6 +847,7 @@ int main(int argc, char** argv) {
     if (a.command == "sweep") return cmd_sweep(a);
     if (a.command == "faults") return cmd_faults(a);
     if (a.command == "exec") return cmd_exec(a);
+    if (a.command == "submit") return cmd_submit(a);
   } catch (const SchedulerError& e) {
     std::fprintf(stderr, "scheduler starvation: %s\n", e.what());
     std::fprintf(stderr, "  policy=%s stuck_task=%d ready=%d\n",

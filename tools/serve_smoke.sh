@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Daemon lifecycle smoke (run by CI's serve-smoke job, usable locally):
+#   1. start hetsched_serve with a worker death injected into every batch,
+#   2. submit a batch of small jobs through hetsched_cli and wait for them,
+#   3. fetch metrics over the socket,
+#   4. SIGTERM the daemon and assert it drains to exit 0 with a non-empty
+#      metrics JSON report on stdout.
+#
+# Usage: tools/serve_smoke.sh [BIN_DIR]   (default: build/tools)
+set -euo pipefail
+
+BIN_DIR="${1:-build/tools}"
+SOCK="$(mktemp -u "${TMPDIR:-/tmp}/hetsched_serve_XXXXXX.sock")"
+OUT="$(mktemp)"
+ERR="$(mktemp)"
+trap 'rm -f "$SOCK" "$OUT" "$ERR"' EXIT
+
+"$BIN_DIR/hetsched_serve" --socket="$SOCK" --threads=2 --max-batch=4 \
+    --kill-worker=1 --kill-at=0.001 >"$OUT" 2>"$ERR" &
+SERVE_PID=$!
+
+# The client retries the connect while the daemon binds its socket.
+"$BIN_DIR/hetsched_cli" submit --socket="$SOCK" --tiles=6 --nb=64 \
+    --count=8 --wait
+# Separate probe call: --metrics alone fetches the live snapshot.
+"$BIN_DIR/hetsched_cli" submit --socket="$SOCK" --metrics
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: daemon did not exit 0 after SIGTERM" >&2
+  cat "$ERR" >&2
+  exit 1
+fi
+
+# The drained daemon prints its final metrics JSON on stdout.
+if ! [ -s "$OUT" ]; then
+  echo "FAIL: no metrics JSON on daemon stdout" >&2
+  cat "$ERR" >&2
+  exit 1
+fi
+grep -q '"completed":8' "$OUT" || {
+  echo "FAIL: expected 8 completed jobs in: $(cat "$OUT")" >&2
+  exit 1
+}
+grep -q '"worker_deaths":' "$OUT" || {
+  echo "FAIL: no worker_deaths counter in: $(cat "$OUT")" >&2
+  exit 1
+}
+echo "serve smoke OK: $(cat "$OUT")"
