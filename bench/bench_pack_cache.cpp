@@ -89,7 +89,10 @@ struct PhasePair {
 // Cache-off and cache-on repetitions are interleaved so both modes sample
 // the same machine conditions (shared VMs drift by tens of percent over
 // seconds, which would otherwise skew whichever mode ran second).
-PhasePair run_phase(int nb, kernels::PackedTileCache* cache) {
+// `threads` sizes the drain pool (the thread-scaling sweep varies it; the
+// headline table uses the hardware-clamped default).
+PhasePair run_phase(int nb, kernels::PackedTileCache* cache,
+                    int threads = kThreads) {
   std::vector<std::vector<double>> panel;
   for (int t = 0; t < kPanelTiles; ++t)
     panel.push_back(noise_tile(nb, static_cast<unsigned>(t) + 1));
@@ -136,7 +139,7 @@ PhasePair run_phase(int nb, kernels::PackedTileCache* cache) {
     if (s < r.best_s) r.best_s = s;
   };
 
-  if (kThreads == 1) {
+  if (threads == 1) {
     // Single worker: drain on this thread. A pool would leave the main
     // thread spinning on a barrier, competing for the only core.
     for (int rep = 0; rep < kReps; ++rep) {
@@ -152,9 +155,9 @@ PhasePair run_phase(int nb, kernels::PackedTileCache* cache) {
     }
   } else {
     std::atomic<bool> done{false};
-    SpinBarrier bar(kThreads + 1);
+    SpinBarrier bar(threads + 1);
     std::vector<std::thread> pool;
-    for (int w = 0; w < kThreads; ++w) {
+    for (int w = 0; w < threads; ++w) {
       pool.emplace_back([&] {
         for (;;) {
           bar.arrive_and_wait();  // rep start
@@ -255,6 +258,34 @@ int main() {
                              static_cast<double>(lk)
                        : 0.0);
   }
+
+  // Thread scaling of the cache-on phase: cooperative packing and the
+  // sharded hit path are the two mechanisms under test -- throughput
+  // should scale with the pool while the hit rate stays flat. Thread
+  // counts above the hardware are still reported (they measure
+  // oversubscription, labelled as such).
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\nGEMM phase thread scaling, cache on (best of %d; "
+              "%u hardware threads)\n",
+              kReps, hw);
+  std::printf("  threads    nb      GF/s  speedup  hit rate\n");
+  for (const int nb : {192, 320}) {
+    double base_s = 0.0;
+    for (const int th : {1, 2, 4, 8}) {
+      kernels::PackedTileCache cache;
+      const PhasePair r = run_phase(nb, &cache, th);
+      if (th == 1) base_s = r.on.best_s;
+      const std::uint64_t lk = r.on.hits + r.on.misses;
+      std::printf("  %5d%s  %4d  %8.1f  %6.3fx    %5.1f%%\n", th,
+                  static_cast<unsigned>(th) > hw && hw != 0 ? "*" : " ", nb,
+                  phase_gflops(nb, r.on.best_s), base_s / r.on.best_s,
+                  lk > 0 ? 100.0 * static_cast<double>(r.on.hits) /
+                               static_cast<double>(lk)
+                         : 0.0);
+    }
+  }
+  if (hw != 0 && hw < 8)
+    std::printf("  (* oversubscribed: more threads than hardware)\n");
 
   std::printf("\nend-to-end execute_parallel (best of 3)\n");
   std::printf("  tiles    nb  off GF/s   on GF/s  speedup  hit rate\n");

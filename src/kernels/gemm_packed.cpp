@@ -74,8 +74,16 @@ void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
                  bool lower_only, const PackedView* packed_a,
                  const PackedView* packed_b) {
   if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0) return;
+  // One tier snapshot per call (see engine.hpp): every micro-kernel
+  // decision below derives from `tier`, so a concurrent set_engine_tier()
+  // can never hand this call a mixed configuration. The AVX-512 tier
+  // pairs adjacent B micro-panels into 8x8 register tiles and uses the
+  // AVX2 8x4 kernel (always supported where AVX-512 is) for odd trailing
+  // panels and diagonal-straddling lower_only tiles.
+  const Tier tier = engine_tier();
+  const bool wide = tier == Tier::kAvx512;
   const MicroKernel micro =
-      engine_tier() == Tier::kAvx2 ? micro_8x4_avx2 : micro_8x4_generic;
+      tier == Tier::kGeneric ? micro_8x4_generic : micro_8x4_avx2;
   const PackGeometry g = pack_geometry();
 
   // Per-call scratch only for operands without a pre-packed image.
@@ -104,7 +112,8 @@ void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
       const double* bpc = layout == BLayout::kNT
                               ? b + static_cast<std::ptrdiff_t>(pc) * ldb
                               : b + pc;
-      pack_b(kc, n, bpc, ldb, layout, pb);
+      if (!coop_pack_b(kc, n, bpc, ldb, layout, pb))
+        pack_b(kc, n, bpc, ldb, layout, pb);
       pbs = pb;
       bstride = kc;
     }
@@ -118,33 +127,53 @@ void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
               static_cast<std::size_t>(a_rows) * static_cast<std::size_t>(pc) +
               static_cast<std::ptrdiff_t>(ic) * astride;
       } else {
-        pack_a(mc, kc, a + ic + static_cast<std::ptrdiff_t>(pc) * lda, lda,
-               pa);
+        const double* apc = a + ic + static_cast<std::ptrdiff_t>(pc) * lda;
+        if (!coop_pack_a(mc, kc, apc, lda, pa)) pack_a(mc, kc, apc, lda, pa);
         pas = pa;
         astride = kc;
       }
-      for (int jr = 0; jr < n; jr += kNR) {
+      // The AVX-512 tier consumes two adjacent B micro-panels per
+      // micro-kernel call (jw = 8 columns) whenever a second panel exists;
+      // the trailing odd panel and SYRK micro-tiles whose right panel is
+      // strictly above the diagonal drop to the 8x4 kernel, which keeps
+      // the skip-before-flops property of the narrow loop.
+      for (int jr = 0; jr < n;) {
         // Every remaining micro-tile of this A block would be strictly
         // above the diagonal: nothing left to store in this block row.
         if (lower_only && jr > ic + mc - 1) break;
-        const int nr = std::min(kNR, n - jr);
+        const bool paired = wide && n - jr > kNR;
+        const int jw = paired ? 2 * kNR : kNR;
+        const int nr = std::min(jw, n - jr);
         const double* pbj = pbs + static_cast<std::ptrdiff_t>(jr) * bstride;
         for (int ir = 0; ir < mc; ir += kMR) {
           const int mr = std::min(kMR, mc - ir);
           const int gi = ic + ir;  // global row of the micro-tile's top
           if (lower_only && gi + mr - 1 < jr) continue;  // strictly upper
-          alignas(32) double acc[kMR * kNR];
-          micro(kc, pas + static_cast<std::ptrdiff_t>(ir) * astride, pbj, acc);
-          const bool full = mr == kMR && nr == kNR &&
-                            (!lower_only || gi >= jr + kNR - 1);
+          alignas(64) double acc[kMR * 2 * kNR];
+          const double* pai = pas + static_cast<std::ptrdiff_t>(ir) * astride;
+          int cols;  // accumulator columns holding live results
+          if (paired && !(lower_only && gi + mr - 1 < jr + kNR)) {
+            micro_8x8_avx512(kc, pai, pbj,
+                             pbj + static_cast<std::ptrdiff_t>(kNR) * bstride,
+                             acc);
+            cols = nr;
+          } else {
+            // Narrow tile: odd trailing panel, non-AVX-512 tier, or the
+            // right panel of the pair is strictly upper (nothing to
+            // store there).
+            micro(kc, pai, pbj, acc);
+            cols = std::min(nr, kNR);
+          }
+          const bool full = mr == kMR && cols == jw &&
+                            (!lower_only || gi >= jr + cols - 1);
           if (full) {
-            for (int j = 0; j < kNR; ++j) {
+            for (int j = 0; j < cols; ++j) {
               double* cj = c + gi + static_cast<std::ptrdiff_t>(jr + j) * ldc;
               const double* accj = acc + j * kMR;
               for (int i = 0; i < kMR; ++i) cj[i] += alpha * accj[i];
             }
           } else {
-            for (int j = 0; j < nr; ++j) {
+            for (int j = 0; j < cols; ++j) {
               double* cj = c + gi + static_cast<std::ptrdiff_t>(jr + j) * ldc;
               const double* accj = acc + j * kMR;
               for (int i = 0; i < mr; ++i)
@@ -152,6 +181,7 @@ void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
             }
           }
         }
+        jr += jw;
       }
     }
   }

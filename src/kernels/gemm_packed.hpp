@@ -81,7 +81,29 @@ void micro_8x4_generic(int kc, const double* pa, const double* pb,
 /// non-x86 builds.
 void micro_8x4_avx2(int kc, const double* pa, const double* pb, double* acc);
 
+/// AVX-512F paired-panel variant: acc(kMR x 2*kNR, column-major, 64-byte
+/// aligned) := sum_p pa[p*kMR + i] * {pb0,pb1}[p*kNR + j], where pb0/pb1
+/// are two adjacent kNR-wide packed B micro-panels. The packed-panel ABI
+/// is unchanged from the 8x4 tiers -- only the macro loop pairs panels.
+/// Only callable when avx512_supported(); composes two generic 8x4 calls
+/// on non-x86 builds.
+void micro_8x8_avx512(int kc, const double* pa, const double* pb0,
+                      const double* pb1, double* acc);
+
 /// True when the running CPU reports AVX2 and FMA.
 bool avx2_supported();
+
+/// True when the running CPU reports AVX-512F.
+bool avx512_supported();
+
+/// Cooperative (multi-threaded) packing entry points: publish the pack as
+/// a sliced job idle workers steal (see pack_coop.hpp) and return true
+/// with `dst` fully written; return false when the caller should run the
+/// serial pack_a/pack_b instead (below the size floor, no helpers
+/// registered, or another job holds the slot). Buffer contents are
+/// byte-identical either way.
+bool coop_pack_a(int mc, int kc, const double* a, int lda, double* dst);
+bool coop_pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
+                 double* dst);
 
 }  // namespace hetsched::kernels::detail

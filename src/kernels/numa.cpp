@@ -1,0 +1,113 @@
+#include "kernels/numa.hpp"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace hetsched::kernels::detail {
+namespace {
+
+std::atomic<int> g_count_override{0};
+thread_local int t_node_override = -1;
+
+#if defined(__linux__)
+
+// Parses one cpulist file ("0-3,8-11\n") and returns true if `cpu` is in
+// any of its ranges.
+bool cpulist_contains(const char* path, int cpu) {
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* p = buf;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p) break;
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      hi = std::strtol(p + 1, &end, 10);
+      if (end == p + 1) break;
+      p = end;
+    }
+    if (cpu >= lo && cpu <= hi) return true;
+    if (*p == ',') ++p;
+  }
+  return false;
+}
+
+int probe_node_count() {
+  // Nodes are node0..nodeN without holes on every kernel we care about;
+  // counting upward until the first miss avoids a readdir dependency.
+  int count = 0;
+  for (int node = 0; node < 1024; ++node) {
+    char path[96];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", node);
+    std::FILE* f = std::fopen(path, "re");
+    if (f == nullptr) break;
+    std::fclose(f);
+    ++count;
+  }
+  return count > 0 ? count : 1;
+}
+
+int probe_current_node(int node_count) {
+  if (node_count <= 1) return 0;
+  const int cpu = sched_getcpu();
+  if (cpu < 0) return 0;
+  for (int node = 0; node < node_count; ++node) {
+    char path[96];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", node);
+    if (cpulist_contains(path, cpu)) return node;
+  }
+  return 0;
+}
+
+#else
+
+int probe_node_count() { return 1; }
+int probe_current_node(int) { return 0; }
+
+#endif
+
+int real_node_count() {
+  static const int count = probe_node_count();
+  return count;
+}
+
+}  // namespace
+
+int numa_node_count() {
+  const int forced = g_count_override.load(std::memory_order_relaxed);
+  return forced > 0 ? forced : real_node_count();
+}
+
+int current_numa_node() {
+  const int count = numa_node_count();
+  if (t_node_override >= 0) return t_node_override < count ? t_node_override
+                                                           : count - 1;
+  // Cached per thread: the probe walks sysfs, far too slow per pack call.
+  // Workers are pinned (or sticky enough) that a one-shot answer holds.
+  thread_local int cached = probe_current_node(real_node_count());
+  return cached < count ? cached : count - 1;
+}
+
+void set_current_numa_node_override(int node) noexcept {
+  t_node_override = node < 0 ? -1 : node;
+}
+
+void set_numa_node_count_override(int count) noexcept {
+  g_count_override.store(count > 0 ? count : 0, std::memory_order_relaxed);
+}
+
+}  // namespace hetsched::kernels::detail

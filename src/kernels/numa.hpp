@@ -1,0 +1,39 @@
+// Minimal NUMA topology probe for pack-cache shard placement.
+//
+// The PackedTileCache places its shards in per-socket groups so that a
+// worker pinned to node N finds (and first-touches) packed images in
+// memory local to N (see pack_cache.hpp). This header is the tiny,
+// dependency-free topology layer underneath: node count and
+// current-thread node, read once from sysfs
+// (/sys/devices/system/node/node*/cpulist) -- no libnuma, so the build
+// stays self-contained and single-node machines pay nothing.
+//
+// On non-Linux platforms, or when sysfs is absent, everything degrades to
+// a single node (node 0), which makes the sharded cache behave exactly
+// like the pre-NUMA layout.
+#pragma once
+
+namespace hetsched::kernels::detail {
+
+/// Number of online NUMA nodes, >= 1. Probed once (thread-safe static);
+/// returns 1 wherever the probe is unavailable.
+int numa_node_count();
+
+/// NUMA node of the CPU the calling thread is currently running on, in
+/// [0, numa_node_count()). Cached per thread -- workers are assumed
+/// pinned or at least sticky; a stale answer only costs locality, never
+/// correctness. Honors the test override below.
+int current_numa_node();
+
+/// Test hook: forces current_numa_node() to return `node` on the calling
+/// thread (clamped to the node count); pass -1 to restore the real probe.
+/// Lets single-node CI exercise multi-node shard-placement logic.
+void set_current_numa_node_override(int node) noexcept;
+
+/// Test hook: forces numa_node_count() to report `count` (>= 1)
+/// process-wide; pass 0 to restore the real probe. Affects only callers
+/// that probe afterwards -- the PackedTileCache reads the count at
+/// construction.
+void set_numa_node_count_override(int count) noexcept;
+
+}  // namespace hetsched::kernels::detail

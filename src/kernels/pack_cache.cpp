@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "kernels/gemm_packed.hpp"
+#include "kernels/numa.hpp"
 #include "kernels/pack_geometry.hpp"
 
 namespace hetsched::kernels {
@@ -89,7 +90,9 @@ struct alignas(64) Shard {
 
 struct PackedTileCache::Impl {
   std::unique_ptr<Shard[]> shards;
-  std::size_t nshards = 0;
+  std::size_t nshards = 0;          // nnodes * shards_per_node
+  std::size_t nnodes = 1;           // NUMA shard groups
+  std::size_t shards_per_node = 1;  // power of two
   std::atomic<std::size_t> capacity{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> epochs;
 };
@@ -97,8 +100,14 @@ struct PackedTileCache::Impl {
 PackedTileCache::PackedTileCache() : PackedTileCache(Config{}) {}
 
 PackedTileCache::PackedTileCache(const Config& cfg) : impl_(new Impl) {
-  impl_->nshards = round_up_pow2(
+  // Shard layout: one group of shards_per_node shards per NUMA node; a
+  // thread only ever probes its own node's group (see shard_for()), which
+  // makes fills -- and the first touch of fresh pages -- node-local.
+  impl_->nnodes = static_cast<std::size_t>(
+      cfg.numa_nodes > 0 ? cfg.numa_nodes : detail::numa_node_count());
+  impl_->shards_per_node = round_up_pow2(
       static_cast<std::size_t>(cfg.shards > 0 ? cfg.shards : 1));
+  impl_->nshards = impl_->nnodes * impl_->shards_per_node;
   impl_->shards = std::make_unique<Shard[]>(impl_->nshards);
   const std::size_t nslots = round_up_pow2(static_cast<std::size_t>(
       cfg.slots_per_shard > kProbe ? cfg.slots_per_shard : kProbe));
@@ -223,22 +232,26 @@ bool evict_one(Shard& sh) {
 }
 
 // Packs the full tile image (every depth slice) into dst; layout per
-// pack_geometry.hpp.
+// pack_geometry.hpp. Large slices go through the cooperative pack path
+// (pack_coop.hpp) so idle workers help fill the cache; the serial
+// fallback writes byte-identical panels.
 void fill_panels(const double* tile, int dim, int k, PackFlavor flavor,
                  const PackGeometry& g, double* dst) {
   using namespace detail;
   for (int pc = 0; pc < k; pc += g.kc) {
     const int kc = std::min(g.kc, k - pc);
     if (flavor == PackFlavor::kB) {
-      pack_b(kc, dim, tile + static_cast<std::ptrdiff_t>(pc) * dim, dim,
-             BLayout::kNT, dst);
+      const double* src = tile + static_cast<std::ptrdiff_t>(pc) * dim;
+      if (!coop_pack_b(kc, dim, src, dim, BLayout::kNT, dst))
+        pack_b(kc, dim, src, dim, BLayout::kNT, dst);
       dst += static_cast<std::size_t>(round_up(dim, kNR)) *
              static_cast<std::size_t>(kc);
     } else {
       for (int ic = 0; ic < dim; ic += g.mc) {
         const int mc = std::min(g.mc, dim - ic);
-        pack_a(mc, kc, tile + ic + static_cast<std::ptrdiff_t>(pc) * dim, dim,
-               dst);
+        const double* src = tile + ic + static_cast<std::ptrdiff_t>(pc) * dim;
+        if (!coop_pack_a(mc, kc, src, dim, dst))
+          pack_a(mc, kc, src, dim, dst);
         dst += static_cast<std::size_t>(round_up(mc, kMR)) *
                static_cast<std::size_t>(kc);
       }
@@ -256,9 +269,15 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
   const auto ptr = reinterpret_cast<std::uintptr_t>(tile);
   const std::uint64_t meta = make_meta(tile_epoch(tile), dim, k, flavor);
   // Epoch-independent hash: a repack after a bump lands in the same probe
-  // window, overwriting its own stale entry instead of leaking it.
+  // window, overwriting its own stale entry instead of leaking it. The
+  // shard comes from the caller's NUMA node group plus hash bits within
+  // the group, so the same tile hashes to the same shard *per node* --
+  // node-local hits, per-node replication of cross-node tiles.
   const std::uint64_t h = mix(ptr ^ (meta << 32));
-  Shard& sh = impl_->shards[(h >> 48) & (impl_->nshards - 1)];
+  const std::size_t group =
+      static_cast<std::size_t>(detail::current_numa_node()) % impl_->nnodes;
+  Shard& sh = impl_->shards[group * impl_->shards_per_node +
+                            ((h >> 48) & (impl_->shards_per_node - 1))];
   const std::size_t mask = sh.nslots - 1;
   Slot* const slots = sh.slots.get();
 
@@ -344,6 +363,12 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
       if (!evict_one(sh)) return false;
     data = alloc_panels(need);
     if (data == nullptr) return false;
+    // First-touch: commit the fresh pages from this thread so the kernel
+    // places them on the caller's NUMA node. fill_panels() would touch
+    // them anyway, but its cooperative path may hand slices to helpers on
+    // other nodes -- the memset pins placement to the consuming node
+    // before any helper writes.
+    std::memset(data, 0, need);
     sh.resident += need;
   }
   fill_panels(tile, dim, k, flavor, g, data);

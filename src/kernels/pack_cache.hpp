@@ -10,6 +10,14 @@
 //     kc/mc geometry generation);
 //   * sharded, with a lock-free hit path (atomic key words + a ref-count
 //     pin); only fills and evictions take the shard mutex;
+//   * NUMA-aware: shards are grouped per node and a thread always probes
+//     its own node's group, so a miss fills -- and first-touches -- the
+//     packed image in node-local memory and every later hit from that
+//     node reads locally. Hot tiles consumed on several nodes are packed
+//     once per node (deliberate replication: the copies cost capacity,
+//     remote-traffic-free hits pay for them). Epochs stay global, so an
+//     epoch bump invalidates every node's copy at once. On single-node
+//     machines the grouping degenerates to the flat layout.
 //   * bounded (capacity in bytes) with ref-count-aware clock eviction:
 //     pinned panels are never evicted, recently-used ones get a second
 //     chance;
@@ -49,8 +57,12 @@ class PackedTileCache {
  public:
   struct Config {
     std::size_t capacity_bytes = kDefaultCapacityBytes;
-    int shards = 8;           ///< rounded up to a power of two
+    int shards = 8;           ///< per NUMA node; rounded up to a power of two
     int slots_per_shard = 512;  ///< rounded up to a power of two
+    /// NUMA node groups to shard across; 0 probes the machine
+    /// (detail::numa_node_count()). Tests set this explicitly to exercise
+    /// multi-node placement on single-node hosts.
+    int numa_nodes = 0;
   };
   static constexpr std::size_t kDefaultCapacityBytes = 256ull << 20;
 

@@ -1,0 +1,258 @@
+#include "kernels/pack_coop.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "kernels/gemm_packed.hpp"
+
+namespace hetsched::kernels {
+namespace {
+
+using detail::BLayout;
+using detail::kMR;
+using detail::kNR;
+
+// Default size floor: below half a MiB of packed doubles the slice
+// bookkeeping and the wake costs rival the copy itself.
+constexpr std::size_t kDefaultMinDoubles = std::size_t{1} << 16;
+
+// Target doubles per slice (~256 KiB): large enough that a helper's cache
+// misses amortize, small enough that an 8-worker pool finds work in a
+// single nb=960 B slab.
+constexpr std::size_t kSliceDoubles = std::size_t{1} << 15;
+
+std::atomic<std::size_t> g_min_doubles{kDefaultMinDoubles};
+
+std::atomic<std::uint64_t> g_jobs{0};
+std::atomic<std::uint64_t> g_slices{0};
+std::atomic<std::uint64_t> g_assisted{0};
+
+// ---- wake-callback registry -------------------------------------------------
+
+struct WakeRegistry {
+  std::mutex mu;
+  std::vector<std::pair<int, std::function<void()>>> hooks;
+  int next_id = 1;
+  std::atomic<int> count{0};
+};
+
+WakeRegistry& registry() {
+  static WakeRegistry* r = new WakeRegistry;  // never destroyed: worker
+  return *r;                                  // pools may outlive statics
+}
+
+void wake_helpers() {
+  WakeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [id, hook] : r.hooks) hook();
+}
+
+// ---- the single job slot ----------------------------------------------------
+//
+// One publisher at a time owns the slot (busy_ flag); a second concurrent
+// large pack simply runs serially -- correctness never depends on
+// publication. Lifecycle of one job:
+//
+//   publisher:  busy_ exchange -> drain stale visitors -> write params,
+//               next_ = done_ = 0 -> seq_ +1 (even->odd, releases params)
+//               -> wake -> self-drain -> wait done_ == nslices (acquire)
+//               -> seq_ +1 (odd->even) -> busy_ = false
+//   helper:     read seq_ (odd?) -> visitors_ +1 -> re-check seq_ ->
+//               ticket = next_ fetch_add -> run slice if ticket < nslices
+//               -> done_ +1 (release) -> visitors_ -1
+//
+// Why stale helpers are harmless: next_ only grows between publications,
+// so a ticket taken against a finished job is >= nslices and runs nothing.
+// The next publisher resets next_ only after the visitor count drains, and
+// any helper arriving later re-checks seq_ *after* its visitors_
+// increment -- it either sees the old (even) sequence and backs off, or
+// the new (odd) one and reads the new params. The publisher's wait on
+// done_ guarantees every claimed slice finished before the packed buffer
+// is handed to the micro-kernels, and the release/acquire pair on done_
+// orders the helpers' buffer writes before the publisher's reads.
+
+struct JobSlot {
+  std::atomic<std::uint64_t> seq{0};  // odd = job active
+  std::atomic<bool> busy{false};
+  std::atomic<int> visitors{0};
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  // Atomic because pack_work_available() peeks at it without first
+  // observing seq odd (it is only a hint there; assist_pack_once
+  // re-validates). Relaxed everywhere: ordering comes from seq.
+  std::atomic<int> nslices{0};
+  // Job parameters: written by the publisher before seq goes odd, read by
+  // helpers after they observe it odd (release/acquire on seq).
+  bool is_a = false;               // pack_a vs pack_b slices
+  int kc = 0;
+  int total = 0;                   // mc (A) or n (B)
+  int panels_per_slice = 0;
+  const double* src = nullptr;
+  int ld = 0;
+  BLayout layout = BLayout::kNT;
+  double* dst = nullptr;
+};
+
+JobSlot g_slot;
+
+// Runs one slice: a contiguous, panel-aligned range of micro-panels.
+// Slice boundaries match the serial pack loops exactly, so the buffer
+// contents are independent of who packs which slice.
+void run_slice(const JobSlot& j, int slice) {
+  const int unit = j.is_a ? kMR : kNR;
+  const int first = slice * j.panels_per_slice * unit;
+  const int count = std::min(j.total - first, j.panels_per_slice * unit);
+  double* dst = j.dst + static_cast<std::ptrdiff_t>(first) * j.kc;
+  if (j.is_a) {
+    detail::pack_a(count, j.kc, j.src + first, j.ld, dst);
+  } else if (j.layout == BLayout::kNT) {
+    detail::pack_b(j.kc, count, j.src + first, j.ld, j.layout, dst);
+  } else {
+    detail::pack_b(j.kc, count,
+                   j.src + static_cast<std::ptrdiff_t>(first) * j.ld, j.ld,
+                   j.layout, dst);
+  }
+}
+
+// Publishes and fully executes one pack job; returns false when the
+// caller should pack serially instead (slot busy, not worth slicing).
+bool run_cooperative(bool is_a, int kc, int total, const double* src, int ld,
+                     BLayout layout, double* dst) {
+  const int unit = is_a ? kMR : kNR;
+  const std::size_t doubles =
+      static_cast<std::size_t>(detail::round_up(total, unit)) *
+      static_cast<std::size_t>(kc);
+  if (doubles < g_min_doubles.load(std::memory_order_relaxed)) return false;
+  if (registry().count.load(std::memory_order_acquire) == 0) return false;
+
+  const std::size_t panel_doubles =
+      static_cast<std::size_t>(unit) * static_cast<std::size_t>(kc);
+  const int pps = static_cast<int>(
+      std::max<std::size_t>(1, kSliceDoubles / panel_doubles));
+  const int npanels = (total + unit - 1) / unit;
+  const int nslices = (npanels + pps - 1) / pps;
+  if (nslices < 2) return false;
+
+  JobSlot& s = g_slot;
+  if (s.busy.exchange(true, std::memory_order_acquire)) return false;
+  // Fence out stale visitors of the previous job before reusing next_.
+  while (s.visitors.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+  s.is_a = is_a;
+  s.kc = kc;
+  s.total = total;
+  s.panels_per_slice = pps;
+  s.nslices.store(nslices, std::memory_order_relaxed);
+  s.src = src;
+  s.ld = ld;
+  s.layout = layout;
+  s.dst = dst;
+  s.next.store(0, std::memory_order_relaxed);
+  s.done.store(0, std::memory_order_relaxed);
+  s.seq.fetch_add(1, std::memory_order_release);  // even -> odd: published
+  g_jobs.fetch_add(1, std::memory_order_relaxed);
+  g_slices.fetch_add(static_cast<std::uint64_t>(nslices),
+                     std::memory_order_relaxed);
+  wake_helpers();
+
+  // Self-drain: the publisher always completes the job even if no helper
+  // ever shows up.
+  for (;;) {
+    const int ticket = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= nslices) break;
+    run_slice(s, ticket);
+    s.done.fetch_add(1, std::memory_order_release);
+  }
+  // Stragglers finish their claimed slices; their buffer writes are
+  // ordered before our return by the release/acquire pair on done.
+  while (s.done.load(std::memory_order_acquire) < nslices)
+    std::this_thread::yield();
+
+  s.seq.fetch_add(1, std::memory_order_release);  // odd -> even: sealed
+  s.busy.store(false, std::memory_order_release);
+  return true;
+}
+
+}  // namespace
+
+CoopPackStats coop_pack_stats() noexcept {
+  CoopPackStats t;
+  t.jobs = g_jobs.load(std::memory_order_relaxed);
+  t.slices = g_slices.load(std::memory_order_relaxed);
+  t.slices_assisted = g_assisted.load(std::memory_order_relaxed);
+  return t;
+}
+
+int register_pack_helpers(std::function<void()> wake) {
+  WakeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const int id = r.next_id++;
+  r.hooks.emplace_back(id, std::move(wake));
+  r.count.store(static_cast<int>(r.hooks.size()), std::memory_order_release);
+  return id;
+}
+
+void unregister_pack_helpers(int id) {
+  WakeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.hooks.size(); ++i)
+    if (r.hooks[i].first == id) {
+      r.hooks.erase(r.hooks.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  r.count.store(static_cast<int>(r.hooks.size()), std::memory_order_release);
+}
+
+bool pack_work_available() noexcept {
+  const JobSlot& s = g_slot;
+  if ((s.seq.load(std::memory_order_acquire) & 1) == 0) return false;
+  return s.next.load(std::memory_order_relaxed) <
+         s.nslices.load(std::memory_order_relaxed);
+}
+
+bool assist_pack_once() noexcept {
+  JobSlot& s = g_slot;
+  const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+  if ((seq & 1) == 0) return false;
+  s.visitors.fetch_add(1, std::memory_order_acq_rel);
+  bool ran = false;
+  if (s.seq.load(std::memory_order_acquire) == seq) {
+    // Stable while seq stays odd; relaxed is enough under the re-check.
+    const int nslices = s.nslices.load(std::memory_order_relaxed);
+    const int ticket = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (ticket < nslices) {
+      run_slice(s, ticket);
+      g_assisted.fetch_add(1, std::memory_order_relaxed);
+      s.done.fetch_add(1, std::memory_order_release);
+      ran = true;
+    }
+  }
+  s.visitors.fetch_sub(1, std::memory_order_release);
+  return ran;
+}
+
+void set_coop_pack_min_doubles(std::size_t doubles) noexcept {
+  g_min_doubles.store(doubles == 0 ? kDefaultMinDoubles : doubles,
+                      std::memory_order_relaxed);
+}
+
+std::size_t coop_pack_min_doubles() noexcept {
+  return g_min_doubles.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool coop_pack_a(int mc, int kc, const double* a, int lda, double* dst) {
+  return run_cooperative(/*is_a=*/true, kc, mc, a, lda, BLayout::kNT, dst);
+}
+
+bool coop_pack_b(int kc, int n, const double* b, int ldb, BLayout layout,
+                 double* dst) {
+  return run_cooperative(/*is_a=*/false, kc, n, b, ldb, layout, dst);
+}
+
+}  // namespace detail
+}  // namespace hetsched::kernels

@@ -1,0 +1,67 @@
+// Cooperative multi-threaded packing for large panels.
+//
+// A single large GEMM used to pack its A/B panels on one thread while
+// every other worker of the pool sat idle -- at high worker counts the
+// pack loops, not the micro-kernel, bound throughput. This header is the
+// small pack-task protocol that fixes it:
+//
+//   * A packing thread (the *publisher*) splits a large pack_a/pack_b
+//     call into micro-panel-aligned slices and publishes the job in a
+//     process-wide single-slot arena, then drains slices itself.
+//   * Idle worker threads (*helpers*) steal slices with assist_pack_once()
+//     until the arena is empty; the publisher returns only when every
+//     slice has completed, so the packed buffer is fully written before
+//     any micro-kernel reads it.
+//   * Publishing happens only above a size floor and only while at least
+//     one helper pool is registered; below either threshold the pack runs
+//     serially on the calling thread, byte-for-byte identically. Slices
+//     are panel-aligned, so cooperative and serial packing produce the
+//     same buffer contents in any interleaving.
+//
+// The protocol is a sequence-validated single job slot (see pack_coop.cpp
+// for the memory-order argument): claims are a fetch_add ticket, stale
+// helpers are fenced out by a visitor count the next publisher drains, and
+// completion is a release/acquire counter -- no mutex anywhere on the
+// packing path. Helper pools register a wake callback so sleeping workers
+// are nudged when a job appears (ThreadedBackend routes it through its
+// ready-queue condition variable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hetsched::kernels {
+
+/// Cumulative counters (monotone since process start).
+struct CoopPackStats {
+  std::uint64_t jobs = 0;            ///< pack calls that were published
+  std::uint64_t slices = 0;          ///< total slices of published jobs
+  std::uint64_t slices_assisted = 0; ///< slices run by helper threads
+};
+CoopPackStats coop_pack_stats() noexcept;
+
+/// Registers a helper pool: `wake` is invoked (from the publishing thread)
+/// every time a job is published, and must nudge the pool's idle workers
+/// toward assist_pack_once(). Returns a registration id for
+/// unregister_pack_helpers(). While no pool is registered, packs never
+/// publish. The callback must not block indefinitely and must tolerate
+/// being called from any thread.
+int register_pack_helpers(std::function<void()> wake);
+void unregister_pack_helpers(int id);
+
+/// True when a published job still has unclaimed slices -- cheap enough
+/// for an idle-loop predicate.
+bool pack_work_available() noexcept;
+
+/// Claims and runs one slice of the published job, if any. Returns true
+/// when a slice was run (callers typically loop until false).
+bool assist_pack_once() noexcept;
+
+/// Size floor (in doubles) below which packs stay serial. 0 restores the
+/// default (tests and benches lower it to force cooperation on small
+/// inputs).
+void set_coop_pack_min_doubles(std::size_t doubles) noexcept;
+std::size_t coop_pack_min_doubles() noexcept;
+
+}  // namespace hetsched::kernels

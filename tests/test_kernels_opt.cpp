@@ -193,18 +193,79 @@ TEST(OptKernelsLd, SyrkTrsmPotrfWithPaddedLd) {
 
 // ---- Dispatch tiers ---------------------------------------------------------
 
+// The tier ladder is totally ordered (generic < avx2 < avx512), so a
+// request clamps to min(request, native) in enum order.
+kernels::Tier expect_clamp(kernels::Tier request) {
+  return static_cast<int>(request) <= static_cast<int>(kernels::native_tier())
+             ? request
+             : kernels::native_tier();
+}
+
 TEST(EngineDispatch, TierRoundTrip) {
   const kernels::Tier startup = kernels::engine_tier();
-  kernels::set_engine_tier(kernels::Tier::kGeneric);
-  EXPECT_EQ(kernels::engine_tier(), kernels::Tier::kGeneric);
+  for (const kernels::Tier t :
+       {kernels::Tier::kGeneric, kernels::Tier::kAvx2,
+        kernels::Tier::kAvx512}) {
+    kernels::set_engine_tier(t);
+    EXPECT_EQ(kernels::engine_tier(), expect_clamp(t))
+        << "requested " << kernels::tier_name(t);
+  }
   kernels::reset_engine_tier();
   EXPECT_EQ(kernels::engine_tier(), startup);
-  // Requesting AVX2 is clamped to what the CPU actually supports.
-  kernels::set_engine_tier(kernels::Tier::kAvx2);
-  EXPECT_EQ(kernels::engine_tier(),
-            kernels::native_tier() == kernels::Tier::kAvx2
-                ? kernels::Tier::kAvx2
-                : kernels::Tier::kGeneric);
+}
+
+TEST(EngineDispatch, TierNames) {
+  EXPECT_STREQ(kernels::tier_name(kernels::Tier::kGeneric), "generic");
+  EXPECT_STREQ(kernels::tier_name(kernels::Tier::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::tier_name(kernels::Tier::kAvx512), "avx512");
+}
+
+TEST(EngineDispatch, EnvParseRecognizesTiersAndClamps) {
+  bool recognized = false;
+  EXPECT_EQ(kernels::detail::parse_tier_env("generic", &recognized),
+            kernels::Tier::kGeneric);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(kernels::detail::parse_tier_env("avx2", &recognized),
+            expect_clamp(kernels::Tier::kAvx2));
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(kernels::detail::parse_tier_env("avx512", &recognized),
+            expect_clamp(kernels::Tier::kAvx512));
+  EXPECT_TRUE(recognized);
+  // Unrecognized spellings (including case and whitespace variants) fall
+  // back to the native tier and report !recognized -- never a silent
+  // misconfiguration into some other tier.
+  for (const char* bad : {"", "AVX2", " avx2", "avx-512", "turbo", "1"}) {
+    EXPECT_EQ(kernels::detail::parse_tier_env(bad, &recognized),
+              kernels::native_tier())
+        << "value \"" << bad << '"';
+    EXPECT_FALSE(recognized) << "value \"" << bad << '"';
+  }
+}
+
+TEST(EngineDispatch, UnrecognizedEnvValueWarnsOnStderr) {
+  ::testing::internal::CaptureStderr();
+  const kernels::Tier t = kernels::detail::resolve_tier_env("turbo");
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(t, kernels::native_tier());
+  EXPECT_NE(warning.find("unrecognized HETSCHED_KERNEL_TIER=\"turbo\""),
+            std::string::npos)
+      << warning;
+  EXPECT_NE(warning.find("generic, avx2, avx512"), std::string::npos)
+      << warning;
+
+  // Recognized values stay silent.
+  ::testing::internal::CaptureStderr();
+  (void)kernels::detail::resolve_tier_env("generic");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+// Runs one GEMM + one SYRK at the requested tier; the caller diffs tiers.
+void run_at_tier(kernels::Tier t, int nb, const std::vector<double>& a,
+                 const std::vector<double>& b, std::vector<double>* c_gemm,
+                 std::vector<double>* c_syrk) {
+  kernels::set_engine_tier(t);
+  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_gemm->data(), nb);
+  kernels::syrk(nb, a.data(), nb, c_syrk->data(), nb);
   kernels::reset_engine_tier();
 }
 
@@ -214,18 +275,95 @@ TEST(EngineDispatch, GenericAndNativeTiersAgree) {
   const auto b = random_block(nb, nb, 42);
   const auto c0 = random_block(nb, nb, 43);
 
-  kernels::set_engine_tier(kernels::Tier::kGeneric);
-  auto c_gen = c0;
-  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_gen.data(), nb);
-
-  kernels::set_engine_tier(kernels::Tier::kAvx2);  // clamped if unsupported
-  auto c_nat = c0;
-  kernels::gemm(nb, a.data(), nb, b.data(), nb, c_nat.data(), nb);
-  kernels::reset_engine_tier();
+  auto c_gen = c0, s_gen = c0;
+  run_at_tier(kernels::Tier::kGeneric, nb, a, b, &c_gen, &s_gen);
+  auto c_nat = c0, s_nat = c0;
+  run_at_tier(kernels::Tier::kAvx2, nb, a, b, &c_nat, &s_nat);
 
   // Same packing, same blocking, same accumulation order: FMA contraction
   // is the only permitted difference, so the tiers agree very tightly.
   expect_close(c_nat, c_gen);
+  expect_close(s_nat, s_gen);
+}
+
+// AVX-512 paired-panel tier against the generic oracle across every edge
+// shape the pairing logic has: below one pair (nb <= 4), exactly one pair
+// (8), odd trailing panel (5..7, 63, 65), the paper's 960, and padded
+// leading dimensions. Auto-skips on hosts without AVX-512.
+class Avx512Sweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    if (kernels::native_tier() != kernels::Tier::kAvx512)
+      GTEST_SKIP() << "CPU lacks AVX-512F";
+  }
+};
+
+TEST_P(Avx512Sweep, GemmSyrkAgreeWithGeneric) {
+  const int nb = GetParam();
+  const auto a = random_block(nb, nb, 51);
+  const auto b = random_block(nb, nb, 52);
+  const auto c0 = random_block(nb, nb, 53);
+
+  auto c_gen = c0, s_gen = c0;
+  run_at_tier(kernels::Tier::kGeneric, nb, a, b, &c_gen, &s_gen);
+  auto c_512 = c0, s_512 = c0;
+  run_at_tier(kernels::Tier::kAvx512, nb, a, b, &c_512, &s_512);
+
+  expect_close(c_512, c_gen);
+  expect_close(s_512, s_gen);
+  // SYRK's strict upper triangle is untouched by every tier: the paired
+  // path must not let its right panel spill across the diagonal.
+  for (int j = 1; j < nb; ++j)
+    for (int i = 0; i < j; ++i)
+      ASSERT_EQ(s_512[static_cast<std::size_t>(i) +
+                      static_cast<std::size_t>(j) *
+                          static_cast<std::size_t>(nb)],
+                c0[static_cast<std::size_t>(i) +
+                   static_cast<std::size_t>(j) * static_cast<std::size_t>(nb)])
+          << "(" << i << "," << j << ")";
+}
+
+TEST_P(Avx512Sweep, AgreesWithAvx2Tier) {
+  const int nb = GetParam();
+  const auto a = random_block(nb, nb, 54);
+  const auto b = random_block(nb, nb, 55);
+  const auto c0 = random_block(nb, nb, 56);
+
+  auto c_avx2 = c0, s_avx2 = c0;
+  run_at_tier(kernels::Tier::kAvx2, nb, a, b, &c_avx2, &s_avx2);
+  auto c_512 = c0, s_512 = c0;
+  run_at_tier(kernels::Tier::kAvx512, nb, a, b, &c_512, &s_512);
+
+  // Both tiers contract with FMA in the same order over the same packed
+  // panels -- the 8x8 tile is two 8x4 tiles computed in lockstep -- so
+  // agreement is bitwise, not just within tolerance.
+  for (std::size_t i = 0; i < c_512.size(); ++i) {
+    ASSERT_EQ(c_512[i], c_avx2[i]) << "gemm flat index " << i;
+    ASSERT_EQ(s_512[i], s_avx2[i]) << "syrk flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PairingEdges, Avx512Sweep,
+                         ::testing::Values(1, 3, 4, 5, 7, 8, 63, 64, 65, 129,
+                                           192, 960));
+
+TEST(Avx512Ld, GemmWithDistinctLeadingDims) {
+  if (kernels::native_tier() != kernels::Tier::kAvx512)
+    GTEST_SKIP() << "CPU lacks AVX-512F";
+  const int nb = 131;  // odd panel tail + masked rows at every edge
+  const int lda = nb + 7, ldb = nb + 3, ldc = nb + 11;
+  const auto a = random_block(lda, nb, 57);
+  const auto b = random_block(ldb, nb, 58);
+  const auto c0 = random_block(ldc, nb, 59);
+
+  kernels::set_engine_tier(kernels::Tier::kGeneric);
+  auto c_gen = c0;
+  kernels::gemm(nb, a.data(), lda, b.data(), ldb, c_gen.data(), ldc);
+  kernels::set_engine_tier(kernels::Tier::kAvx512);
+  auto c_512 = c0;
+  kernels::gemm(nb, a.data(), lda, b.data(), ldb, c_512.data(), ldc);
+  kernels::reset_engine_tier();
+  expect_close(c_512, c_gen);
 }
 
 // ---- Whole factorization through the parallel executor ----------------------

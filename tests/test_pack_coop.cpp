@@ -1,0 +1,156 @@
+// Cooperative packing protocol (src/kernels/pack_coop.*): slice
+// correctness against the serial pack loops, the serial-fallback
+// contract, and a multi-threaded stress run that TSan watches in CI
+// (publishers racing helpers through the single job slot).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "kernels/gemm_packed.hpp"
+#include "kernels/pack_coop.hpp"
+#include "kernels/pack_geometry.hpp"
+
+namespace hetsched::kernels {
+namespace {
+
+std::vector<double> random_block(std::size_t count, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> t(count);
+  for (double& x : t) x = dist(rng);
+  return t;
+}
+
+// A pool of spinning helpers, plus the wake registration that allows
+// publishing at all (packs never publish while no pool is registered).
+class HelperPool {
+ public:
+  explicit HelperPool(int n) {
+    reg_ = register_pack_helpers([] {});  // helpers spin; no wake needed
+    for (int i = 0; i < n; ++i)
+      threads_.emplace_back([this] {
+        while (!stop_.load(std::memory_order_relaxed))
+          if (!assist_pack_once()) std::this_thread::yield();
+      });
+  }
+  ~HelperPool() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& t : threads_) t.join();
+    unregister_pack_helpers(reg_);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  int reg_ = -1;
+};
+
+// Restores the size floor after each test.
+class PackCoopTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_coop_pack_min_doubles(0); }
+};
+
+TEST_F(PackCoopTest, IdleSlotReportsNoWork) {
+  EXPECT_FALSE(pack_work_available());
+  EXPECT_FALSE(assist_pack_once());
+}
+
+TEST_F(PackCoopTest, SerialFallbackWithoutRegisteredHelpers) {
+  set_coop_pack_min_doubles(1);
+  const int mc = 1024, kc = 256;
+  const auto a = random_block(static_cast<std::size_t>(mc) * kc, 1);
+  std::vector<double> dst(detail::a_pack_doubles(mc, kc, pack_geometry()));
+  // No pool registered: the caller must take the serial path.
+  EXPECT_FALSE(detail::coop_pack_a(mc, kc, a.data(), mc, dst.data()));
+}
+
+TEST_F(PackCoopTest, SerialFallbackBelowSizeFloor) {
+  HelperPool pool(1);
+  // Default floor: a tiny pack never publishes even with helpers around.
+  const int mc = 16, kc = 16;
+  const auto a = random_block(static_cast<std::size_t>(mc) * kc, 2);
+  std::vector<double> dst(
+      static_cast<std::size_t>(detail::round_up(mc, detail::kMR)) * kc);
+  EXPECT_FALSE(detail::coop_pack_a(mc, kc, a.data(), mc, dst.data()));
+}
+
+TEST_F(PackCoopTest, CooperativeBufferMatchesSerialPackA) {
+  set_coop_pack_min_doubles(1024);
+  HelperPool pool(3);
+  // Unaligned mc exercises the zero-padded tail panel inside a slice.
+  for (const int mc : {1024, 1021}) {
+    const int kc = 256;
+    const auto a =
+        random_block(static_cast<std::size_t>(mc) * kc, 10 + mc % 7);
+    const std::size_t doubles =
+        static_cast<std::size_t>(detail::round_up(mc, detail::kMR)) * kc;
+    std::vector<double> serial(doubles, -1.0), coop(doubles, -2.0);
+    detail::pack_a(mc, kc, a.data(), mc, serial.data());
+    const CoopPackStats before = coop_pack_stats();
+    ASSERT_TRUE(detail::coop_pack_a(mc, kc, a.data(), mc, coop.data()));
+    const CoopPackStats after = coop_pack_stats();
+    EXPECT_GT(after.jobs, before.jobs);
+    EXPECT_GT(after.slices, before.slices + 1);  // really sliced
+    EXPECT_EQ(coop, serial);  // byte-identical, any interleaving
+  }
+}
+
+TEST_F(PackCoopTest, CooperativeBufferMatchesSerialPackB) {
+  set_coop_pack_min_doubles(1024);
+  HelperPool pool(3);
+  for (const auto layout : {detail::BLayout::kNT, detail::BLayout::kNN}) {
+    const int n = 2048, kc = 256;
+    // ldb covers both layouts' row counts.
+    const int ldb = 2048;
+    const auto b = random_block(static_cast<std::size_t>(ldb) * 2048, 20);
+    const std::size_t doubles =
+        static_cast<std::size_t>(detail::round_up(n, detail::kNR)) * kc;
+    std::vector<double> serial(doubles, -1.0), coop(doubles, -2.0);
+    detail::pack_b(kc, n, b.data(), ldb, layout, serial.data());
+    ASSERT_TRUE(detail::coop_pack_b(kc, n, b.data(), ldb, layout,
+                                    coop.data()));
+    EXPECT_EQ(coop, serial);
+  }
+}
+
+// Concurrent publishers racing helpers through the single job slot: one
+// publisher wins the slot per job, the loser packs serially, helpers
+// steal slices of whatever is published. Run under TSan in CI; the
+// per-iteration buffer check catches any torn job-parameter handoff.
+TEST_F(PackCoopTest, ConcurrentPublishersAndHelpersStress) {
+  set_coop_pack_min_doubles(1024);
+  HelperPool pool(2);
+
+  constexpr int kPublishers = 2;
+  constexpr int kIters = 40;
+  const int mc = 1024, kc = 128;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> publishers;
+  for (int p = 0; p < kPublishers; ++p)
+    publishers.emplace_back([&, p] {
+      const auto a = random_block(static_cast<std::size_t>(mc) * kc,
+                                  static_cast<unsigned>(100 + p));
+      const std::size_t doubles =
+          static_cast<std::size_t>(detail::round_up(mc, detail::kMR)) * kc;
+      std::vector<double> expect(doubles);
+      detail::pack_a(mc, kc, a.data(), mc, expect.data());
+      std::vector<double> dst(doubles);
+      for (int it = 0; it < kIters; ++it) {
+        std::fill(dst.begin(), dst.end(), -3.0);
+        if (!detail::coop_pack_a(mc, kc, a.data(), mc, dst.data()))
+          detail::pack_a(mc, kc, a.data(), mc, dst.data());
+        if (dst != expect) mismatches.fetch_add(1);
+      }
+    });
+  for (std::thread& t : publishers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace hetsched::kernels

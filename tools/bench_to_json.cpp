@@ -5,7 +5,8 @@
 // the packed engine, see docs/kernels.md) are tracked per commit without
 // needing google-benchmark's console output to be parsed.
 //
-// Usage: bench_to_json [--quick] [--runtime] [--serving] [--out=FILE]
+// Usage: bench_to_json [--quick] [--runtime] [--serving]
+//                      [--kernels-threads] [--out=FILE]
 //   --quick   small tiles + one repetition (used as a ctest smoke test)
 //   --runtime end-to-end execute_parallel grid (tiles x nb, packed-tile
 //             cache on vs off) instead of per-kernel timings; CI uploads
@@ -13,6 +14,10 @@
 //   --serving FactorizationServer batch-mode sweep (throughput, latency
 //             and pack-cache hit rate per max_batch at small nb); CI
 //             uploads this output as BENCH_serving.json
+//   --kernels-threads  thread-scaling grid (threads x nb) of cache-on
+//             execute_parallel runs through the threaded backend (the
+//             path where idle workers steal cooperative-packing slices);
+//             CI uploads this output as BENCH_kernels_threads.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
@@ -229,6 +234,84 @@ int run_runtime_bench(bool quick, const std::string& out_path) {
   return write_json(json, out_path) ? 0 : 1;
 }
 
+/// Thread-scaling grid: cache-on execute_parallel runs at 1/2/4/8 worker
+/// threads so CI tracks how the threaded backend scales. This is also the
+/// path where idle workers steal cooperative-packing slices, so regressions
+/// in the pack-assist protocol show up here as lost scaling. Thread counts
+/// above the hardware are still measured (flagged via "oversubscribed") —
+/// on a small CI VM the 8-thread row documents the ceiling, not a speedup.
+int run_kernels_threads_bench(bool quick, const std::string& out_path) {
+  struct Point {
+    int tiles;
+    int nb;
+  };
+  const std::vector<Point> grid = quick
+                                      ? std::vector<Point>{{6, 64}}
+                                      : std::vector<Point>{{16, 64},
+                                                           {16, 96},
+                                                           {16, 192}};
+  const std::vector<int> thread_counts = quick ? std::vector<int>{1, 2}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const int reps = quick ? 1 : 3;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::string json = "{\n";
+  json += "  \"tier\": \"";
+  json += kernels::tier_name(kernels::engine_tier());
+  json += "\",\n  \"hardware_threads\": " +
+          std::to_string(hw == 0 ? 1 : hw) + ",\n  \"results\": [\n";
+  bool first = true;
+  for (const Point pt : grid) {
+    hetsched::TileMatrix m =
+        hetsched::TileMatrix::synthetic_spd(pt.tiles, pt.nb, 42);
+    const hetsched::TaskGraph g = hetsched::build_cholesky_dag(pt.tiles);
+    for (const int threads : thread_counts) {
+      double best = 1e300;
+      hetsched::RunReport best_report;
+      for (int r = 0; r < reps; ++r) {
+        m.refill_synthetic_spd(42);
+        hetsched::ExecOptions opt;
+        opt.num_threads = threads;
+        opt.record_trace = false;
+        opt.pack_cache.mode = kernels::PackCacheOptions::Mode::kOn;
+        hetsched::RunReport rep = hetsched::execute_parallel(m, g, opt);
+        if (!rep.success) {
+          std::fprintf(stderr, "bench_to_json: threads run failed: %s\n",
+                       rep.error.c_str());
+          return 1;
+        }
+        if (rep.makespan_s < best) {
+          best = rep.makespan_s;
+          best_report = std::move(rep);
+        }
+      }
+      const double gf = hetsched::gflops(pt.tiles, pt.nb, best);
+      const long long lookups = best_report.pack_hits + best_report.pack_misses;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(best_report.pack_hits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "%s    {\"tiles\": %d, \"nb\": %d, \"threads\": %d, "
+                    "\"oversubscribed\": %s, \"seconds\": %.6e, "
+                    "\"gflops\": %.3f, \"pack_hits\": %lld, "
+                    "\"pack_misses\": %lld, \"hit_rate\": %.4f}",
+                    first ? "" : ",\n", pt.tiles, pt.nb, threads,
+                    static_cast<unsigned>(threads) > (hw == 0 ? 1 : hw)
+                        ? "true"
+                        : "false",
+                    best, gf,
+                    static_cast<long long>(best_report.pack_hits),
+                    static_cast<long long>(best_report.pack_misses), hit_rate);
+      json += row;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 /// Batch-mode serving sweep: one FactorizationServer per max_batch value,
 /// fed the same set of small-geometry jobs. Fusing more jobs per batch
 /// amortizes graph construction and keeps the packed-tile cache warm (the
@@ -323,6 +406,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool runtime = false;
   bool serving = false;
+  bool kernels_threads = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -331,15 +415,19 @@ int main(int argc, char** argv) {
       runtime = true;
     } else if (std::strcmp(argv[i], "--serving") == 0) {
       serving = true;
+    } else if (std::strcmp(argv[i], "--kernels-threads") == 0) {
+      kernels_threads = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--runtime] [--serving] [--out=FILE]\n",
+                   "usage: %s [--quick] [--runtime] [--serving] "
+                   "[--kernels-threads] [--out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (kernels_threads) return run_kernels_threads_bench(quick, out_path);
   if (serving) return run_serving_bench(quick, out_path);
   if (runtime) return run_runtime_bench(quick, out_path);
 
