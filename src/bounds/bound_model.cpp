@@ -1,0 +1,340 @@
+#include "bounds/bound_model.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/flops.hpp"
+
+namespace hetsched::bounds {
+
+namespace {
+
+// Diagonal chain of a factorization histogram: the kernel whose tasks form
+// the sequential spine (POTRF / GETRF / GEQRT) and the fastest-times cost
+// of the companion tasks between two consecutive chain steps. Matches the
+// chains of mixed_bound / lu_mixed_bound / qr_mixed_bound exactly.
+struct ChainSpec {
+  bool present = false;
+  Kernel kernel = Kernel::POTRF;
+  double companion_seconds = 0.0;  // per chain step, fastest times
+};
+
+ChainSpec detect_chain(const KernelHistogram& hist, const TimingTable& t) {
+  const auto count = [&](Kernel k) {
+    return hist[static_cast<std::size_t>(kernel_index(k))];
+  };
+  ChainSpec c;
+  if (count(Kernel::POTRF) > 0) {
+    c.present = true;
+    c.kernel = Kernel::POTRF;
+    c.companion_seconds =
+        t.fastest(Kernel::TRSM) + t.fastest(Kernel::SYRK);
+  } else if (count(Kernel::GETRF) > 0) {
+    c.present = true;
+    c.kernel = Kernel::GETRF;
+    c.companion_seconds =
+        t.fastest(Kernel::TRSM) + t.fastest(Kernel::GEMM);
+  } else if (count(Kernel::GEQRT) > 0) {
+    c.present = true;
+    c.kernel = Kernel::GEQRT;
+    c.companion_seconds =
+        t.fastest(Kernel::TSQRT) + t.fastest(Kernel::TSMQR);
+  }
+  return c;
+}
+
+// Mixed-area LP of `hist`: the chain constraint covers the m chain-kernel
+// tasks of the histogram plus (m-1) companion gaps at fastest times.
+double mixed_lp_s(const KernelHistogram& hist, const Platform& p,
+                  const ChainSpec& chain) {
+  const std::int64_t m =
+      chain.present
+          ? hist[static_cast<std::size_t>(kernel_index(chain.kernel))]
+          : 0;
+  if (m > 0) {
+    const double rest =
+        static_cast<double>(m - 1) * chain.companion_seconds;
+    return mixed_area_bound_for(hist, p, chain.kernel, rest).makespan_s;
+  }
+  return area_bound_for(hist, p).makespan_s;
+}
+
+double graph_flops(const TaskGraph& g, int nb) {
+  double f = 0.0;
+  for (const Task& t : g.tasks()) f += kernel_flops(t.kernel, nb);
+  return f;
+}
+
+// ---- built-in models ------------------------------------------------------
+
+class GemmPeakModel final : public BoundModel {
+ public:
+  std::string name() const override { return "gemm-peak"; }
+  std::string description() const override {
+    return "total flops over the platform's aggregate GEMM rate";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    const double peak = gemm_peak_gflops(p) * 1e9;  // flops per second
+    if (peak <= 0.0)
+      throw std::invalid_argument("gemm-peak: platform has zero GEMM rate");
+    return graph_flops(g, p.nb()) / peak;
+  }
+};
+
+class CriticalPathModel final : public BoundModel {
+ public:
+  std::string name() const override { return "critical-path"; }
+  std::string description() const override {
+    return "longest DAG path at fastest per-kernel times";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    return critical_path_seconds(g, p.timings());
+  }
+};
+
+class AreaModel final : public BoundModel {
+ public:
+  std::string name() const override { return "area"; }
+  std::string description() const override {
+    return "per-class capacity LP over the kernel histogram";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    return area_bound_for(g.kernel_histogram(), p).makespan_s;
+  }
+};
+
+class MixedModel final : public BoundModel {
+ public:
+  std::string name() const override { return "mixed"; }
+  std::string description() const override {
+    return "area LP + the diagonal-chain critical constraint";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    const KernelHistogram hist = g.kernel_histogram();
+    return mixed_lp_s(hist, p, detect_chain(hist, p.timings()));
+  }
+};
+
+class PrefixModel final : public BoundModel {
+ public:
+  std::string name() const override { return "prefix"; }
+  std::string description() const override {
+    return "max over panel steps of chain prefix + tail mixed LP (Cholesky)";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    const KernelHistogram hist = g.kernel_histogram();
+    const auto n = hist[static_cast<std::size_t>(kernel_index(Kernel::POTRF))];
+    if (n <= 0 || hist != cholesky_histogram(static_cast<int>(n)))
+      throw std::invalid_argument(
+          "prefix: bound is defined for the tiled Cholesky DAG only");
+    return prefix_bound(static_cast<int>(n), p);
+  }
+};
+
+class AlapModel final : public BoundModel {
+ public:
+  std::string name() const override { return "alap"; }
+  std::string description() const override {
+    return "ALAP level sets: tail chain + head mixed LP per threshold";
+  }
+  double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    return alap_bound_s(g, p);
+  }
+};
+
+}  // namespace
+
+// ---- AlapAnalysis ---------------------------------------------------------
+
+AlapAnalysis alap_analysis(const TaskGraph& g, const TimingTable& t) {
+  const int n = g.num_tasks();
+  AlapAnalysis a;
+  a.est.assign(static_cast<std::size_t>(n), 0.0);
+  a.alap_start.assign(static_cast<std::size_t>(n), 0.0);
+  a.slack.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return a;
+
+  std::vector<double> dur(static_cast<std::size_t>(n), 0.0);
+  for (const Task& task : g.tasks())
+    dur[static_cast<std::size_t>(task.id)] = t.fastest(task.kernel);
+
+  const std::vector<int> order = g.topological_order();
+  // Forward: earliest start = max over predecessors of their earliest
+  // finish. Backward: bottom level = dur + max over successors' levels.
+  std::vector<double> bottom(static_cast<std::size_t>(n), 0.0);
+  for (const int id : order) {
+    double est = 0.0;
+    for (const int pred : g.predecessors(id))
+      est = std::max(est, a.est[static_cast<std::size_t>(pred)] +
+                              dur[static_cast<std::size_t>(pred)]);
+    a.est[static_cast<std::size_t>(id)] = est;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int id = *it;
+    double tail = 0.0;
+    for (const int succ : g.successors(id))
+      tail = std::max(tail, bottom[static_cast<std::size_t>(succ)]);
+    bottom[static_cast<std::size_t>(id)] =
+        tail + dur[static_cast<std::size_t>(id)];
+    a.critical_path_s = std::max(a.critical_path_s,
+                                 bottom[static_cast<std::size_t>(id)]);
+  }
+  for (int id = 0; id < n; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    a.alap_start[i] = a.critical_path_s - bottom[i];
+    a.slack[i] = a.alap_start[i] - a.est[i];
+  }
+  return a;
+}
+
+// ---- the ALAP bound -------------------------------------------------------
+
+double alap_bound_s(const TaskGraph& g, const Platform& p) {
+  const int n = g.num_tasks();
+  if (n == 0) return 0.0;
+  const TimingTable& t = p.timings();
+  const AlapAnalysis a = alap_analysis(g, t);
+
+  // Per task: d = work that must run strictly after it finishes (bottom
+  // level minus its own duration = critical_path - alap_finish), and its
+  // induced-critical-path contribution top = est + duration.
+  struct Item {
+    double d;
+    double top;
+    Kernel kernel;
+  };
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (const Task& task : g.tasks()) {
+    const auto i = static_cast<std::size_t>(task.id);
+    const double dur = t.fastest(task.kernel);
+    items.push_back({a.critical_path_s - (a.alap_start[i] + dur),
+                     a.est[i] + dur, task.kernel});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& x, const Item& y) { return x.d > y.d; });
+
+  const ChainSpec chain = detect_chain(g.kernel_histogram(), t);
+
+  // Sweep thresholds y over the distinct d values, largest first. The
+  // prefix of the sorted items IS the level set A(y); its histogram and
+  // induced critical path accumulate incrementally, and each boundary
+  // costs one tiny LP. The final boundary (y = 0, every sink has d = 0)
+  // covers the whole graph, reproducing max(mixed bound, critical path)
+  // exactly -- the dominance anchors. To keep huge graphs cheap, at most
+  // kMaxLpThresholds boundaries get an LP (evenly spaced over the distinct
+  // values, the y = 0 anchor always included); skipped boundaries still
+  // contribute their y + induced-critical-path term, and dropping LP
+  // thresholds only ever loosens (never invalidates) the bound.
+  constexpr std::size_t kMaxLpThresholds = 160;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (i + 1 == items.size() || items[i + 1].d < items[i].d) ++distinct;
+  const std::size_t lp_stride =
+      distinct <= kMaxLpThresholds ? 1 : (distinct + kMaxLpThresholds - 1) /
+                                             kMaxLpThresholds;
+
+  KernelHistogram hist{};
+  double max_top = 0.0;
+  double best = 0.0;
+  std::size_t boundary = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    hist[static_cast<std::size_t>(kernel_index(items[i].kernel))] += 1;
+    max_top = std::max(max_top, items[i].top);
+    const bool at_boundary =
+        i + 1 == items.size() || items[i + 1].d < items[i].d;
+    if (!at_boundary) continue;
+    const double y = items[i].d;
+    double level = max_top;
+    const bool last = i + 1 == items.size();
+    if (last || boundary % lp_stride == 0)
+      level = std::max(level, mixed_lp_s(hist, p, chain));
+    best = std::max(best, y + level);
+    ++boundary;
+  }
+  return best;
+}
+
+// ---- registry -------------------------------------------------------------
+
+struct BoundModelRegistry::Impl {
+  mutable std::mutex mu;
+  // Insertion-ordered; replaced models are parked at their old slot with
+  // an empty name so outstanding pointers stay valid.
+  std::vector<std::unique_ptr<BoundModel>> models;
+  std::vector<std::string> keys;  // parallel to models; "" = displaced
+};
+
+BoundModelRegistry::BoundModelRegistry() : impl_(new Impl) {
+  register_model(std::make_unique<GemmPeakModel>());
+  register_model(std::make_unique<CriticalPathModel>());
+  register_model(std::make_unique<AreaModel>());
+  register_model(std::make_unique<MixedModel>());
+  register_model(std::make_unique<PrefixModel>());
+  register_model(std::make_unique<AlapModel>());
+}
+
+BoundModelRegistry& BoundModelRegistry::instance() {
+  static BoundModelRegistry reg;
+  return reg;
+}
+
+void BoundModelRegistry::register_model(std::unique_ptr<BoundModel> m) {
+  if (!m) throw std::invalid_argument("register_model: null model");
+  const std::string key = m->name();
+  if (key.empty())
+    throw std::invalid_argument("register_model: model with empty name");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (std::size_t i = 0; i < impl_->keys.size(); ++i)
+    if (impl_->keys[i] == key) impl_->keys[i].clear();  // displace, keep alive
+  impl_->models.push_back(std::move(m));
+  impl_->keys.push_back(key);
+}
+
+const BoundModel* BoundModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (std::size_t i = 0; i < impl_->keys.size(); ++i)
+    if (impl_->keys[i] == name) return impl_->models[i].get();
+  return nullptr;
+}
+
+std::vector<std::string> BoundModelRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const std::string& k : impl_->keys)
+      if (!k.empty()) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const BoundModel& bound_model(const std::string& name) {
+  const BoundModel* m = BoundModelRegistry::instance().find(name);
+  if (m == nullptr)
+    throw std::invalid_argument("unknown bound model '" + name +
+                                "' (expected " + bound_model_names_joined() +
+                                ")");
+  return *m;
+}
+
+double evaluate_bound_s(const std::string& name, const TaskGraph& g,
+                        const Platform& p) {
+  return bound_model(name).lower_bound_s(g, p);
+}
+
+std::vector<std::string> bound_model_names() {
+  return BoundModelRegistry::instance().names();
+}
+
+std::string bound_model_names_joined(char sep) {
+  std::string out;
+  for (const std::string& n : bound_model_names()) {
+    if (!out.empty()) out.push_back(sep);
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace hetsched::bounds

@@ -164,6 +164,16 @@ AreaBoundSolution area_bound_for(const KernelHistogram& hist,
   return solve_bound(hist, p, /*mixed=*/nullptr, integral);
 }
 
+AreaBoundSolution mixed_area_bound_for(const KernelHistogram& hist,
+                                       const Platform& p, Kernel chain_kernel,
+                                       double chain_rest_seconds,
+                                       bool integral) {
+  MixedChain chain;
+  chain.chain_kernel = chain_kernel;
+  chain.rest_seconds = chain_rest_seconds;
+  return solve_bound(hist, p, &chain, integral);
+}
+
 AreaBoundSolution area_bound(int n_tiles, const Platform& p, bool integral) {
   if (n_tiles <= 0) throw std::invalid_argument("bound: n_tiles <= 0");
   return solve_bound(cholesky_histogram(n_tiles), p, /*mixed=*/nullptr,

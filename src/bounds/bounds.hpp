@@ -55,6 +55,19 @@ struct AreaBoundSolution {
 AreaBoundSolution area_bound_for(const KernelHistogram& hist,
                                  const Platform& p, bool integral = false);
 
+/// Area bound of `hist` plus a mixed-style diagonal-chain constraint: all
+/// tasks of `chain_kernel` (modeled exactly through their LP variables)
+/// plus `chain_rest_seconds` of chain companions at fastest times must fit
+/// in the makespan. With the Cholesky histogram, chain_kernel = POTRF and
+/// rest = (n-1)(T*_TRSM + T*_SYRK) this is exactly mixed_bound(); the
+/// generic entry point also serves the prefix / ALAP tail sub-problems,
+/// whose histograms are arbitrary subsets of a factorization. A
+/// chain_kernel absent from `hist` degrades to the plain area bound.
+AreaBoundSolution mixed_area_bound_for(const KernelHistogram& hist,
+                                       const Platform& p, Kernel chain_kernel,
+                                       double chain_rest_seconds,
+                                       bool integral = false);
+
 /// Area bound (Section III-A, "basic area bound") of the tiled Cholesky.
 AreaBoundSolution area_bound(int n_tiles, const Platform& p,
                              bool integral = false);

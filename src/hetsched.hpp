@@ -4,9 +4,8 @@
 // in-tree tools and examples) include this one file.
 //
 // Deliberately omitted: kernels/ internals other than the engine facade
-// and the reference kernels, the simulator/executor internals
-// (DataManager, EventQueue, backends) and runtime/compat.hpp (deprecated
-// aliases are opt-in).
+// and the reference kernels, and the simulator/executor internals
+// (DataManager, EventQueue, backends).
 #pragma once
 
 // Problem construction: DAGs, tile storage, flop accounting.
@@ -22,13 +21,17 @@
 #include "core/tile_matrix.hpp"
 #include "core/tiled_cholesky.hpp"
 
-// Machine models and the paper's performance bounds.
+// Machine models and the paper's performance bounds (closed-form and LP
+// yardsticks in bounds.hpp, the pluggable model registry + ALAP bound in
+// bound_model.hpp).
+#include "bounds/bound_model.hpp"
 #include "bounds/bounds.hpp"
 #include "platform/calibration.hpp"
 #include "platform/platform.hpp"
 
 // Scheduling policies and static/CP schedule construction.
 #include "cp/cp_solver.hpp"
+#include "sched/alap_sched.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/fixed_sched.hpp"

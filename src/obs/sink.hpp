@@ -14,6 +14,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -112,8 +113,14 @@ struct MetricsSnapshot {
   std::vector<double> busy_s_per_class;
   std::vector<double> idle_frac_per_class;
   /// makespan_s / reference bound (0 when no bound was set): the paper's
-  /// ratio of achieved schedule to the mixed lower bound.
+  /// ratio of achieved schedule to the single reference lower bound.
   double bound_ratio = 0.0;
+  /// Running ratio against every named yardstick handed to
+  /// set_reference_bounds() (bound-model registry names, insertion order):
+  /// makespan_s / bound_s, the exact double division RunReport::
+  /// bound_ratios performs -- with dropped_events == 0 the streamed values
+  /// converge bit-for-bit onto the report's.
+  std::vector<std::pair<std::string, double>> bound_ratios;
   /// One-per-increment fault tallies; equals the run's FaultStats when no
   /// event was dropped.
   FaultStats faults;
@@ -138,7 +145,20 @@ class MetricsAggregator final : public Sink {
   void configure(const Platform& p);
 
   /// Reference makespan (e.g. the mixed bound) for bound_ratio.
-  void set_reference_bound(double bound_s) { bound_s_ = bound_s; }
+  void set_reference_bound(double bound_s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bound_s_ = bound_s;
+  }
+
+  /// Named yardsticks for MetricsSnapshot::bound_ratios: pairs of
+  /// (bound-model name, bound seconds), typically pre-evaluated through
+  /// bounds::evaluate_bound_s on the run's graph and platform. Replaces
+  /// any previous set; order is preserved into the snapshot.
+  void set_reference_bounds(
+      std::vector<std::pair<std::string, double>> named_bounds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    named_bounds_ = std::move(named_bounds);
+  }
 
   /// Print a one-line report to `out` at most every `interval_s` seconds
   /// of wall time (checked per event on the sink thread) and once at
@@ -164,6 +184,7 @@ class MetricsAggregator final : public Sink {
   bool pack_configured_ = false;
   int nb_ = 0;
   double bound_s_ = 0.0;
+  std::vector<std::pair<std::string, double>> named_bounds_;
   std::FILE* report_out_ = nullptr;
   double report_interval_s_ = 0.0;
   double last_report_ = -1.0;  // steady-clock seconds of the last line

@@ -267,6 +267,10 @@ MetricsSnapshot MetricsAggregator::snapshot() const {
   if (s.makespan_s > 0.0) s.gflops = s.flops_total / 1e9 / s.makespan_s;
   if (bound_s_ > 0.0 && s.makespan_s > 0.0)
     s.bound_ratio = s.makespan_s / bound_s_;
+  for (const auto& [name, bound_s] : named_bounds_)
+    s.bound_ratios.emplace_back(
+        name, bound_s > 0.0 && s.makespan_s > 0.0 ? s.makespan_s / bound_s
+                                                  : 0.0);
   for (std::size_t w = 0; w < busy_s_per_worker_.size(); ++w) {
     const auto c = static_cast<std::size_t>(worker_class_[w]);
     if (c < s.busy_s_per_class.size())
@@ -297,9 +301,19 @@ void MetricsAggregator::report_line(const MetricsSnapshot& s) const {
                   s.idle_frac_per_class[c] * 100.0);
     idle += buf;
   }
+  // Named yardsticks render as "bounds=mixed:1.42,alap:1.31" after the
+  // legacy single-bound ratio field.
+  std::string named;
+  for (const auto& [name, ratio] : s.bound_ratios) {
+    if (!named.empty()) named += ',';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s:%.3f", name.c_str(), ratio);
+    named += buf;
+  }
+  if (!named.empty()) named = " bounds=" + named;
   std::fprintf(report_out_,
                "[obs] events=%llu makespan=%.4fs gflops=%.1f idle=%s "
-               "bound_ratio=%.3f faults=%llu pack=%llu/%llu\n",
+               "bound_ratio=%.3f%s faults=%llu pack=%llu/%llu\n",
                static_cast<unsigned long long>(
                    s.compute_events + s.transfer_events + s.fault_events),
                s.makespan_s, s.gflops, idle.empty() ? "-" : idle.c_str(),

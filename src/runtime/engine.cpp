@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "bounds/bound_model.hpp"
+
 namespace hetsched {
 
 RunEngine::RunEngine(const TaskGraph& g, const Platform& p, Scheduler& sched,
@@ -28,6 +30,9 @@ void RunEngine::validate(const Backend& backend) const {
     if (!err.empty())
       throw std::invalid_argument(prefix + ": bad fault plan: " + err);
   }
+  // Unknown bound-model names fail before the run spends any time; the
+  // lookup throws std::invalid_argument listing the registered models.
+  for (const std::string& m : opt_.bound_models) bounds::bound_model(m);
 }
 
 RunReport RunEngine::run(Backend& backend) {
@@ -54,6 +59,19 @@ RunReport RunEngine::run(Backend& backend) {
           .count();
   report_.backend = backend.name();
   report_.trace = std::move(trace_);
+  // Bound ratios of the finished run: one registry evaluation per selected
+  // model, the ratio the exact double division makespan_s / bound_s (the
+  // same expression the metrics stream and post-run recomputation use, so
+  // the three agree bit-for-bit). A failed run reports no ratios -- its
+  // makespan is not a schedule of the whole graph.
+  if (report_.success) {
+    for (const std::string& m : opt_.bound_models) {
+      const double bound_s =
+          bounds::evaluate_bound_s(m, graph_, platform_);
+      report_.bound_ratios[m] =
+          bound_s > 0.0 ? report_.makespan_s / bound_s : 0.0;
+    }
+  }
   return std::move(report_);
 }
 

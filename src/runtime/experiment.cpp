@@ -1,5 +1,6 @@
 #include "runtime/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -8,9 +9,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bounds/bound_model.hpp"
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
 #include "obs/stream.hpp"
+#include "sched/alap_sched.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/random_sched.hpp"
@@ -74,16 +77,18 @@ std::unique_ptr<Scheduler> make_policy(const std::string& name,
     return std::make_unique<DmdaScheduler>(make_dmdar(std::move(filter)));
   if (name == "dmdas")
     return std::make_unique<DmdaScheduler>(make_dmdas(g, p, std::move(filter)));
+  if (name == "alap-slack")
+    return std::make_unique<sched::AlapSlackScheduler>(g, p, std::move(filter));
   throw std::invalid_argument(
       "unknown scheduler '" + name +
-      "' (expected random|eager|ws|dmda|dmdar|dmdas)");
+      "' (expected random|eager|ws|dmda|dmdar|dmdas|alap-slack)");
 }
 
 ExperimentCell repeat_averaged(
     const std::string& policy, const TaskGraph& g, const Platform& p, int n,
     const RunOptions& base, int runs, const WorkerFilter& filter,
     const std::function<double(int, const Platform&, double)>& metric,
-    obs::Sink* sink) {
+    obs::Sink* sink, double* mean_seconds) {
   const auto& m = metric ? metric : default_metric;
   // One streamer for all repeats: the sink sees the concatenated stream
   // (seq monotonic across runs), and memory stays bounded by the rings.
@@ -94,14 +99,19 @@ ExperimentCell repeat_averaged(
   }
   std::vector<double> xs;
   xs.reserve(static_cast<std::size_t>(runs));
+  double seconds_sum = 0.0;
   for (int r = 0; r < runs; ++r) {
     RunOptions opt = base;
     opt.noise_seed = static_cast<unsigned>(r);
     opt.record_trace = false;
     opt.stream = streamer.get();
     auto s = make_policy(policy, g, p, static_cast<unsigned>(r), filter);
-    xs.push_back(m(n, p, simulate(g, p, *s, opt).makespan_s));
+    const double seconds = simulate(g, p, *s, opt).makespan_s;
+    seconds_sum += seconds;
+    xs.push_back(m(n, p, seconds));
   }
+  if (mean_seconds != nullptr)
+    *mean_seconds = seconds_sum / static_cast<double>(runs);
   ExperimentCell out;
   for (const double x : xs) out.mean += x;
   out.mean /= static_cast<double>(xs.size());
@@ -125,6 +135,21 @@ ExperimentTable run_experiment(const Experiment& e) {
     t.show_sd.push_back(s.show_sd);
     t.precision.push_back(s.precision);
   }
+  // Unknown bound-model names fail before any cell simulates.
+  const bool have_sched = std::any_of(
+      e.series.begin(), e.series.end(),
+      [](const SeriesSpec& s) { return !s.scheduler.empty(); });
+  for (const std::string& m : e.bound_models) {
+    bounds::bound_model(m);
+    t.columns.push_back(m + "_bnd");
+    t.show_sd.push_back(false);
+    t.precision.push_back(1);
+    if (have_sched) {
+      t.columns.push_back(m + "_ratio");
+      t.show_sd.push_back(false);
+      t.precision.push_back(3);
+    }
+  }
   const auto graph_of = [&](int n) {
     return e.graph ? e.graph(n) : build_cholesky_dag(n);
   };
@@ -133,13 +158,18 @@ ExperimentTable run_experiment(const Experiment& e) {
     const Platform p = e.platform(n);
     std::vector<ExperimentCell> row;
     row.reserve(e.series.size());
+    // Fastest scheduler series' mean makespan feeds the ratio columns.
+    double best_seconds = 0.0;
     for (const auto& s : e.series) {
       ExperimentCell cell;
       if (!s.scheduler.empty()) {
         const auto& metric =
             s.metric ? s.metric : (e.metric ? e.metric : default_metric);
+        double seconds = 0.0;
         cell = repeat_averaged(s.scheduler, g, p, n, s.options, s.runs,
-                               s.filter, metric, s.sink);
+                               s.filter, metric, s.sink, &seconds);
+        if (best_seconds == 0.0 || seconds < best_seconds)
+          best_seconds = seconds;
       } else if (s.value) {
         cell.mean = s.value(n, g, p, row);
       } else {
@@ -152,6 +182,18 @@ ExperimentTable run_experiment(const Experiment& e) {
         cell.sd *= k;
       }
       row.push_back(cell);
+    }
+    for (const std::string& m : e.bound_models) {
+      const double bound_s = bounds::evaluate_bound_s(m, g, p);
+      const auto& metric = e.metric ? e.metric : default_metric;
+      ExperimentCell bnd;
+      bnd.mean = metric(n, p, bound_s);
+      row.push_back(bnd);
+      if (have_sched) {
+        ExperimentCell ratio;
+        ratio.mean = bound_s > 0.0 ? best_seconds / bound_s : 0.0;
+        row.push_back(ratio);
+      }
     }
     t.sizes.push_back(n);
     t.cells.push_back(std::move(row));

@@ -83,6 +83,13 @@ struct Experiment {
   /// Maps a makespan to the reported value; empty = Cholesky GFLOP/s.
   std::function<double(int n, const Platform& p, double seconds)> metric;
   std::vector<SeriesSpec> series;
+  /// Bound-model registry names ("mixed", "alap", ...; see
+  /// bounds/bound_model.hpp). Each model appends a `<model>_bnd` column --
+  /// the bound mapped through the experiment metric -- and, when the
+  /// experiment has at least one scheduler series, a `<model>_ratio`
+  /// column: best (smallest) scheduler mean makespan / bound seconds.
+  /// Unknown names throw std::invalid_argument before any cell runs.
+  std::vector<std::string> bound_models;
   /// Free-form note appended after the table ("Expected shape: ...").
   std::string footnote;
 };
@@ -116,12 +123,14 @@ std::unique_ptr<Scheduler> make_policy(const std::string& name,
 /// overrides options.noise_seed and seeds the random policy; traces off).
 /// With a non-null `sink`, the repeats stream their events through one
 /// TraceStreamer into it (the sink sees the runs concatenated, seq
-/// monotonic across repeats).
+/// monotonic across repeats). A non-null `mean_seconds` receives the mean
+/// raw makespan (pre-metric, pre-scale) -- the bound-ratio columns divide
+/// this by the bound.
 ExperimentCell repeat_averaged(
     const std::string& policy, const TaskGraph& g, const Platform& p, int n,
     const RunOptions& base, int runs, const WorkerFilter& filter,
     const std::function<double(int, const Platform&, double)>& metric,
-    obs::Sink* sink = nullptr);
+    obs::Sink* sink = nullptr, double* mean_seconds = nullptr);
 
 /// Runs every (size x series) cell. Scheduler series simulate; derived
 /// series see the row built so far (series are evaluated left to right).

@@ -1,10 +1,12 @@
-// Knobs of one run through the RunEngine (formerly SimOptions, now a
-// [[deprecated]] alias in runtime/compat.hpp): the DES backend consumes
-// every field; the wall-clock backends consume record_trace, faults and
-// stream and ignore the modeling knobs.
+// Knobs of one run through the RunEngine (formerly SimOptions, before the
+// runtime unification): the DES backend consumes every field; the
+// wall-clock backends consume record_trace, faults and stream and ignore
+// the modeling knobs.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "fault/fault_plan.hpp"
 #include "kernels/pack_cache.hpp"
@@ -60,6 +62,13 @@ struct RunOptions {
   /// tears a half-written tile. Not owned; must outlive the run. nullptr
   /// (the default) leaves every run bit-for-bit unchanged.
   CancelToken* cancel = nullptr;
+  /// Bound models (bounds/bound_model.hpp registry names, e.g. "mixed",
+  /// "alap") to evaluate against this run: the engine validates the names
+  /// up front (std::invalid_argument on an unknown one), evaluates each
+  /// model on this run's graph and platform after a successful drive, and
+  /// fills RunReport::bound_ratios with makespan_s / bound_s per model.
+  /// Empty (the default) skips bound evaluation entirely.
+  std::vector<std::string> bound_models;
 };
 
 }  // namespace hetsched

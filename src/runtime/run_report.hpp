@@ -4,11 +4,12 @@
 // ExecResult, with overlapping-but-diverging fields. runtime::RunReport
 // merges them: every backend fills the subset it can measure (the DES
 // backend has no meaningful wall clock beyond host overhead; the compute
-// backend moves no modeled tiles). The legacy names survive only as
-// [[deprecated]] aliases in runtime/compat.hpp.
+// backend moves no modeled tiles). The legacy SimResult / ExecResult
+// spellings are gone; everything speaks RunReport.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "fault/fault_plan.hpp"
@@ -66,6 +67,13 @@ struct RunReport {
   /// full (0 when no streamer was attached; see docs/observability.md).
   /// When 0, the streamed event set equals the post-run trace.
   std::int64_t dropped_events = 0;
+  /// makespan_s / bound_s per bound model requested through
+  /// RunOptions::bound_models (>= 1 for a valid lower bound; empty when no
+  /// models were selected or the run failed). The ratio is the same double
+  /// division the MetricsAggregator's streamed bound_ratios and any
+  /// post-run recomputation perform, so the three agree bit-for-bit
+  /// whenever dropped_events == 0.
+  std::map<std::string, double> bound_ratios;
   /// Structured description of the failure ("" on success).
   std::string error;
   RunErrorKind error_kind = RunErrorKind::None;

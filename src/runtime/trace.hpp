@@ -1,8 +1,7 @@
 // Execution traces: per-worker Gantt records, idle-time statistics, and
 // ASCII / SVG rendering (used to reproduce the paper's Figure 12 traces).
 //
-// Lives under the `runtime` namespace since the runtime unification
-// (formerly sim/trace.hpp, which remains as a compatibility shim): the
+// Lives under the `runtime` namespace since the runtime unification: the
 // trace is produced by every runtime backend, not just the simulator, and
 // the same records feed the streaming observability layer (src/obs).
 #pragma once

@@ -1,0 +1,84 @@
+#include "sched/alap_sched.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "bounds/bound_model.hpp"
+#include "sched/priorities.hpp"
+
+namespace hetsched::sched {
+
+AlapSlackScheduler::AlapSlackScheduler(const TaskGraph& g, const Platform& p,
+                                       WorkerFilter filter)
+    : filter_(std::move(filter)) {
+  const bounds::AlapAnalysis a = bounds::alap_analysis(g, p.timings());
+  slack_ = a.slack;
+  bottom_ = bottom_levels_fastest(g, p.timings());
+}
+
+void AlapSlackScheduler::initialize(SchedulerHost& host) {
+  queues_.assign(static_cast<std::size_t>(host.platform().num_workers()), {});
+}
+
+bool AlapSlackScheduler::before(int a, int b) const {
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  const double sa = ia < slack_.size() ? slack_[ia] : 0.0;
+  const double sb = ib < slack_.size() ? slack_[ib] : 0.0;
+  if (sa != sb) return sa < sb;
+  const double ba = ia < bottom_.size() ? bottom_[ia] : 0.0;
+  const double bb = ib < bottom_.size() ? bottom_[ib] : 0.0;
+  if (ba != bb) return ba > bb;
+  return a < b;
+}
+
+void AlapSlackScheduler::on_task_ready(SchedulerHost& host, int task) {
+  const Platform& p = host.platform();
+  const Task& t = host.graph().task(task);
+
+  // dmda's rule: commit to the minimum-estimated-completion-time worker.
+  int best_w = -1;
+  double best_ect = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 2 && best_w < 0; ++pass) {
+    // pass 0 honours the filter; pass 1 is the fallback in case a filter
+    // excluded every alive worker for this task.
+    for (const Worker& w : p.workers()) {
+      if (!host.worker_alive(w.id)) continue;
+      if (pass == 0 && filter_ && !filter_(t, w)) continue;
+      const double ect = std::max(host.expected_available(w.id), host.now()) +
+                         host.estimated_transfer_seconds(task, w.id) +
+                         p.worker_time(w.id, t.kernel);
+      if (ect < best_ect) {
+        best_ect = ect;
+        best_w = w.id;
+      }
+    }
+  }
+
+  auto& q = queues_[static_cast<std::size_t>(best_w)];
+  auto it = q.begin();
+  while (it != q.end() && before(*it, task)) ++it;
+  q.insert(it, task);
+  host.note_task_queued(task, best_w);
+}
+
+int AlapSlackScheduler::pop_task(SchedulerHost& host, int worker) {
+  (void)host;
+  auto& q = queues_[static_cast<std::size_t>(worker)];
+  if (q.empty()) return -1;
+  const int t = q.front();
+  q.pop_front();
+  return t;
+}
+
+std::vector<int> AlapSlackScheduler::on_worker_dead(SchedulerHost& host,
+                                                    int worker) {
+  (void)host;
+  auto& q = queues_[static_cast<std::size_t>(worker)];
+  std::vector<int> stranded(q.begin(), q.end());
+  q.clear();
+  return stranded;
+}
+
+}  // namespace hetsched::sched

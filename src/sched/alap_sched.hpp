@@ -1,0 +1,57 @@
+// alap-slack: dmda-style device choice ordered by ALAP slack.
+//
+// The ALAP analysis (bounds/bound_model.hpp) schedules the DAG as-late-as-
+// possible on unbounded resources at fastest times; slack(t) = alap_start(t)
+// - est(t) measures how far t can be deferred without stretching the
+// critical path. Tasks with zero slack ARE the critical path, so the policy
+// runs them first: every ready task is committed at push time to the worker
+// with the minimum estimated completion time (availability + pending
+// transfers + calibrated kernel time, exactly dmda's rule), and each worker
+// drains its queue in ascending-slack order -- zero-slack tasks first,
+// larger bottom level breaking ties among equal slacks.
+//
+// Worker death uses the standard remap protocol: on_worker_dead returns the
+// stranded ready tasks and the runtime re-pushes them, so the min-ECT
+// choice re-runs against the surviving workers (worker_alive filters the
+// dead one out).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/static_hints.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hetsched::sched {
+
+class AlapSlackScheduler final : public Scheduler {
+ public:
+  /// Slack and tie-break priorities come from the graph and timing table
+  /// up front (like make_dmdas); the filter carries static knowledge.
+  AlapSlackScheduler(const TaskGraph& g, const Platform& p,
+                     WorkerFilter filter = {});
+
+  void initialize(SchedulerHost& host) override;
+  void on_task_ready(SchedulerHost& host, int task) override;
+  int pop_task(SchedulerHost& host, int worker) override;
+  std::vector<int> on_worker_dead(SchedulerHost& host, int worker) override;
+  std::string name() const override { return "alap-slack"; }
+
+  /// The precomputed ALAP slack of `task` (tests).
+  double slack_of(int task) const {
+    const auto id = static_cast<std::size_t>(task);
+    return id < slack_.size() ? slack_[id] : 0.0;
+  }
+
+ private:
+  // Ascending slack, then descending bottom level, then ascending id:
+  // true when `a` should run before `b`.
+  bool before(int a, int b) const;
+
+  std::vector<double> slack_;
+  std::vector<double> bottom_;  // bottom level at fastest times (tie-break)
+  WorkerFilter filter_;
+  std::vector<std::deque<int>> queues_;  // per worker, sorted by before()
+};
+
+}  // namespace hetsched::sched

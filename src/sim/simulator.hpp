@@ -12,9 +12,6 @@
 //   * "actual execution": per_task_overhead_s > 0 and noise_cv > 0 emulate
 //     runtime overhead and system noise (10 seeded runs give the avg +/-
 //     stddev error bars of Figures 3, 6 and 11).
-//
-// The legacy SimOptions / SimResult spellings live on as [[deprecated]]
-// aliases in runtime/compat.hpp.
 #pragma once
 
 #include "core/task_graph.hpp"

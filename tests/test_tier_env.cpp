@@ -1,0 +1,102 @@
+// HETSCHED_KERNEL_TIER handling: the unrecognized-value warn-once path and
+// the parse/resolve helpers behind it. This suite must own its process:
+// the startup choice is read from the environment exactly once, on the
+// first engine_tier() call, so the override is pinned from a static
+// initializer before any test (or library code) can touch the dispatcher.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kernels/engine.hpp"
+
+namespace hetsched::kernels {
+namespace {
+
+[[maybe_unused]] const int kEnvPinned = [] {
+  ::setenv("HETSCHED_KERNEL_TIER", "turbo9000", /*overwrite=*/1);
+  return 0;
+}();
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+// Must run first (tests execute in definition order): the startup warning
+// fires inside the first engine_tier() call of the process.
+TEST(TierEnv, UnrecognizedValueWarnsOnceAndFallsBackToNative) {
+  testing::internal::CaptureStderr();
+  const Tier first = engine_tier();  // startup: reads env, warns, caches
+  reset_engine_tier();               // re-uses the cached choice
+  const Tier second = engine_tier();
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(first, native_tier());   // unrecognized value is ignored
+  EXPECT_EQ(second, native_tier());
+  EXPECT_EQ(count_occurrences(
+                err,
+                "ignoring unrecognized HETSCHED_KERNEL_TIER=\"turbo9000\""),
+            1u)
+      << err;
+  EXPECT_NE(err.find("valid tiers: generic, avx2, avx512"), std::string::npos)
+      << err;
+}
+
+TEST(TierEnv, ParseRecognizesValidSpellingsAndClampsToNative) {
+  bool recognized = false;
+  EXPECT_EQ(detail::parse_tier_env("generic", &recognized), Tier::kGeneric);
+  EXPECT_TRUE(recognized);
+
+  // Recognized-but-possibly-unsupported requests clamp down the ladder;
+  // the exact result depends on the host CPU, but it never exceeds the
+  // request or the native tier.
+  const Tier avx2 = detail::parse_tier_env("avx2", &recognized);
+  EXPECT_TRUE(recognized);
+  EXPECT_LE(static_cast<int>(avx2), static_cast<int>(Tier::kAvx2));
+  EXPECT_LE(static_cast<int>(avx2), static_cast<int>(native_tier()));
+
+  const Tier avx512 = detail::parse_tier_env("avx512", &recognized);
+  EXPECT_TRUE(recognized);
+  EXPECT_LE(static_cast<int>(avx512), static_cast<int>(native_tier()));
+
+  // Spellings are case-sensitive; anything else falls back to native.
+  EXPECT_EQ(detail::parse_tier_env("AVX2", &recognized), native_tier());
+  EXPECT_FALSE(recognized);
+  EXPECT_EQ(detail::parse_tier_env("", &recognized), native_tier());
+  EXPECT_FALSE(recognized);
+}
+
+TEST(TierEnv, ResolveWarnsPerCallOnlyForUnrecognizedValues) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(detail::resolve_tier_env("generic"), Tier::kGeneric);
+  const std::string quiet = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(quiet.empty()) << quiet;
+
+  // Unlike the cached startup path, the resolver itself warns per call --
+  // the once-ness lives in startup_tier()'s static, not here.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(detail::resolve_tier_env("bogus"), native_tier());
+  EXPECT_EQ(detail::resolve_tier_env("bogus"), native_tier());
+  const std::string noisy = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(noisy, "ignoring unrecognized"), 2u) << noisy;
+}
+
+TEST(TierEnv, ResetRestoresTheStartupChoiceNotTheEnvironment) {
+  set_engine_tier(Tier::kGeneric);
+  EXPECT_EQ(engine_tier(), Tier::kGeneric);
+  // The environment still says "turbo9000"; reset must restore the cached
+  // startup decision (native) without re-reading it or re-warning.
+  testing::internal::CaptureStderr();
+  reset_engine_tier();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(engine_tier(), native_tier());
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+}  // namespace
+}  // namespace hetsched::kernels

@@ -1,4 +1,4 @@
-#include "sim/trace.hpp"
+#include "runtime/trace.hpp"
 
 #include <gtest/gtest.h>
 

@@ -6,7 +6,7 @@
 // needing google-benchmark's console output to be parsed.
 //
 // Usage: bench_to_json [--quick] [--runtime] [--serving]
-//                      [--kernels-threads] [--out=FILE]
+//                      [--kernels-threads] [--bounds] [--out=FILE]
 //   --quick   small tiles + one repetition (used as a ctest smoke test)
 //   --runtime end-to-end execute_parallel grid (tiles x nb, packed-tile
 //             cache on vs off) instead of per-kernel timings; CI uploads
@@ -18,6 +18,10 @@
 //             execute_parallel runs through the threaded backend (the
 //             path where idle workers steal cooperative-packing slices);
 //             CI uploads this output as BENCH_kernels_threads.json
+//   --bounds  bound-model registry grid (models x n_tiles on the no-comm
+//             mirage platform): bound seconds, bound GFLOP/s and the dmdas
+//             makespan / bound ratio per cell; CI uploads this output as
+//             BENCH_bounds.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
@@ -400,6 +404,47 @@ int run_serving_bench(bool quick, const std::string& out_path) {
   return write_json(json, out_path) ? 0 : 1;
 }
 
+/// Bound-model registry grid on the no-comm mirage platform: every
+/// registered model crossed with the paper's n_tiles sweep, plus one dmdas
+/// simulation per size so every cell carries the makespan / bound ratio
+/// (>= 1 for a valid bound -- a ratio below 1 in CI is a correctness
+/// regression in a bound, not a performance story).
+int run_bounds_bench(bool quick, const std::string& out_path) {
+  namespace bounds = hetsched::bounds;
+  const std::vector<int> sizes = quick
+                                     ? std::vector<int>{2, 4, 8}
+                                     : std::vector<int>{1, 2, 4, 6, 8, 10, 12,
+                                                        16, 20, 24, 28, 32};
+  const hetsched::Platform p =
+      hetsched::mirage_platform().without_communication();
+  const std::vector<std::string> models = bounds::bound_model_names();
+
+  std::string json = "{\n  \"platform\": \"";
+  json += p.name();
+  json += "\",\n  \"results\": [\n";
+  bool first = true;
+  for (const int n : sizes) {
+    const hetsched::TaskGraph g = hetsched::build_cholesky_dag(n);
+    auto dmdas = hetsched::make_policy("dmdas", g, p);
+    const double makespan = hetsched::simulate(g, p, *dmdas).makespan_s;
+    for (const std::string& m : models) {
+      const double bound_s = bounds::evaluate_bound_s(m, g, p);
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "%s    {\"model\": \"%s\", \"tiles\": %d, "
+                    "\"bound_s\": %.6e, \"bound_gflops\": %.3f, "
+                    "\"dmdas_makespan_s\": %.6e, \"dmdas_ratio\": %.4f}",
+                    first ? "" : ",\n", m.c_str(), n, bound_s,
+                    hetsched::gflops(n, p.nb(), bound_s), makespan,
+                    bound_s > 0.0 ? makespan / bound_s : 0.0);
+      json += row;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +452,7 @@ int main(int argc, char** argv) {
   bool runtime = false;
   bool serving = false;
   bool kernels_threads = false;
+  bool bounds_grid = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -417,16 +463,19 @@ int main(int argc, char** argv) {
       serving = true;
     } else if (std::strcmp(argv[i], "--kernels-threads") == 0) {
       kernels_threads = true;
+    } else if (std::strcmp(argv[i], "--bounds") == 0) {
+      bounds_grid = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--runtime] [--serving] "
-                   "[--kernels-threads] [--out=FILE]\n",
+                   "[--kernels-threads] [--bounds] [--out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (bounds_grid) return run_bounds_bench(quick, out_path);
   if (kernels_threads) return run_kernels_threads_bench(quick, out_path);
   if (serving) return run_serving_bench(quick, out_path);
   if (runtime) return run_runtime_bench(quick, out_path);

@@ -3,20 +3,21 @@
 //   hetsched_cli bounds   --algo=cholesky|lu|qr --tiles=N [--integral]
 //                         [--platform=mirage|related|homogeneous] [--prefix]
 //   hetsched_cli simulate --algo=... --tiles=N
-//                         --sched=random|eager|ws|dmda|dmdar|dmdas
+//                         --sched=random|eager|ws|dmda|dmdar|dmdas|alap-slack
 //                         [--no-comm] [--trsm-cpu-k=K] [--gemm-syrk-gpu]
 //                         [--overhead=SECONDS] [--noise=CV] [--seed=S]
-//                         [--memory-tiles=M] [--trace]
+//                         [--memory-tiles=M] [--trace] [--bounds=LIST]
 //                         [--trace-stream=FILE] [--metrics-interval=S]
 //   hetsched_cli exec     --tiles=N [--nb=B] [--threads=T] [--seed=S]
 //                         [--pack-cache=on|off|MiB] [--kernel-tier=generic|
 //                         avx2] [--deadline-ms=D] [--trace] [--json]
+//                         [--bounds=LIST]
 //   hetsched_cli submit   --socket=PATH [--count=N] [--tiles=N] [--nb=B]
 //                         [--seed=S] [--priority=P] [--deadline-ms=D]
 //                         [--wait] [--metrics] [--drain] [--ping]
 //   hetsched_cli solve    --tiles=N [--budget=SECONDS] [--inject]
 //   hetsched_cli sweep    --algo=... --sched=... [--no-comm] [--max-tiles=N]
-//                         [--csv|--json]
+//                         [--bounds=LIST] [--csv|--json]
 //   hetsched_cli faults   --tiles=N --sched=...
 //                         [--kill-worker=W --kill-at=T] [--slow-worker=W
 //                         --slow-from=T --slow-until=T --slow-factor=F]
@@ -43,6 +44,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hetsched.hpp"
@@ -87,6 +89,8 @@ struct Args {
   // Streaming observability (simulate and faults).
   std::string trace_stream;       ///< JSONL event stream destination
   double metrics_interval = 0.0;  ///< live metrics line period, seconds
+  // Bound-model registry names, comma-separated (simulate / sweep / exec).
+  std::string bounds_list;
   // Real execution (the `exec` command) and kernel knobs.
   int threads = 4;
   int nb = 256;
@@ -138,10 +142,13 @@ struct Args {
       "                           best supported, or HETSCHED_KERNEL_TIER)\n"
       "\n"
       "common flags: --algo=cholesky|lu|qr --tiles=N\n"
-      "  --sched=random|eager|ws|dmda|dmdar|dmdas\n"
+      "  --sched=random|eager|ws|dmda|dmdar|dmdas|alap-slack\n"
       "  --platform=mirage|related|homogeneous --no-comm --seed=S --trace\n"
       "  --trace-stream=FILE  stream events as JSONL while running\n"
       "  --metrics-interval=S live aggregate metrics on stderr every S s\n"
+      "  --bounds=LIST        comma-separated bound models to report the\n"
+      "                       makespan ratio against (simulate/sweep/exec);\n"
+      "                       registered models: %s\n"
       "(see the header of tools/hetsched_cli.cpp for the full per-command\n"
       "flag list)\n"
       "\n"
@@ -155,7 +162,8 @@ struct Args {
       "  5  unrecoverable injected fault: every worker died or a task\n"
       "     exhausted its retry budget (FaultError)\n"
       "  6  cancelled: the run's --deadline-ms elapsed (or a submitted\n"
-      "     job came back cancelled / deadline-exceeded under --wait)\n");
+      "     job came back cancelled / deadline-exceeded under --wait)\n",
+      bounds::bound_model_names_joined(',').c_str());
   std::exit(0);
 }
 
@@ -172,6 +180,24 @@ bool parse_flag(const std::string& arg, const char* name, std::string* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
   *out = arg.substr(prefix.size());
   return true;
+}
+
+/// --bounds=mixed,alap -> {"mixed", "alap"}. Names are validated by the
+/// registry lookup at evaluation time; an unknown one throws the
+/// std::invalid_argument that main() maps to exit code 2.
+std::vector<std::string> split_bounds(const std::string& list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 Args parse(int argc, char** argv) {
@@ -209,6 +235,7 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "pack-cache", &v)) a.pack_cache = v;
     else if (parse_flag(arg, "kernel-tier", &v)) a.kernel_tier = v;
     else if (parse_flag(arg, "trace-stream", &v)) a.trace_stream = v;
+    else if (parse_flag(arg, "bounds", &v)) a.bounds_list = v;
     else if (parse_flag(arg, "metrics-interval", &v))
       a.metrics_interval = std::atof(v.c_str());
     else if (parse_flag(arg, "deadline-ms", &v)) a.deadline_ms = std::atof(v.c_str());
@@ -319,7 +346,7 @@ std::unique_ptr<Scheduler> build_scheduler(const Args& a, const TaskGraph& g,
   try {
     return make_policy(a.sched, g, p, a.seed, std::move(filter));
   } catch (const std::invalid_argument&) {
-    usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas)");
+    usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas|alap-slack)");
   }
 }
 
@@ -404,7 +431,16 @@ int cmd_simulate(const Args& a) {
                              static_cast<std::size_t>(p.nb()) *
                              static_cast<std::size_t>(p.nb()) * sizeof(double);
   const double bound = algo_mixed(a, a.tiles, p).makespan_s;
+  // --bounds=LIST: registry evaluation happens here (fail-fast on an
+  // unknown name -> exit 2), the ratios land in RunReport::bound_ratios
+  // via RunOptions::bound_models, and the same (name, seconds) pairs feed
+  // the metrics stream so a --metrics-interval line shows every yardstick.
+  opt.bound_models = split_bounds(a.bounds_list);
+  std::vector<std::pair<std::string, double>> named;
+  for (const std::string& m : opt.bound_models)
+    named.emplace_back(m, bounds::evaluate_bound_s(m, g, p));
   Streaming streaming(a, p, bound, /*force_metrics=*/false);
+  if (!named.empty()) streaming.metrics.set_reference_bounds(named);
   opt.stream = streaming.stream();
   const RunReport r = simulate(g, p, *sched, opt);
   std::printf("%s on %s (%s, %d tasks): makespan %.4f s = %.1f GFLOP/s\n",
@@ -417,6 +453,12 @@ int cmd_simulate(const Args& a) {
               static_cast<long long>(r.capacity_overflows));
   std::printf("mixed bound: %.4f s -> efficiency %.1f%%\n", bound,
               bound / r.makespan_s * 100.0);
+  for (const auto& [name, bound_s] : named) {
+    const auto it = r.bound_ratios.find(name);
+    const double ratio = it != r.bound_ratios.end() ? it->second : 0.0;
+    std::printf("bound[%s]: %.4f s -> ratio %.3f\n", name.c_str(), bound_s,
+                ratio);
+  }
   streaming.report_drops(r);
   if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
   return 0;
@@ -626,6 +668,16 @@ int cmd_exec(const Args& a) {
   apply_kernel_tier(a);
   TileMatrix m = TileMatrix::synthetic_spd(a.tiles, a.nb, a.seed);
   const TaskGraph g = build_cholesky_dag(a.tiles);
+  // --bounds: yardsticks of the real run come from the measured local
+  // platform (same thread count and tile size the pool executes with), not
+  // the paper's modeled machine. Evaluated before the run so an unknown
+  // model name exits 2 without burning compute time.
+  std::vector<std::pair<std::string, double>> named;
+  if (!a.bounds_list.empty()) {
+    const Platform local = measured_local_platform(a.threads, a.nb);
+    for (const std::string& bm : split_bounds(a.bounds_list))
+      named.emplace_back(bm, bounds::evaluate_bound_s(bm, g, local));
+  }
   CancelToken deadline;
   ExecOptions opt;
   opt.num_threads = a.threads;
@@ -647,24 +699,39 @@ int cmd_exec(const Args& a) {
                         static_cast<double>(lookups)
                   : 0.0;
   const char* tier = kernels::tier_name(kernels::engine_tier());
+  // Flat "<model>_bound_s"/"<model>_ratio" pairs appended to the JSON row.
+  std::string bound_fields;
+  for (const auto& [bname, bound_s] : named) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  ", \"%s_bound_s\": %.6f, \"%s_ratio\": %.4f", bname.c_str(),
+                  bound_s, bname.c_str(),
+                  bound_s > 0.0 ? r.makespan_s / bound_s : 0.0);
+    bound_fields += buf;
+  }
   if (a.json) {
     std::printf("{\n  \"command\": \"exec\",\n  \"results\": [\n");
     std::printf("    {\"tiles\": %d, \"nb\": %d, \"threads\": %d, "
                 "\"tier\": \"%s\", \"seconds\": %.6f, \"gflops\": %.3f, "
                 "\"pack_hits\": %lld, \"pack_misses\": %lld, "
                 "\"pack_evictions\": %lld, \"pack_bytes\": %lld, "
-                "\"hit_rate\": %.4f}\n",
+                "\"hit_rate\": %.4f%s}\n",
                 a.tiles, a.nb, a.threads, tier, r.makespan_s, gf,
                 static_cast<long long>(r.pack_hits),
                 static_cast<long long>(r.pack_misses),
                 static_cast<long long>(r.pack_evictions),
-                static_cast<long long>(r.pack_bytes), hit_rate);
+                static_cast<long long>(r.pack_bytes), hit_rate,
+                bound_fields.c_str());
     std::printf("  ]\n}\n");
     return 0;
   }
   std::printf("cholesky %dx%d tiles of %d on %d threads (%s kernels): "
               "%.4f s = %.1f GFLOP/s\n",
               a.tiles, a.tiles, a.nb, a.threads, tier, r.makespan_s, gf);
+  for (const auto& [bname, bound_s] : named)
+    std::printf("bound[%s] (measured local platform): %.4f s -> ratio %.3f\n",
+                bname.c_str(), bound_s,
+                bound_s > 0.0 ? r.makespan_s / bound_s : 0.0);
   if (lookups > 0)
     std::printf("pack cache: %lld hits / %lld misses (%.1f%% hit rate), "
                 "%lld evictions, %.1f MiB packed\n",
@@ -829,6 +896,28 @@ int cmd_sweep(const Args& a) {
     return row[1].mean / row[2].mean * 100.0;
   };
   e.series = {makespan, gf, bound, eff};
+
+  // --bounds=LIST: two derived columns per registry model -- the bound in
+  // the table's GFLOP/s unit and the makespan / bound ratio (>= 1 for a
+  // valid lower bound; row[0] is the makespan column above).
+  for (const std::string& bm : split_bounds(a.bounds_list)) {
+    SeriesSpec bnd;
+    bnd.name = bm + "_bnd";
+    bnd.value = [&a, bm](int n, const TaskGraph& g, const Platform& p,
+                         const std::vector<ExperimentCell>&) {
+      return algo_gflops(a, n, p.nb(), bounds::evaluate_bound_s(bm, g, p));
+    };
+    SeriesSpec ratio;
+    ratio.name = bm + "_ratio";
+    ratio.precision = 3;
+    ratio.value = [bm](int /*n*/, const TaskGraph& g, const Platform& p,
+                       const std::vector<ExperimentCell>& row) {
+      const double bound_s = bounds::evaluate_bound_s(bm, g, p);
+      return bound_s > 0.0 ? row[0].mean / bound_s : 0.0;
+    };
+    e.series.push_back(bnd);
+    e.series.push_back(ratio);
+  }
 
   const ExperimentTable t = run_experiment(e);
   const std::string body = a.json ? t.json() : a.csv ? t.csv() : t.text();
