@@ -30,6 +30,7 @@
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/random_sched.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hetsched::bench {
@@ -57,18 +58,20 @@ inline double simulated_gflops(const TaskGraph& g, const Platform& p,
   return gflops(n_tiles, p.nb(), simulate(g, p, s).makespan_s);
 }
 
-/// Scheduler factory keyed by the paper's policy names. `seed` feeds the
-/// random policy only. Delegates to runtime make_policy; an unknown name
-/// still aborts (bench binaries have no error path worth recovering).
-inline std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+/// Scheduler factory keyed by SchedulerRegistry spec strings ("dmdas",
+/// "hybrid:static_fraction=0.6"). `seed` feeds the random policy only. A
+/// bad spec still aborts (bench binaries have no error path worth
+/// recovering).
+inline std::unique_ptr<Scheduler> make_scheduler(const std::string& spec,
                                                  const TaskGraph& g,
                                                  const Platform& p,
                                                  unsigned seed = 0,
                                                  WorkerFilter filter = {}) {
   try {
-    return make_policy(name, g, p, seed, std::move(filter));
-  } catch (const std::invalid_argument&) {
-    std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+    return sched::make_scheduler(spec, g, p, seed, std::move(filter));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "bad scheduler spec '%s': %s\n", spec.c_str(),
+                 err.what());
     std::abort();
   }
 }

@@ -1,0 +1,61 @@
+#include "cp/spine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bounds/bound_model.hpp"
+#include "cp/cp_solver.hpp"
+#include "sched/priorities.hpp"
+
+namespace hetsched::cp {
+
+SpinePlan extract_spine(const TaskGraph& g, const Platform& p,
+                        const SpineOptions& opt) {
+  CpOptions copt;
+  copt.time_limit_s = opt.solve_budget_s;
+  copt.seed = opt.seed;
+  const CpResult res = cp_solve(g, p, copt);
+
+  SpinePlan plan;
+  plan.schedule = res.schedule;
+  plan.planned_makespan_s = res.makespan_s;
+  plan.proven_optimal = res.proven_optimal;
+
+  // Same spine selection as HybridScheduler::select_static_set: least ALAP
+  // slack first, ties by descending bottom level then id.
+  const int n = g.num_tasks();
+  int count = static_cast<int>(
+      std::llround(opt.static_fraction * static_cast<double>(n)));
+  count = std::clamp(count, 0, n);
+  if (count > 0) {
+    const bounds::AlapAnalysis a = bounds::alap_analysis(g, p.timings());
+    const std::vector<double> bottom = bottom_levels_fastest(g, p.timings());
+    std::vector<int> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::sort(ids.begin(), ids.end(), [&](int x, int y) {
+      const auto ix = static_cast<std::size_t>(x);
+      const auto iy = static_cast<std::size_t>(y);
+      if (a.slack[ix] != a.slack[iy]) return a.slack[ix] < a.slack[iy];
+      if (bottom[ix] != bottom[iy]) return bottom[ix] > bottom[iy];
+      return x < y;
+    });
+    plan.spine_tasks.assign(ids.begin(),
+                            ids.begin() + static_cast<std::ptrdiff_t>(count));
+    std::sort(plan.spine_tasks.begin(), plan.spine_tasks.end());
+  }
+  return plan;
+}
+
+sched::HybridScheduler make_hybrid_from_cp(const TaskGraph& g,
+                                           const Platform& p,
+                                           const SpineOptions& opt) {
+  SpinePlan plan = extract_spine(g, p, opt);
+  sched::HybridScheduler::Options hopt;
+  hopt.static_fraction = opt.static_fraction;
+  hopt.steal_static = opt.steal_static;
+  return sched::HybridScheduler(g, p, std::move(plan.schedule),
+                                std::move(hopt));
+}
+
+}  // namespace hetsched::cp

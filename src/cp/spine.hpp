@@ -1,0 +1,53 @@
+// Spine extraction: turn an offline static schedule into the split a
+// sched::HybridScheduler consumes -- a full placement plus the set of
+// tasks worth pinning (the "spine").
+//
+// The hybrid policy already knows how to pick its spine (least ALAP slack
+// first); what this module adds is the *placement quality*: extract_spine
+// runs the CP facade (HEFT seed -> exact BB -> LNS, cp_solver.hpp) within
+// a budget so the pinned fraction replays a near-optimal schedule instead
+// of the policy's built-in greedy EFT plan. This is the Section V-C3
+// experiment ("inject the CP solution") generalized to partial injection
+// a la Donfack et al.
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/hybrid_sched.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace hetsched::cp {
+
+struct SpineOptions {
+  /// Fraction of tasks pinned (by ascending ALAP slack); see
+  /// sched::HybridScheduler::Options.
+  double static_fraction = 0.5;
+  bool steal_static = false;
+  /// Wall-clock budget of the CP facade that produces the placement.
+  double solve_budget_s = 1.0;
+  unsigned seed = 0;
+};
+
+struct SpinePlan {
+  /// Full placement of every task (the CP facade's best schedule).
+  StaticSchedule schedule;
+  /// Tasks the hybrid policy will pin, given `static_fraction` (ascending
+  /// ALAP slack; informational -- the scheduler re-derives the same set).
+  std::vector<int> spine_tasks;
+  double planned_makespan_s = 0.0;
+  bool proven_optimal = false;
+};
+
+/// Solves for a placement and reports which tasks form the pinned spine.
+SpinePlan extract_spine(const TaskGraph& g, const Platform& p,
+                        const SpineOptions& opt = {});
+
+/// extract_spine + construction: a hybrid scheduler replaying the CP
+/// placement for its pinned fraction.
+sched::HybridScheduler make_hybrid_from_cp(const TaskGraph& g,
+                                           const Platform& p,
+                                           const SpineOptions& opt = {});
+
+}  // namespace hetsched::cp

@@ -31,13 +31,16 @@
 
 // Scheduling policies and static/CP schedule construction.
 #include "cp/cp_solver.hpp"
+#include "cp/spine.hpp"
 #include "sched/alap_sched.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager_sched.hpp"
 #include "sched/fixed_sched.hpp"
+#include "sched/hybrid_sched.hpp"
 #include "sched/priorities.hpp"
 #include "sched/priority_sched.hpp"
 #include "sched/random_sched.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sched/static_hints.hpp"
 #include "sched/static_schedule.hpp"
 #include "sched/ws_sched.hpp"

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -130,6 +131,11 @@ struct MetricsSnapshot {
   std::uint64_t pack_misses = 0;
   std::uint64_t pack_evictions = 0;
   std::uint64_t pack_bytes_packed = 0;
+  /// Per-policy counters accumulated through add_scheduler_stats()
+  /// (RunReport::scheduler_stats of each observed run, summed by key):
+  /// steal counts, static-pool hits, boundary crossings, ... Sorted by
+  /// key; empty when no run reported any.
+  std::vector<std::pair<std::string, std::int64_t>> scheduler_stats;
 };
 
 /// In-process aggregator: running makespan, GFLOP/s, idle-per-class,
@@ -160,6 +166,16 @@ class MetricsAggregator final : public Sink {
     named_bounds_ = std::move(named_bounds);
   }
 
+  /// Accumulates one run's RunReport::scheduler_stats into the snapshot
+  /// (values sum per key across runs -- a sweep's totals). Schedulers do
+  /// not stream their counters as events, so the runtime hands them over
+  /// post-run.
+  void add_scheduler_stats(
+      const std::map<std::string, std::int64_t>& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, value] : stats) sched_stats_[key] += value;
+  }
+
   /// Print a one-line report to `out` at most every `interval_s` seconds
   /// of wall time (checked per event on the sink thread) and once at
   /// flush(). Disabled by default.
@@ -185,6 +201,7 @@ class MetricsAggregator final : public Sink {
   int nb_ = 0;
   double bound_s_ = 0.0;
   std::vector<std::pair<std::string, double>> named_bounds_;
+  std::map<std::string, std::int64_t> sched_stats_;
   std::FILE* report_out_ = nullptr;
   double report_interval_s_ = 0.0;
   double last_report_ = -1.0;  // steady-clock seconds of the last line

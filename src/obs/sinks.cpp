@@ -289,6 +289,8 @@ MetricsSnapshot MetricsAggregator::snapshot() const {
     s.pack_evictions = p.evictions - pack_base_.evictions;
     s.pack_bytes_packed = p.bytes_packed - pack_base_.bytes_packed;
   }
+  for (const auto& [key, value] : sched_stats_)
+    s.scheduler_stats.emplace_back(key, value);
   return s;
 }
 
@@ -311,6 +313,16 @@ void MetricsAggregator::report_line(const MetricsSnapshot& s) const {
     named += buf;
   }
   if (!named.empty()) named = " bounds=" + named;
+  // Post-run policy counters render as "sched=steals:12,static_pool_hits:88".
+  std::string sched;
+  for (const auto& [name, value] : s.scheduler_stats) {
+    if (!sched.empty()) sched += ',';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s:%lld", name.c_str(),
+                  static_cast<long long>(value));
+    sched += buf;
+  }
+  if (!sched.empty()) named += " sched=" + sched;
   std::fprintf(report_out_,
                "[obs] events=%llu makespan=%.4fs gflops=%.1f idle=%s "
                "bound_ratio=%.3f%s faults=%llu pack=%llu/%llu\n",

@@ -59,6 +59,9 @@ RunReport RunEngine::run(Backend& backend) {
           .count();
   report_.backend = backend.name();
   report_.trace = std::move(trace_);
+  // Per-policy counters (ws steals, hybrid boundary crossings, ...); kept
+  // even on failure -- partial counts help diagnose a starved run.
+  report_.scheduler_stats = sched_.stats();
   // Bound ratios of the finished run: one registry evaluation per selected
   // model, the ratio the exact double division makespan_s / bound_s (the
   // same expression the metrics stream and post-run recomputation use, so

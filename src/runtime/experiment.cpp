@@ -12,12 +12,9 @@
 #include "bounds/bound_model.hpp"
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
+#include "obs/sink.hpp"
 #include "obs/stream.hpp"
-#include "sched/alap_sched.hpp"
-#include "sched/dmda.hpp"
-#include "sched/eager_sched.hpp"
-#include "sched/random_sched.hpp"
-#include "sched/ws_sched.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hetsched {
@@ -65,25 +62,6 @@ double default_metric(int n, const Platform& p, double seconds) {
 
 }  // namespace
 
-std::unique_ptr<Scheduler> make_policy(const std::string& name,
-                                       const TaskGraph& g, const Platform& p,
-                                       unsigned seed, WorkerFilter filter) {
-  if (name == "random") return std::make_unique<RandomScheduler>(seed);
-  if (name == "eager") return std::make_unique<EagerScheduler>();
-  if (name == "ws") return std::make_unique<WorkStealingScheduler>();
-  if (name == "dmda")
-    return std::make_unique<DmdaScheduler>(make_dmda(std::move(filter)));
-  if (name == "dmdar")
-    return std::make_unique<DmdaScheduler>(make_dmdar(std::move(filter)));
-  if (name == "dmdas")
-    return std::make_unique<DmdaScheduler>(make_dmdas(g, p, std::move(filter)));
-  if (name == "alap-slack")
-    return std::make_unique<sched::AlapSlackScheduler>(g, p, std::move(filter));
-  throw std::invalid_argument(
-      "unknown scheduler '" + name +
-      "' (expected random|eager|ws|dmda|dmdar|dmdas|alap-slack)");
-}
-
 ExperimentCell repeat_averaged(
     const std::string& policy, const TaskGraph& g, const Platform& p, int n,
     const RunOptions& base, int runs, const WorkerFilter& filter,
@@ -105,10 +83,15 @@ ExperimentCell repeat_averaged(
     opt.noise_seed = static_cast<unsigned>(r);
     opt.record_trace = false;
     opt.stream = streamer.get();
-    auto s = make_policy(policy, g, p, static_cast<unsigned>(r), filter);
-    const double seconds = simulate(g, p, *s, opt).makespan_s;
-    seconds_sum += seconds;
-    xs.push_back(m(n, p, seconds));
+    auto s =
+        sched::make_scheduler(policy, g, p, static_cast<unsigned>(r), filter);
+    const RunReport rep = simulate(g, p, *s, opt);
+    // A MetricsAggregator sink also receives the run's policy counters
+    // (steals, static-pool hits, ...), summed across the repeats.
+    if (auto* agg = dynamic_cast<obs::MetricsAggregator*>(sink))
+      agg->add_scheduler_stats(rep.scheduler_stats);
+    seconds_sum += rep.makespan_s;
+    xs.push_back(m(n, p, rep.makespan_s));
   }
   if (mean_seconds != nullptr)
     *mean_seconds = seconds_sum / static_cast<double>(runs);
@@ -135,7 +118,11 @@ ExperimentTable run_experiment(const Experiment& e) {
     t.show_sd.push_back(s.show_sd);
     t.precision.push_back(s.precision);
   }
-  // Unknown bound-model names fail before any cell simulates.
+  // Unknown scheduler specs and bound-model names fail before any cell
+  // simulates (full lists in the errors).
+  for (const auto& s : e.series)
+    if (!s.scheduler.empty())
+      sched::validate_scheduler_spec(sched::SchedulerSpec::parse(s.scheduler));
   const bool have_sched = std::any_of(
       e.series.begin(), e.series.end(),
       [](const SeriesSpec& s) { return !s.scheduler.empty(); });

@@ -40,8 +40,10 @@ struct ExperimentCell {
 struct SeriesSpec {
   /// Column header.
   std::string name;
-  /// Policy name for a scheduler series ("random", "eager", "ws", "dmda",
-  /// "dmdar", "dmdas"); empty for a derived series.
+  /// Scheduler spec for a scheduler series, resolved through the
+  /// SchedulerRegistry: a policy name ("dmda", "ws", ...) optionally with
+  /// options ("hybrid:static_fraction=0.6"). Empty for a derived series.
+  /// Unknown names/options throw before any cell runs.
   std::string scheduler;
   /// Seeded repeats (seed r feeds both noise_seed and the random policy).
   int runs = 1;
@@ -112,15 +114,10 @@ struct ExperimentTable {
   std::string json() const;
 };
 
-/// Scheduler factory keyed by the paper's policy names; `seed` feeds the
-/// random policy only. Throws std::invalid_argument for an unknown name.
-std::unique_ptr<Scheduler> make_policy(const std::string& name,
-                                       const TaskGraph& g, const Platform& p,
-                                       unsigned seed = 0,
-                                       WorkerFilter filter = {});
-
-/// Mean +/- sample stddev of `runs` seeded simulations of `policy` (seed r
-/// overrides options.noise_seed and seeds the random policy; traces off).
+/// Mean +/- sample stddev of `runs` seeded simulations of `policy` -- a
+/// SchedulerRegistry spec string ("dmdas", "hybrid:static_fraction=0.6")
+/// -- where seed r overrides options.noise_seed and seeds the random
+/// policy; traces off.
 /// With a non-null `sink`, the repeats stream their events through one
 /// TraceStreamer into it (the sink sees the runs concatenated, seq
 /// monotonic across repeats). A non-null `mean_seconds` receives the mean

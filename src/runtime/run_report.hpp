@@ -74,6 +74,10 @@ struct RunReport {
   /// post-run recomputation perform, so the three agree bit-for-bit
   /// whenever dropped_events == 0.
   std::map<std::string, double> bound_ratios;
+  /// Per-policy observability counters drained from Scheduler::stats()
+  /// after the run (ws steal count, hybrid static-pool hits / boundary
+  /// crossings, ...). Empty for policies with nothing to report.
+  std::map<std::string, std::int64_t> scheduler_stats;
   /// Structured description of the failure ("" on success).
   std::string error;
   RunErrorKind error_kind = RunErrorKind::None;

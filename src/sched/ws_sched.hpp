@@ -19,6 +19,9 @@ class WorkStealingScheduler final : public Scheduler {
   std::vector<int> on_worker_dead(SchedulerHost& host, int worker) override;
   int pop_task(SchedulerHost& host, int worker) override;
   std::string name() const override { return "ws"; }
+  std::map<std::string, std::int64_t> stats() const override {
+    return {{"steals", steals_}};
+  }
 
   /// Number of successful steals so far (observability for tests/benches).
   long steals() const noexcept { return steals_; }

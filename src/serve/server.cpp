@@ -10,7 +10,7 @@
 #include "core/tile_matrix.hpp"
 #include "platform/calibration.hpp"
 #include "runtime/engine.hpp"
-#include "sched/priority_sched.hpp"
+#include "sched/scheduler_registry.hpp"
 
 namespace hetsched::serve {
 
@@ -44,6 +44,9 @@ void FactorizationServer::start() {
     throw std::invalid_argument("FactorizationServer: max_batch must be > 0");
   if (const std::string err = opt_.faults.validate(opt_.threads); !err.empty())
     throw std::invalid_argument("FactorizationServer: fault plan: " + err);
+  // Fail fast on a bad policy spec (the registry error lists the
+  // registered names / valid option keys).
+  sched::validate_scheduler_spec(sched::SchedulerSpec::parse(opt_.policy));
   // The aggregator is left unconfigured on purpose: batches may mix nb
   // values over the server's lifetime, so only the geometry-independent
   // aggregates (event counts, running makespan, fault tallies) are kept.
@@ -171,15 +174,23 @@ void FactorizationServer::run_batch(std::vector<JobPtr>& batch,
         &batch[static_cast<std::size_t>(i)]->token;
   }
   BatchComputeBackend backend(plan, std::move(mat_ptrs), std::move(tokens));
-  CentralPriorityScheduler sched;
+  // Registry-resolved policy per batch (specs are cheap to re-resolve and
+  // graph-dependent schedulers need this batch's plan). The default,
+  // "priority", is the historical central priority queue in submission
+  // order.
+  auto sched =
+      sched::make_scheduler(opt_.policy, plan.graph, calibration_, opt_.seed);
   RunOptions ropt;
   ropt.record_trace = false;  // long-lived server: stream, don't accumulate
   ropt.faults = opt_.faults;
   ropt.pack_cache = opt_.pack_cache;
   ropt.stream = &streamer_;
   ropt.cancel = batch_cancel;
-  RunEngine engine(plan.graph, calibration_, sched, ropt);
+  RunEngine engine(plan.graph, calibration_, *sched, ropt);
   const RunReport rep = engine.run(backend);
+  // Per-policy counters (steals, static-pool hits, ...) land in the
+  // aggregated stream snapshot alongside the event-derived metrics.
+  aggregator_.add_scheduler_stats(rep.scheduler_stats);
   const double wall_ms = ms_between(run_start, Clock::now());
   const std::vector<BatchJobResult> results = backend.results();
 

@@ -43,6 +43,11 @@ namespace hetsched::serve {
 struct ServerOptions {
   int threads = 2;              ///< worker pool size of each batch run
   int max_batch = 8;            ///< jobs fused per batch graph
+  /// SchedulerRegistry spec driving each batch run ("priority", "ws",
+  /// "hybrid:static_fraction=0.6", ...). The default matches the
+  /// historical hard-wired central priority queue (submission order).
+  /// Validated by start(); an unknown name/option throws there.
+  std::string policy = "priority";
   AdmissionControl admission;
   RetryPolicy retry;            ///< transient-failure budget + backoff
   double retry_jitter_frac = 0.25;  ///< backoff *= 1 + frac * U(-1, 1)

@@ -7,6 +7,8 @@
 // exactly how StarPU's dmda family is structured.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,12 @@ class Scheduler {
 
   /// Policy name used in reports ("random", "dmda", "dmdas", ...).
   virtual std::string name() const = 0;
+
+  /// Per-policy observability counters accumulated over one run (steal
+  /// counts, static-pool hits, ...). Drained into RunReport::
+  /// scheduler_stats after the run; empty for policies with nothing to
+  /// report. Keys should be stable snake_case identifiers.
+  virtual std::map<std::string, std::int64_t> stats() const { return {}; }
 };
 
 }  // namespace hetsched

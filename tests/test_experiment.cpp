@@ -9,6 +9,7 @@
 #include "core/cholesky_dag.hpp"
 #include "core/flops.hpp"
 #include "platform/calibration.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hetsched {
@@ -34,7 +35,7 @@ TEST(Experiment, SchedulerSeriesMatchesDirectSimulation) {
   for (std::size_t r = 0; r < t.sizes.size(); ++r) {
     const int n = t.sizes[r];
     const TaskGraph g = build_cholesky_dag(n);
-    auto s = make_policy("dmda", g, p);
+    auto s = sched::make_scheduler("dmda", g, p);
     RunOptions opt;
     opt.record_trace = false;
     const double expect =
@@ -89,13 +90,29 @@ TEST(Experiment, RepeatAveragedIsSeededAndDeterministic) {
   EXPECT_GT(a.sd, 0.0);
 }
 
-TEST(Experiment, MakePolicyRejectsUnknownNames) {
+TEST(Experiment, RegistryRejectsUnknownSchedulerNames) {
   const TaskGraph g = build_cholesky_dag(2);
   const Platform p = homogeneous_platform(2);
-  EXPECT_THROW(make_policy("nope", g, p), std::invalid_argument);
+  EXPECT_THROW(sched::make_scheduler("nope", g, p), std::invalid_argument);
   for (const char* name :
        {"random", "eager", "ws", "dmda", "dmdar", "dmdas"}) {
-    EXPECT_NE(make_policy(name, g, p), nullptr) << name;
+    EXPECT_NE(sched::make_scheduler(name, g, p), nullptr) << name;
+  }
+}
+
+TEST(Experiment, UnknownSchedulerSpecFailsBeforeAnyCellRuns) {
+  Experiment e = tiny_experiment();
+  SeriesSpec bogus;
+  bogus.name = "bogus";
+  bogus.scheduler = "no-such-policy";
+  e.series.push_back(bogus);
+  try {
+    run_experiment(e);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    // The error carries the full registered-name list.
+    EXPECT_NE(std::string(err.what()).find("dmda"), std::string::npos)
+        << err.what();
   }
 }
 

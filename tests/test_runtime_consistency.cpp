@@ -15,6 +15,7 @@
 #include "platform/calibration.hpp"
 #include "runtime/experiment.hpp"
 #include "sched/fixed_sched.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hetsched {
@@ -42,7 +43,7 @@ TEST(RuntimeConsistency, DesReproducesGoldenMakespansBitForBit) {
   const Platform p = mirage_platform();
   for (const Golden& gold : kGolden) {
     const TaskGraph g = build_cholesky_dag(gold.n);
-    auto s = make_policy(gold.sched, g, p, /*seed=*/0);
+    auto s = sched::make_scheduler(gold.sched, g, p, /*seed=*/0);
     const RunReport r = simulate(g, p, *s);
     EXPECT_EQ(r.makespan_s, gold.makespan_s)
         << "n=" << gold.n << " sched=" << gold.sched;
@@ -108,21 +109,21 @@ TEST(RuntimeConsistency, BackendLabelsIdentifyTheDriver) {
 
   {
     const Platform p = mirage_platform();
-    auto s = make_policy("dmda", g, p);
+    auto s = sched::make_scheduler("dmda", g, p);
     EXPECT_EQ(simulate(g, p, *s).backend, "des");
   }
   {
     const int threads = 2;
     const Platform p = homogeneous_platform(threads);
     TileMatrix a = TileMatrix::random_spd(n, nb, 11);
-    auto s = make_policy("eager", g, p);
+    auto s = sched::make_scheduler("eager", g, p);
     const RunReport r = execute_with_scheduler(a, g, p, *s, threads);
     ASSERT_TRUE(r.success);
     EXPECT_EQ(r.backend, "compute");
   }
   {
     const Platform p = mirage_platform().without_communication();
-    auto s = make_policy("dmda", g, p);
+    auto s = sched::make_scheduler("dmda", g, p);
     const RunReport r = emulate_with_scheduler(g, p, *s, 0.02);
     ASSERT_TRUE(r.success);
     EXPECT_EQ(r.backend, "emulation");

@@ -21,6 +21,7 @@
 #include "obs/stream.hpp"
 #include "platform/calibration.hpp"
 #include "runtime/experiment.hpp"
+#include "sched/scheduler_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hetsched {
@@ -76,7 +77,7 @@ void expect_same_fault_stats(const FaultStats& a, const FaultStats& b) {
 TEST(TraceStream, DesStreamEqualsPostRunTrace) {
   const TaskGraph g = build_cholesky_dag(10);
   const Platform p = mirage_platform();
-  auto sched = make_policy("dmda", g, p);
+  auto sched = hetsched::sched::make_scheduler("dmda", g, p);
 
   std::ostringstream jsonl;
   obs::TraceStreamer streamer;
@@ -98,7 +99,7 @@ TEST(TraceStream, DesStreamEqualsPostRunTrace) {
 TEST(TraceStream, EmulationStreamEqualsPostRunTrace) {
   const TaskGraph g = build_cholesky_dag(10);
   const Platform p = mirage_platform().without_communication();
-  auto sched = make_policy("dmda", g, p);
+  auto sched = hetsched::sched::make_scheduler("dmda", g, p);
 
   std::ostringstream jsonl;
   obs::TraceStreamer streamer;
@@ -123,7 +124,7 @@ TEST(TraceStream, MetricsAggregatorReproducesFaultStats) {
   const Platform p = mirage_platform();
 
   // Healthy makespan to place the death deep enough to orphan work.
-  auto ref_sched = make_policy("dmda", g, p);
+  auto ref_sched = hetsched::sched::make_scheduler("dmda", g, p);
   const double healthy = simulate(g, p, *ref_sched).makespan_s;
 
   obs::TraceStreamer streamer;
@@ -136,7 +137,7 @@ TEST(TraceStream, MetricsAggregatorReproducesFaultStats) {
   opt.stream = &streamer;
   opt.faults.deaths.push_back({9, 0.3 * healthy});
   opt.faults.transient_failure_prob = 0.1;
-  auto sched = make_policy("dmda", g, p);
+  auto sched = hetsched::sched::make_scheduler("dmda", g, p);
   const RunReport r = simulate(g, p, *sched, opt);
 
   ASSERT_TRUE(r.success) << r.error;
@@ -168,7 +169,7 @@ class StallSink final : public obs::Sink {
 TEST(TraceStream, OverflowSurfacesAsDroppedEventsInReport) {
   const TaskGraph g = build_cholesky_dag(10);
   const Platform p = mirage_platform();
-  auto sched = make_policy("dmda", g, p);
+  auto sched = hetsched::sched::make_scheduler("dmda", g, p);
 
   obs::TraceStreamer streamer(/*ring_capacity=*/2);
   StallSink stall;

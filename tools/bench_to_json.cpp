@@ -22,6 +22,12 @@
 //             mirage platform): bound seconds, bound GFLOP/s and the dmdas
 //             makespan / bound ratio per cell; CI uploads this output as
 //             BENCH_bounds.json
+//   --hybrid  hybrid-policy grid (static_fraction x steal_static x
+//             n_tiles on the no-comm mirage platform) on one shared CP
+//             placement per size (cp::extract_spine), with dmda and pure
+//             static replay reference columns and the policy's steal /
+//             boundary-crossing counters per cell; CI uploads this output
+//             as BENCH_hybrid.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
@@ -425,7 +431,7 @@ int run_bounds_bench(bool quick, const std::string& out_path) {
   bool first = true;
   for (const int n : sizes) {
     const hetsched::TaskGraph g = hetsched::build_cholesky_dag(n);
-    auto dmdas = hetsched::make_policy("dmdas", g, p);
+    auto dmdas = hetsched::sched::make_scheduler("dmdas", g, p);
     const double makespan = hetsched::simulate(g, p, *dmdas).makespan_s;
     for (const std::string& m : models) {
       const double bound_s = bounds::evaluate_bound_s(m, g, p);
@@ -445,6 +451,69 @@ int run_bounds_bench(bool quick, const std::string& out_path) {
   return write_json(json, out_path) ? 0 : 1;
 }
 
+/// Hybrid-policy grid: the Donfack static-fraction curve on a CP-quality
+/// placement. One cp::extract_spine solve per size feeds every fraction
+/// and both steal modes, so the cells differ only in the policy knobs;
+/// the dmda and FixedScheduleScheduler references run on the same graph
+/// and platform. Every simulation is deterministic (no noise, no seeds).
+int run_hybrid_bench(bool quick, const std::string& out_path) {
+  namespace sched = hetsched::sched;
+  const std::vector<int> sizes = quick
+                                     ? std::vector<int>{2, 4, 8}
+                                     : std::vector<int>{1, 2, 4, 6, 8, 10, 12,
+                                                        16, 20, 24, 28, 32};
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const hetsched::Platform p =
+      hetsched::mirage_platform().without_communication();
+  hetsched::RunOptions opt;
+  opt.record_trace = false;
+
+  std::string json = "{\n  \"platform\": \"";
+  json += p.name();
+  json += "\",\n  \"results\": [\n";
+  bool first = true;
+  for (const int n : sizes) {
+    const hetsched::TaskGraph g = hetsched::build_cholesky_dag(n);
+    hetsched::cp::SpineOptions sopt;
+    sopt.solve_budget_s = quick ? 0.2 : 1.0;
+    const hetsched::cp::SpinePlan spine = hetsched::cp::extract_spine(g, p, sopt);
+
+    auto dmda = sched::make_scheduler("dmda", g, p);
+    const double dmda_s = hetsched::simulate(g, p, *dmda, opt).makespan_s;
+    hetsched::FixedScheduleScheduler replay(spine.schedule);
+    const double fixed_s = hetsched::simulate(g, p, replay, opt).makespan_s;
+
+    for (const bool steal : {false, true}) {
+      for (const double f : fractions) {
+        sched::HybridOptions hopt;
+        hopt.static_fraction = f;
+        hopt.steal_static = steal;
+        sched::HybridScheduler hybrid(g, p, spine.schedule, hopt);
+        const double makespan =
+            hetsched::simulate(g, p, hybrid, opt).makespan_s;
+        char row[512];
+        std::snprintf(
+            row, sizeof(row),
+            "%s    {\"tiles\": %d, \"fraction\": %.2f, "
+            "\"steal_static\": %s, \"makespan_s\": %.6e, \"gflops\": %.3f, "
+            "\"steals\": %lld, \"static_pool_hits\": %lld, "
+            "\"boundary_crossings\": %lld, \"dmda_makespan_s\": %.6e, "
+            "\"fixed_makespan_s\": %.6e}",
+            first ? "" : ",\n", n, f, steal ? "true" : "false", makespan,
+            hetsched::gflops(n, p.nb(), makespan),
+            static_cast<long long>(hybrid.steals()),
+            static_cast<long long>(hybrid.static_pool_hits()),
+            static_cast<long long>(hybrid.boundary_crossings()), dmda_s,
+            fixed_s);
+        json += row;
+        first = false;
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -453,6 +522,7 @@ int main(int argc, char** argv) {
   bool serving = false;
   bool kernels_threads = false;
   bool bounds_grid = false;
+  bool hybrid_grid = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -465,16 +535,19 @@ int main(int argc, char** argv) {
       kernels_threads = true;
     } else if (std::strcmp(argv[i], "--bounds") == 0) {
       bounds_grid = true;
+    } else if (std::strcmp(argv[i], "--hybrid") == 0) {
+      hybrid_grid = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--runtime] [--serving] "
-                   "[--kernels-threads] [--bounds] [--out=FILE]\n",
+                   "[--kernels-threads] [--bounds] [--hybrid] [--out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (hybrid_grid) return run_hybrid_bench(quick, out_path);
   if (bounds_grid) return run_bounds_bench(quick, out_path);
   if (kernels_threads) return run_kernels_threads_bench(quick, out_path);
   if (serving) return run_serving_bench(quick, out_path);

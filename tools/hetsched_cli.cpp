@@ -3,7 +3,10 @@
 //   hetsched_cli bounds   --algo=cholesky|lu|qr --tiles=N [--integral]
 //                         [--platform=mirage|related|homogeneous] [--prefix]
 //   hetsched_cli simulate --algo=... --tiles=N
-//                         --sched=random|eager|ws|dmda|dmdar|dmdas|alap-slack
+//                         --sched=SPEC (a SchedulerRegistry spec: a policy
+//                         name, optionally with options, e.g.
+//                         "hybrid:static_fraction=0.6"; --policy is an
+//                         alias; --policy help lists the registered names)
 //                         [--no-comm] [--trsm-cpu-k=K] [--gemm-syrk-gpu]
 //                         [--overhead=SECONDS] [--noise=CV] [--seed=S]
 //                         [--memory-tiles=M] [--trace] [--bounds=LIST]
@@ -142,7 +145,12 @@ struct Args {
       "                           best supported, or HETSCHED_KERNEL_TIER)\n"
       "\n"
       "common flags: --algo=cholesky|lu|qr --tiles=N\n"
-      "  --sched=random|eager|ws|dmda|dmdar|dmdas|alap-slack\n"
+      "  --sched=SPEC (alias --policy): a SchedulerRegistry spec, i.e. a\n"
+      "                       policy name optionally followed by\n"
+      "                       :key=value,... options, e.g.\n"
+      "                       hybrid:static_fraction=0.6,steal_static=on;\n"
+      "                       registered policies: %s\n"
+      "                       (--policy help describes each)\n"
       "  --platform=mirage|related|homogeneous --no-comm --seed=S --trace\n"
       "  --trace-stream=FILE  stream events as JSONL while running\n"
       "  --metrics-interval=S live aggregate metrics on stderr every S s\n"
@@ -163,6 +171,7 @@ struct Args {
       "     exhausted its retry budget (FaultError)\n"
       "  6  cancelled: the run's --deadline-ms elapsed (or a submitted\n"
       "     job came back cancelled / deadline-exceeded under --wait)\n",
+      sched::scheduler_names_joined(',').c_str(),
       bounds::bound_model_names_joined(',').c_str());
   std::exit(0);
 }
@@ -210,6 +219,12 @@ Args parse(int argc, char** argv) {
     std::string v;
     if (parse_flag(arg, "algo", &v)) a.algo = v;
     else if (parse_flag(arg, "sched", &v)) a.sched = v;
+    else if (parse_flag(arg, "policy", &v)) a.sched = v;
+    else if (arg == "--sched" || arg == "--policy") {
+      // Two-token form, mostly for the documented `--policy help`.
+      if (i + 1 >= argc) usage((arg + " needs a value").c_str());
+      a.sched = argv[++i];
+    }
     else if (parse_flag(arg, "platform", &v)) a.platform = v;
     else if (parse_flag(arg, "tiles", &v)) a.tiles = std::atoi(v.c_str());
     else if (parse_flag(arg, "max-tiles", &v)) a.max_tiles = std::atoi(v.c_str());
@@ -257,6 +272,11 @@ Args parse(int argc, char** argv) {
     else if (arg == "--json") a.json = true;
     else if (arg == "--help") help();
     else usage(("unknown option " + arg).c_str());
+  }
+  if (a.sched == "help" || a.sched == "list") {
+    // `--policy help`: the registry's own catalog, names + descriptions.
+    std::fputs(sched::scheduler_help_text().c_str(), stdout);
+    std::exit(0);
   }
   if (a.tiles <= 0) usage("--tiles must be positive");
   if (a.threads <= 0) usage("--threads must be positive");
@@ -344,10 +364,22 @@ std::unique_ptr<Scheduler> build_scheduler(const Args& a, const TaskGraph& g,
         hints::force_kernel_to_class(Kernel::SYRK, gpu));
   }
   try {
-    return make_policy(a.sched, g, p, a.seed, std::move(filter));
-  } catch (const std::invalid_argument&) {
-    usage("unknown --sched (random|eager|ws|dmda|dmdar|dmdas|alap-slack)");
+    return sched::make_scheduler(a.sched, g, p, a.seed, std::move(filter));
+  } catch (const std::invalid_argument& e) {
+    // The registry error already lists the registered names / valid
+    // option keys.
+    usage(e.what());
   }
+}
+
+/// "sched stats: steals=12 static_pool_hits=40 ..." or nothing when the
+/// policy reported no counters.
+void print_scheduler_stats(const RunReport& r) {
+  if (r.scheduler_stats.empty()) return;
+  std::printf("sched stats:");
+  for (const auto& [key, value] : r.scheduler_stats)
+    std::printf(" %s=%lld", key.c_str(), static_cast<long long>(value));
+  std::printf("\n");
 }
 
 // Streaming attachments of one run: a JSONL sink for --trace-stream, a
@@ -459,6 +491,8 @@ int cmd_simulate(const Args& a) {
     std::printf("bound[%s]: %.4f s -> ratio %.3f\n", name.c_str(), bound_s,
                 ratio);
   }
+  print_scheduler_stats(r);
+  streaming.metrics.add_scheduler_stats(r.scheduler_stats);
   streaming.report_drops(r);
   if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
   return 0;
@@ -612,6 +646,7 @@ int cmd_faults(const Args& a) {
                   sched->name().c_str(), p.name().c_str(), g.num_tasks(),
                   makespan, r.wall_seconds);
       print_fault_stats(r.faults);
+      print_scheduler_stats(r);
       streaming.report_drops(r);
       if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
     }
@@ -637,6 +672,7 @@ int cmd_faults(const Args& a) {
                   sched->name().c_str(), p.name().c_str(), g.num_tasks(),
                   r.makespan_s, algo_gflops(a, a.tiles, p.nb(), r.makespan_s));
       print_fault_stats(r.faults);
+      print_scheduler_stats(r);
       streaming.report_drops(r);
       if (a.trace) std::printf("%s", r.trace.ascii_gantt(100).c_str());
     }

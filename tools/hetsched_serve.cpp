@@ -1,10 +1,15 @@
 // hetsched_serve -- the long-lived factorization daemon (docs/serving.md).
 //
 //   hetsched_serve --socket=PATH [--threads=T] [--max-batch=B]
-//                  [--max-depth=D] [--max-latency-ms=L] [--retries=R]
-//                  [--seed=S] [--pack-cache=on|off|MiB]
+//                  [--policy=SPEC] [--max-depth=D] [--max-latency-ms=L]
+//                  [--retries=R] [--seed=S] [--pack-cache=on|off|MiB]
 //                  [--default-deadline-ms=D]
 //                  [--kill-worker=W --kill-at=T]
+//
+// --policy takes a SchedulerRegistry spec ("priority", "ws",
+// "hybrid:static_fraction=0.6", ...; --policy=help lists them); it drives
+// every batch run. The default, "priority", preserves the historical
+// central submission-order queue.
 //
 // Serves FactorizationServer over a Unix domain socket with a line
 // protocol (one request line in, one response line out per command):
@@ -58,6 +63,7 @@ void on_terminate(int) {
   std::fprintf(stderr,
                "usage: hetsched_serve --socket=PATH [--threads=T] "
                "[--max-batch=B]\n"
+               "       [--policy=SPEC] (--policy=help lists policies)\n"
                "       [--max-depth=D] [--max-latency-ms=L] [--retries=R]\n"
                "       [--seed=S] [--pack-cache=on|off|MiB] "
                "[--default-deadline-ms=D]\n"
@@ -91,6 +97,7 @@ DaemonArgs parse(int argc, char** argv) {
     else if (flag(arg, "threads", &v)) a.server.threads = std::atoi(v.c_str());
     else if (flag(arg, "max-batch", &v))
       a.server.max_batch = std::atoi(v.c_str());
+    else if (flag(arg, "policy", &v)) a.server.policy = v;
     else if (flag(arg, "max-depth", &v))
       a.server.admission.max_depth =
           static_cast<std::size_t>(std::atoi(v.c_str()));
@@ -118,6 +125,10 @@ DaemonArgs parse(int argc, char** argv) {
     } else {
       usage(("unknown option " + arg).c_str());
     }
+  }
+  if (a.server.policy == "help" || a.server.policy == "list") {
+    std::fputs(sched::scheduler_help_text().c_str(), stdout);
+    std::exit(0);
   }
   if (a.socket_path.empty()) usage("missing --socket=PATH");
   if (a.server.threads <= 0) usage("--threads must be positive");
