@@ -78,6 +78,12 @@ class GemmPeakModel final : public BoundModel {
     const double peak = gemm_peak_gflops(p) * 1e9;  // flops per second
     if (peak <= 0.0)
       throw std::invalid_argument("gemm-peak: platform has zero GEMM rate");
+    if (is_mixed_nb(g)) {
+      // Mixed-nb graph: per-task flop counts were stamped at build time.
+      double f = 0.0;
+      for (const Task& t : g.tasks()) f += t.flops;
+      return f / peak;
+    }
     return graph_flops(g, p.nb()) / peak;
   }
 };
@@ -89,6 +95,7 @@ class CriticalPathModel final : public BoundModel {
     return "longest DAG path at fastest per-kernel times";
   }
   double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    if (is_mixed_nb(g)) return critical_path_seconds(g, p);
     return critical_path_seconds(g, p.timings());
   }
 };
@@ -100,6 +107,7 @@ class AreaModel final : public BoundModel {
     return "per-class capacity LP over the kernel histogram";
   }
   double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    if (is_mixed_nb(g)) return area_bound_mixed_s(g, p);
     return area_bound_for(g.kernel_histogram(), p).makespan_s;
   }
 };
@@ -111,6 +119,11 @@ class MixedModel final : public BoundModel {
     return "area LP + the diagonal-chain critical constraint";
   }
   double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    if (is_mixed_nb(g)) {
+      // No single diagonal chain exists across regions; the per-task
+      // critical path plays that role instead.
+      return std::max(area_bound_mixed_s(g, p), critical_path_seconds(g, p));
+    }
     const KernelHistogram hist = g.kernel_histogram();
     return mixed_lp_s(hist, p, detect_chain(hist, p.timings()));
   }
@@ -123,6 +136,9 @@ class PrefixModel final : public BoundModel {
     return "max over panel steps of chain prefix + tail mixed LP (Cholesky)";
   }
   double lower_bound_s(const TaskGraph& g, const Platform& p) const override {
+    if (is_mixed_nb(g))
+      throw std::invalid_argument(
+          "prefix: bound is defined for uniform Cholesky DAGs only");
     const KernelHistogram hist = g.kernel_histogram();
     const auto n = hist[static_cast<std::size_t>(kernel_index(Kernel::POTRF))];
     if (n <= 0 || hist != cholesky_histogram(static_cast<int>(n)))
@@ -147,17 +163,16 @@ class AlapModel final : public BoundModel {
 
 // ---- AlapAnalysis ---------------------------------------------------------
 
-AlapAnalysis alap_analysis(const TaskGraph& g, const TimingTable& t) {
+namespace {
+
+AlapAnalysis alap_analysis_dur(const TaskGraph& g,
+                               const std::vector<double>& dur) {
   const int n = g.num_tasks();
   AlapAnalysis a;
   a.est.assign(static_cast<std::size_t>(n), 0.0);
   a.alap_start.assign(static_cast<std::size_t>(n), 0.0);
   a.slack.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return a;
-
-  std::vector<double> dur(static_cast<std::size_t>(n), 0.0);
-  for (const Task& task : g.tasks())
-    dur[static_cast<std::size_t>(task.id)] = t.fastest(task.kernel);
 
   const std::vector<int> order = g.topological_order();
   // Forward: earliest start = max over predecessors of their earliest
@@ -188,11 +203,110 @@ AlapAnalysis alap_analysis(const TaskGraph& g, const TimingTable& t) {
   return a;
 }
 
+}  // namespace
+
+AlapAnalysis alap_analysis(const TaskGraph& g, const TimingTable& t) {
+  std::vector<double> dur(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (const Task& task : g.tasks())
+    dur[static_cast<std::size_t>(task.id)] = t.fastest(task.kernel);
+  return alap_analysis_dur(g, dur);
+}
+
+AlapAnalysis alap_analysis(const TaskGraph& g, const Platform& p) {
+  std::vector<double> dur(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (const Task& task : g.tasks())
+    dur[static_cast<std::size_t>(task.id)] =
+        p.fastest_time_at(task.kernel, task.nb);
+  return alap_analysis_dur(g, dur);
+}
+
 // ---- the ALAP bound -------------------------------------------------------
+
+namespace {
+
+// Mixed-nb level-set sweep: same structure as the uniform bound below,
+// but durations come from Platform::fastest_time_at and each threshold's
+// LP runs over (kernel, nb) groups instead of a plain kernel histogram
+// (no diagonal chain exists across regions; the induced critical path
+// term covers that role).
+double alap_bound_mixed_s(const TaskGraph& g, const Platform& p) {
+  const int n = g.num_tasks();
+  const AlapAnalysis a = alap_analysis(g, p);
+
+  // Catalog of (kernel, nb) groups and each task's group id.
+  std::vector<NbGroupCount> catalog;
+  std::vector<int> gid(static_cast<std::size_t>(n), 0);
+  for (const Task& task : g.tasks()) {
+    const auto it = std::find_if(catalog.begin(), catalog.end(),
+                                 [&](const NbGroupCount& gc) {
+                                   return gc.kernel == task.kernel &&
+                                          gc.nb == task.nb;
+                                 });
+    if (it == catalog.end()) {
+      gid[static_cast<std::size_t>(task.id)] = static_cast<int>(catalog.size());
+      catalog.push_back({task.kernel, task.nb, 0});
+    } else {
+      gid[static_cast<std::size_t>(task.id)] =
+          static_cast<int>(it - catalog.begin());
+    }
+  }
+
+  struct Item {
+    double d;
+    double top;
+    int group;
+  };
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (const Task& task : g.tasks()) {
+    const auto i = static_cast<std::size_t>(task.id);
+    const double dur = p.fastest_time_at(task.kernel, task.nb);
+    items.push_back({a.critical_path_s - (a.alap_start[i] + dur),
+                     a.est[i] + dur, gid[i]});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& x, const Item& y) { return x.d > y.d; });
+
+  constexpr std::size_t kMaxLpThresholds = 160;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (i + 1 == items.size() || items[i + 1].d < items[i].d) ++distinct;
+  const std::size_t lp_stride =
+      distinct <= kMaxLpThresholds ? 1 : (distinct + kMaxLpThresholds - 1) /
+                                             kMaxLpThresholds;
+
+  std::vector<std::int64_t> counts(catalog.size(), 0);
+  double max_top = 0.0;
+  double best = 0.0;
+  std::size_t boundary = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ++counts[static_cast<std::size_t>(items[i].group)];
+    max_top = std::max(max_top, items[i].top);
+    const bool at_boundary =
+        i + 1 == items.size() || items[i + 1].d < items[i].d;
+    if (!at_boundary) continue;
+    const double y = items[i].d;
+    double level = max_top;
+    const bool last = i + 1 == items.size();
+    if (last || boundary % lp_stride == 0) {
+      std::vector<NbGroupCount> present;
+      for (std::size_t c = 0; c < catalog.size(); ++c)
+        if (counts[c] > 0)
+          present.push_back({catalog[c].kernel, catalog[c].nb, counts[c]});
+      level = std::max(level, nb_group_area_lp_s(present, p));
+    }
+    best = std::max(best, y + level);
+    ++boundary;
+  }
+  return best;
+}
+
+}  // namespace
 
 double alap_bound_s(const TaskGraph& g, const Platform& p) {
   const int n = g.num_tasks();
   if (n == 0) return 0.0;
+  if (is_mixed_nb(g)) return alap_bound_mixed_s(g, p);
   const TimingTable& t = p.timings();
   const AlapAnalysis a = alap_analysis(g, t);
 

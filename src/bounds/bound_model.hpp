@@ -113,6 +113,11 @@ struct AlapAnalysis {
 };
 AlapAnalysis alap_analysis(const TaskGraph& g, const TimingTable& t);
 
+/// Mixed-nb variant: per-task durations from Platform::fastest_time_at
+/// with each task's own Task::nb. Produces identical values to the
+/// TimingTable overload on uniform graphs (every nb == -1).
+AlapAnalysis alap_analysis(const TaskGraph& g, const Platform& p);
+
 /// The ALAP bound itself (see the file header). Also exposed directly so
 /// tests can compare against mixed_bound() without going through the
 /// registry.

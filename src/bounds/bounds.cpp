@@ -307,6 +307,88 @@ std::vector<int> critical_path_tasks(const TaskGraph& g,
   return path;
 }
 
+bool is_mixed_nb(const TaskGraph& g) {
+  for (const Task& t : g.tasks())
+    if (t.nb >= 0) return true;
+  return false;
+}
+
+double nb_group_area_lp_s(const std::vector<NbGroupCount>& groups,
+                          const Platform& p) {
+  if (groups.empty())
+    throw std::invalid_argument("bound: empty mixed-nb workload");
+  const int nc = p.num_classes();
+  const int ng = static_cast<int>(groups.size());
+  for (const NbGroupCount& grp : groups)
+    if (!is_repack(grp.kernel))
+      for (int c = 0; c < nc; ++c)
+        if (p.class_time_at(c, grp.kernel, grp.nb) <= 0.0)
+          throw std::invalid_argument(
+              std::string("bound: platform not calibrated for kernel ") +
+              std::string(to_string(grp.kernel)) + " at nb " +
+              std::to_string(grp.nb));
+
+  // Variables: x[c * ng + g] = tasks of group g on class c, then l.
+  LinearProgram lp;
+  lp.num_vars = nc * ng + 1;
+  lp.sense = LinearProgram::Sense::Minimize;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  lp.objective[static_cast<std::size_t>(nc * ng)] = 1.0;
+  for (int grp = 0; grp < ng; ++grp) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int c = 0; c < nc; ++c)
+      row[static_cast<std::size_t>(c * ng + grp)] = 1.0;
+    lp.add_constraint(std::move(row), LinearProgram::Rel::EQ,
+                      static_cast<double>(
+                          groups[static_cast<std::size_t>(grp)].count));
+  }
+  for (int c = 0; c < nc; ++c) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int grp = 0; grp < ng; ++grp) {
+      const NbGroupCount& gc = groups[static_cast<std::size_t>(grp)];
+      row[static_cast<std::size_t>(c * ng + grp)] =
+          p.class_time_at(c, gc.kernel, gc.nb);
+    }
+    row[static_cast<std::size_t>(nc * ng)] =
+        -static_cast<double>(p.resource_class(c).count);
+    lp.add_constraint(std::move(row), LinearProgram::Rel::LE, 0.0);
+  }
+  const LpSolution sol = solve_lp(lp);
+  if (!sol.optimal())
+    throw std::runtime_error("mixed-nb area LP not optimal");
+  return sol.objective;
+}
+
+double area_bound_mixed_s(const TaskGraph& g, const Platform& p) {
+  std::vector<NbGroupCount> groups;
+  for (const Task& t : g.tasks()) {
+    const auto it = std::find_if(groups.begin(), groups.end(),
+                                 [&](const NbGroupCount& gc) {
+                                   return gc.kernel == t.kernel && gc.nb == t.nb;
+                                 });
+    if (it != groups.end())
+      ++it->count;
+    else
+      groups.push_back({t.kernel, t.nb, 1});
+  }
+  return nb_group_area_lp_s(groups, p);
+}
+
+double critical_path_seconds(const TaskGraph& g, const Platform& p) {
+  double best = 0.0;
+  std::vector<double> finish(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (const int id : g.topological_order()) {
+    double start = 0.0;
+    for (const int pred : g.predecessors(id))
+      start = std::max(start, finish[static_cast<std::size_t>(pred)]);
+    const Task& t = g.task(id);
+    finish[static_cast<std::size_t>(id)] =
+        start + p.fastest_time_at(t.kernel, t.nb);
+    best = std::max(best, finish[static_cast<std::size_t>(id)]);
+  }
+  return best;
+}
+
 double gemm_peak_gflops(const Platform& p) {
   const double gemm_f = kernel_flops(Kernel::GEMM, p.nb());
   double peak = 0.0;

@@ -103,6 +103,35 @@ double potrf_chain_seconds(int n_tiles, const TimingTable& t);
 /// over the classes of `t` (Section III-C).
 double critical_path_seconds(const TaskGraph& g, const TimingTable& t);
 
+/// True iff any task of `g` carries an explicit per-task tile size
+/// (Task::nb >= 0), i.e. the graph was built from a non-uniform TilePlan.
+bool is_mixed_nb(const TaskGraph& g);
+
+/// One task group of the mixed-nb area LP: all tasks sharing a
+/// (kernel, tile size) pair. nb = -1 denotes the platform's own size.
+struct NbGroupCount {
+  Kernel kernel = Kernel::POTRF;
+  int nb = -1;
+  std::int64_t count = 0;
+};
+
+/// Area bound generalized to task groups: every class must finish its
+/// assigned share of each (kernel, nb) group within the makespan, group
+/// times priced via Platform::class_time_at (repack groups cost one bus
+/// transfer on every class). Throws std::invalid_argument if some compute
+/// group is unpriceable on any class or `groups` is empty.
+double nb_group_area_lp_s(const std::vector<NbGroupCount>& groups,
+                          const Platform& p);
+
+/// Area bound of a mixed-nb graph: nb_group_area_lp_s over the graph's
+/// (kernel, nb) histogram.
+double area_bound_mixed_s(const TaskGraph& g, const Platform& p);
+
+/// Critical-path bound with per-task mixed-nb durations
+/// (Platform::fastest_time_at); equals the TimingTable overload on
+/// uniform graphs.
+double critical_path_seconds(const TaskGraph& g, const Platform& p);
+
 /// The tasks of one longest path, in execution order.
 std::vector<int> critical_path_tasks(const TaskGraph& g, const TimingTable& t);
 

@@ -60,6 +60,9 @@ int tile_diagonal_distance(const Task& t) noexcept {
     case Kernel::TSQRT:
     case Kernel::TSMQR:
       return t.i - t.k;
+    case Kernel::SPLIT:
+    case Kernel::MERGE:
+      return 0;
   }
   return 0;
 }

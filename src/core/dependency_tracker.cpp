@@ -13,6 +13,11 @@ DependencyTracker::DependencyTracker(int num_handles)
 void DependencyTracker::submit(TaskGraph& g, int task_id) {
   const Task& t = g.task(task_id);
   for (const TaskAccess& a : t.accesses) {
+    if (a.tile < 0) throw std::invalid_argument("DependencyTracker: negative tile handle");
+    // Handles past the constructor count appear when a TilePlan builder
+    // allocates view/subtile handles lazily; grow to accommodate them.
+    if (static_cast<std::size_t>(a.tile) >= handles_.size())
+      handles_.resize(static_cast<std::size_t>(a.tile) + 1);
     auto& h = handles_.at(static_cast<std::size_t>(a.tile));
     const bool reads = a.mode != AccessMode::Write;
     const bool writes = a.mode != AccessMode::Read;

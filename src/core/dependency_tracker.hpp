@@ -22,6 +22,8 @@ namespace hetsched {
 class DependencyTracker {
  public:
   /// `num_handles` is the number of distinct data handles (tiles).
+  /// Handles beyond this count may still be submitted later (the tracker
+  /// grows on demand); the count is just the initial reservation.
   explicit DependencyTracker(int num_handles);
 
   /// Registers graph task `task_id` (already added to `g`, accesses filled)

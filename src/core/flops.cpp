@@ -14,6 +14,8 @@ double kernel_flops(Kernel k, int nb) noexcept {
     case Kernel::TSQRT: return 2.0 * b * b * b;
     case Kernel::ORMQR: return 2.0 * b * b * b;
     case Kernel::TSMQR: return 4.0 * b * b * b;
+    case Kernel::SPLIT:
+    case Kernel::MERGE: return 0.0;  // pure data movement
   }
   return 0.0;
 }

@@ -38,15 +38,34 @@ enum class Kernel : std::uint8_t {
   TSQRT = 6,
   ORMQR = 7,
   TSMQR = 8,
+  // Repack tasks of variable-tile-size plans (see core/tile_plan.hpp):
+  // rewrite a tile region as a finer (SPLIT) or coarser (MERGE) view.
+  // Data movement, not arithmetic -- no timing-table row carries them;
+  // they are priced like transfers via the BusModel.
+  SPLIT = 9,
+  MERGE = 10,
 };
 
-/// Number of distinct tile kernels (timing-table width).
-inline constexpr int kNumKernels = 9;
+/// Number of distinct tile kernels (timing-table width). The repack
+/// kernels own rows so Task::kernel always indexes safely, but every
+/// platform leaves them at 0 ("unsupported"): their cost comes from the
+/// bus model, not calibration.
+inline constexpr int kNumKernels = 11;
 
-/// All kernels, for full-table sweeps.
-inline constexpr std::array<Kernel, kNumKernels> kAllKernels = {
+/// Number of calibrated compute kernels (everything but SPLIT/MERGE).
+inline constexpr int kNumComputeKernels = 9;
+
+/// All *compute* kernels, for full-table sweeps and calibration. The
+/// repack kernels are deliberately absent: no sweep calibrates or prices
+/// them through the timing table.
+inline constexpr std::array<Kernel, kNumComputeKernels> kAllKernels = {
     Kernel::POTRF, Kernel::TRSM,  Kernel::SYRK,  Kernel::GEMM, Kernel::GETRF,
     Kernel::GEQRT, Kernel::TSQRT, Kernel::ORMQR, Kernel::TSMQR};
+
+/// True for the SPLIT/MERGE repack tasks of a TilePlan graph.
+constexpr bool is_repack(Kernel k) noexcept {
+  return k == Kernel::SPLIT || k == Kernel::MERGE;
+}
 
 /// The four kernels of the paper's tiled Cholesky.
 inline constexpr std::array<Kernel, 4> kCholeskyKernels = {
@@ -73,6 +92,8 @@ constexpr std::string_view to_string(Kernel k) noexcept {
     case Kernel::TSQRT: return "TSQRT";
     case Kernel::ORMQR: return "ORMQR";
     case Kernel::TSMQR: return "TSMQR";
+    case Kernel::SPLIT: return "SPLIT";
+    case Kernel::MERGE: return "MERGE";
   }
   return "?";
 }

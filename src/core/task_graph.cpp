@@ -35,6 +35,13 @@ int TaskGraph::add_task(Kernel kernel, int k, int i, int j, double flops,
   return static_cast<int>(tasks_.size()) - 1;
 }
 
+int TaskGraph::add_task(Kernel kernel, int k, int i, int j, double flops,
+                        int nb, std::vector<TaskAccess> accesses) {
+  const int id = add_task(kernel, k, i, j, flops, std::move(accesses));
+  tasks_.back().nb = nb;
+  return id;
+}
+
 void TaskGraph::add_edge(int from, int to) {
   if (from < 0 || to < 0 || from >= num_tasks() || to >= num_tasks())
     throw std::out_of_range("TaskGraph::add_edge: bad vertex id");

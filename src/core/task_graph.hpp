@@ -44,6 +44,11 @@ struct Task {
   int i = -1;  ///< row tile index (TRSM, GEMM)
   int j = -1;  ///< column tile index (SYRK, GEMM)
   double flops = 0.0;
+  /// Tile size this task operates at, or -1 for "the platform's tile
+  /// size" (every uniform graph). Mixed-nb graphs built from a TilePlan
+  /// set it per task so pricing can scale calibrated times; for
+  /// SPLIT/MERGE it is the extent of the repacked region.
+  int nb = -1;
   std::vector<TaskAccess> accesses;
 
   /// Human-readable label, e.g. "GEMM_4_2_1" as in the paper's Figure 1.
@@ -56,6 +61,10 @@ class TaskGraph {
   /// Appends a task; returns its id. Edges are added separately.
   int add_task(Kernel kernel, int k, int i, int j, double flops,
                std::vector<TaskAccess> accesses = {});
+
+  /// Same, but stamping an explicit per-task tile size (mixed-nb graphs).
+  int add_task(Kernel kernel, int k, int i, int j, double flops, int nb,
+               std::vector<TaskAccess> accesses);
 
   /// Adds dependency `from` -> `to` (to cannot start before from ends).
   /// Duplicate edges are ignored.

@@ -1,0 +1,107 @@
+// Variable tile-size partitioning (HeSP-style scheduling-partitioning).
+//
+// A TilePlan assigns every lower-triangle cell of the tiled matrix a
+// recursive quadtree split level: level 0 keeps the platform tile size
+// base_nb, level L splits the cell into a 2^L x 2^L grid of subtiles of
+// side base_nb >> L. Large tiles keep accelerators efficient; finer
+// splits give CPUs concurrency where the DAG is narrow (small trailing
+// submatrices, the critical panel path).
+//
+// build_cholesky_dag_plan lowers Algorithm 1 onto a plan: each classic
+// task becomes a blocked group of sub-kernels at the output cell's own
+// level, and whenever a task must read a neighbouring cell at a
+// granularity different from that cell's storage, an explicit SPLIT
+// (finer view) or MERGE (coarser view) repack task rewrites the cell
+// into per-(cell, level) view handles. Repacks carry no flops and are
+// priced like transfers through the BusModel. Dependency edges flow
+// through the repack nodes via the usual access-mode tracker, so the
+// graph stays a faithful dataflow DAG.
+//
+// A uniform base-level plan short-circuits to build_cholesky_dag, which
+// guarantees bit-for-bit identical graphs (and therefore simulated
+// makespans, bounds and traces) for every pre-TilePlan workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+
+namespace hetsched {
+
+/// Maximum quadtree split level (2^3 = 8-way per side).
+inline constexpr int kMaxTileSplitLevel = 3;
+
+/// Per-cell quadtree split levels for an n_tiles x n_tiles tiled matrix.
+struct TilePlan {
+  int n_tiles = 0;
+  int base_nb = 0;
+  /// Split level per lower-triangle cell, indexed by tile_linear_index.
+  std::vector<std::uint8_t> levels;
+
+  /// A plan splitting every cell to `level` (0 = the classic layout).
+  static TilePlan uniform(int n_tiles, int base_nb, int level = 0);
+
+  /// Parses the text format produced by to_text(): first line "n nb",
+  /// then row i holds i+1 whitespace-separated levels. '#' starts a
+  /// comment. Throws std::invalid_argument on malformed input.
+  static TilePlan from_text(const std::string& text);
+  std::string to_text() const;
+
+  int level(int i, int j) const {
+    return levels[static_cast<std::size_t>(tile_linear_index(i, j))];
+  }
+  void set_level(int i, int j, int l) {
+    levels[static_cast<std::size_t>(tile_linear_index(i, j))] =
+        static_cast<std::uint8_t>(l);
+  }
+  /// Subtiles per side of a cell at `level`.
+  static int side(int level) noexcept { return 1 << level; }
+  /// Tile size of a subtile at `level`.
+  int sub_nb(int level) const noexcept { return base_nb >> level; }
+
+  /// True iff every cell is at level 0 (the classic uniform layout).
+  bool is_uniform_base() const;
+  int max_level() const;
+
+  /// Empty string if well-formed, else a diagnostic. Checks shape,
+  /// level caps, and that base_nb is divisible by every 2^level used.
+  std::string validate() const;
+
+  bool operator==(const TilePlan&) const = default;
+};
+
+/// Where one plan data handle lives: which cell, which subrectangle of
+/// it, and whether it is canonical storage or a repacked view.
+struct PlanHandle {
+  int cell_i = -1;  ///< lower-triangle cell row
+  int cell_j = -1;  ///< lower-triangle cell column
+  int row0 = 0;     ///< element row offset inside the cell
+  int col0 = 0;     ///< element column offset inside the cell
+  int nb = 0;       ///< block side (elements)
+  bool view = false;  ///< true for SPLIT/MERGE view handles
+};
+
+/// Handle directory of a plan graph: handle id -> placement. Base cells
+/// at level 0 keep their classic tile_linear_index handle; subtile and
+/// view handles are appended after num_lower_tiles(n_tiles).
+struct PlanLayout {
+  int n_tiles = 0;
+  int base_nb = 0;
+  std::vector<PlanHandle> handles;
+
+  int num_handles() const noexcept { return static_cast<int>(handles.size()); }
+};
+
+/// Builds the mixed-nb Cholesky DAG for `plan`. Every task carries its
+/// own Task::nb; SPLIT/MERGE repack tasks are inserted where a cell is
+/// consumed at a different granularity than it is stored at. For a
+/// uniform base-level plan this returns build_cholesky_dag(n, base_nb)
+/// verbatim (bit-for-bit identical graph). If `layout` is non-null it
+/// receives the handle directory needed to execute the graph.
+/// Throws std::invalid_argument if plan.validate() fails.
+TaskGraph build_cholesky_dag_plan(const TilePlan& plan,
+                                  PlanLayout* layout = nullptr);
+
+}  // namespace hetsched

@@ -15,7 +15,7 @@ CpResult cp_solve(const TaskGraph& g, const Platform& p, const CpOptions& opt) {
   // Stage 1: HEFT-style seed (same as the paper feeding a HEFT solution to
   // the CP solver).
   const StaticSchedule seed =
-      list_schedule(g, p, bottom_levels_fastest(g, p.timings()));
+      list_schedule(g, p, bottom_levels_fastest(g, p));
   res.schedule = seed;
   res.makespan_s = seed.makespan(g, p);
   res.winning_stage = "seed";

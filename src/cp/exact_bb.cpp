@@ -15,7 +15,7 @@ using Clock = std::chrono::steady_clock;
 class BbSearch {
  public:
   BbSearch(const TaskGraph& g, const Platform& p, const BbOptions& opt)
-      : g_(g), p_(p), opt_(opt), bl_(bottom_levels_fastest(g, p.timings())) {
+      : g_(g), p_(p), opt_(opt), bl_(bottom_levels_fastest(g, p)) {
     const auto nt = static_cast<std::size_t>(g.num_tasks());
     pending_.resize(nt);
     finish_.assign(nt, 0.0);
@@ -112,7 +112,8 @@ class BbSearch {
         }
         if (w < 0) continue;
         const double start = std::max(free_at, deps_done);
-        const double end = start + p_.worker_time(w, g_.task(t).kernel);
+        const double end =
+            start + p_.worker_time_at(w, g_.task(t).kernel, g_.task(t).nb);
         // A placement finishing at or beyond the incumbent cannot lead to a
         // strictly better complete schedule.
         if (end >= best_ - 1e-12) continue;

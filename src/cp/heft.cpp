@@ -27,7 +27,7 @@ double edge_bytes(const TaskGraph& g, int pred, int succ, const Platform& p) {
 StaticSchedule heft_schedule(const TaskGraph& g, const Platform& p,
                              const HeftOptions& opt) {
   const int nt = g.num_tasks();
-  const std::vector<double> rank = bottom_levels_average(g, p.timings());
+  const std::vector<double> rank = bottom_levels_average(g, p);
 
   // Decreasing rank is a topological order (ranks strictly decrease along
   // edges); stable tie-break by task id.
@@ -84,7 +84,7 @@ StaticSchedule heft_schedule(const TaskGraph& g, const Platform& p,
       for (const int pr : g.predecessors(t))
         ready = std::max(ready, finish[static_cast<std::size_t>(pr)] +
                                     comm_time(pr, t, w.id));
-      const double dur = p.worker_time(w.id, g.task(t).kernel);
+      const double dur = p.worker_time_at(w.id, g.task(t).kernel, g.task(t).nb);
       const double start = slot_on(w.id, ready, dur);
       if (start + dur < best_finish) {
         best_finish = start + dur;

@@ -45,13 +45,14 @@ StaticSchedule list_schedule(const TaskGraph& g, const Platform& p,
     for (const Worker& w : p.workers()) {
       const double start =
           std::max(worker_free[static_cast<std::size_t>(w.id)], deps_done);
-      const double f = start + p.worker_time(w.id, g.task(t).kernel);
+      const double f = start + p.worker_time_at(w.id, g.task(t).kernel, g.task(t).nb);
       if (f < best_finish) {
         best_finish = f;
         best_w = w.id;
       }
     }
-    const double start = best_finish - p.worker_time(best_w, g.task(t).kernel);
+    const double start =
+      best_finish - p.worker_time_at(best_w, g.task(t).kernel, g.task(t).nb);
     sched.entries.push_back({t, best_w, start});
     worker_free[static_cast<std::size_t>(best_w)] = best_finish;
     finish[static_cast<std::size_t>(t)] = best_finish;

@@ -55,7 +55,8 @@ std::optional<StaticSchedule> evaluate_order(
       s = std::max(s, finish[static_cast<std::size_t>(
                         chain_pred[static_cast<std::size_t>(t)])]);
     start[static_cast<std::size_t>(t)] = s;
-    finish[static_cast<std::size_t>(t)] = s + p.worker_time(w, g.task(t).kernel);
+    finish[static_cast<std::size_t>(t)] =
+        s + p.worker_time_at(w, g.task(t).kernel, g.task(t).nb);
 
     for (const int su : g.successors(t))
       if (--indeg[static_cast<std::size_t>(su)] == 0) q.push(su);

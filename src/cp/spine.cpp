@@ -29,8 +29,8 @@ SpinePlan extract_spine(const TaskGraph& g, const Platform& p,
       std::llround(opt.static_fraction * static_cast<double>(n)));
   count = std::clamp(count, 0, n);
   if (count > 0) {
-    const bounds::AlapAnalysis a = bounds::alap_analysis(g, p.timings());
-    const std::vector<double> bottom = bottom_levels_fastest(g, p.timings());
+    const bounds::AlapAnalysis a = bounds::alap_analysis(g, p);
+    const std::vector<double> bottom = bottom_levels_fastest(g, p);
     std::vector<int> ids(static_cast<std::size_t>(n));
     std::iota(ids.begin(), ids.end(), 0);
     std::sort(ids.begin(), ids.end(), [&](int x, int y) {

@@ -17,8 +17,10 @@
 #include "core/lu_dag.hpp"
 #include "core/numeric_error.hpp"
 #include "core/qr_dag.hpp"
+#include "core/plan_storage.hpp"
 #include "core/task_graph.hpp"
 #include "core/tile_matrix.hpp"
+#include "core/tile_plan.hpp"
 #include "core/tiled_cholesky.hpp"
 
 // Machine models and the paper's performance bounds (closed-form and LP
@@ -28,6 +30,9 @@
 #include "bounds/bounds.hpp"
 #include "platform/calibration.hpp"
 #include "platform/platform.hpp"
+
+// Variable tile-size partitioning (TilePlan auto-tuner).
+#include "partition/auto_tune.hpp"
 
 // Scheduling policies and static/CP schedule construction.
 #include "cp/cp_solver.hpp"
@@ -53,6 +58,7 @@
 
 // Runtime entry points, options, reports, traces and experiments.
 #include "exec/parallel_executor.hpp"
+#include "exec/plan_executor.hpp"
 #include "exec/scheduled_executor.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/experiment.hpp"

@@ -84,7 +84,9 @@ void gemm_packed(int m, int n, int k, double alpha, const double* a, int lda,
   const bool wide = tier == Tier::kAvx512;
   const MicroKernel micro =
       tier == Tier::kGeneric ? micro_8x4_generic : micro_8x4_avx2;
-  const PackGeometry g = pack_geometry();
+  // Thread-local binding first (per-region TilePlan geometry), else the
+  // process-wide geometry; must match what the pack cache keyed on.
+  const PackGeometry g = detail::active_pack_geometry();
 
   // Per-call scratch only for operands without a pre-packed image.
   double* pb = nullptr;

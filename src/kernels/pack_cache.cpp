@@ -33,7 +33,7 @@ constexpr int kRefsEmpty = INT_MIN / 2;
 
 constexpr int kProbe = 8;              // slots inspected per lookup
 constexpr std::size_t kEpochSlots = 4096;  // power of two
-constexpr int kMaxDim = 0x3fff;        // 14 key bits each for dim and k
+constexpr int kMaxDim = 0xfff;         // 12 key bits each for dim and k
 
 // splitmix64 finalizer.
 std::uint64_t mix(std::uint64_t x) noexcept {
@@ -43,13 +43,16 @@ std::uint64_t mix(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
-// epoch(32) | dim(14) | k(14) | flavor(1) | geometry generation(3).
+// epoch(32) | dim(12) | k(12) | flavor(1) | geometry id(7). The id keys
+// the exact (kc, mc) pair the panel was packed under, so threads bound to
+// different per-region geometries (PackGeometryBinding) can never consume
+// each other's incompatible pack layouts.
 std::uint64_t make_meta(std::uint64_t epoch, int dim, int k,
-                        PackFlavor flavor) noexcept {
-  return (epoch << 32) | (static_cast<std::uint64_t>(dim) << 18) |
-         (static_cast<std::uint64_t>(k) << 4) |
-         (flavor == PackFlavor::kB ? 8u : 0u) |
-         (detail::pack_geometry_generation() & 7u);
+                        PackFlavor flavor, int geometry_id) noexcept {
+  return (epoch << 32) | (static_cast<std::uint64_t>(dim) << 20) |
+         (static_cast<std::uint64_t>(k) << 8) |
+         (flavor == PackFlavor::kB ? 0x80u : 0u) |
+         (static_cast<std::uint64_t>(geometry_id) & 0x7fu);
 }
 
 std::size_t round_up_pow2(std::size_t v) noexcept {
@@ -265,9 +268,12 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
                               PackFlavor flavor, Handle* out) {
   if (tile == nullptr || dim < 1 || k < 1 || dim > kMaxDim || k > kMaxDim)
     return false;
-  const PackGeometry g = pack_geometry();
+  const PackGeometry g = detail::active_pack_geometry();
+  const int geometry_id = detail::pack_geometry_id(g);
+  if (geometry_id < 0) return false;  // id space exhausted: pack uncached
   const auto ptr = reinterpret_cast<std::uintptr_t>(tile);
-  const std::uint64_t meta = make_meta(tile_epoch(tile), dim, k, flavor);
+  const std::uint64_t meta =
+      make_meta(tile_epoch(tile), dim, k, flavor, geometry_id);
   // Epoch-independent hash: a repack after a bump lands in the same probe
   // window, overwriting its own stale entry instead of leaking it. The
   // shard comes from the caller's NUMA node group plus hash bits within
@@ -321,13 +327,13 @@ bool PackedTileCache::acquire(const double* tile, int dim, int k,
   // Stragglers may still increment refs after the drain; the RMW
   // re-publication below preserves those increments so their back-off
   // decrements cancel exactly.
-  // Shape+flavor bits of the key (everything but epoch and generation).
+  // Shape+flavor bits of the key (everything but epoch and geometry id).
   // A stale entry for the same tile/flavor/shape is claimed ahead of any
   // empty slot: it keeps at most one version per key resident, and
   // tombstone() hands us its buffer to repack in place -- the refill
   // after an epoch bump then costs no allocation (and no page faults on
   // a fresh mmap for large images).
-  constexpr std::uint64_t kShapeMask = 0xfffffff8u;
+  constexpr std::uint64_t kShapeMask = 0xffffff80u;
   Slot* victim = nullptr;
   for (int p = 0; p < kProbe && victim == nullptr; ++p) {
     Slot& s = slots[(h + static_cast<std::size_t>(p)) & mask];

@@ -1,6 +1,9 @@
 #include "kernels/pack_geometry.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "kernels/pack_cache.hpp"
 
@@ -16,6 +19,28 @@ constexpr unsigned pack_word(PackGeometry g) {
 std::atomic<unsigned> g_geometry{
     pack_word({detail::kKCDefault, detail::kMCDefault})};
 std::atomic<unsigned> g_generation{0};
+
+// Thread-local override installed by PackGeometryBinding.
+thread_local PackGeometry tl_geometry{0, 0};
+thread_local bool tl_bound = false;
+
+// Process-wide registry of distinct geometries, keyed by pack word.
+// Id 0 is the default geometry; lookups are lock-free for ids already
+// published (the common case: one id per distinct region nb).
+constexpr int kMaxGeometryIds = 127;
+struct GeometryRegistry {
+  std::mutex mu;
+  std::vector<unsigned> words;
+  std::atomic<int> count{1};
+  GeometryRegistry() {
+    words.reserve(kMaxGeometryIds);
+    words.push_back(pack_word({detail::kKCDefault, detail::kMCDefault}));
+  }
+};
+GeometryRegistry& geometry_registry() {
+  static GeometryRegistry reg;
+  return reg;
+}
 
 }  // namespace
 
@@ -41,10 +66,54 @@ void reset_pack_geometry() {
   set_pack_geometry({detail::kKCDefault, detail::kMCDefault});
 }
 
+PackGeometry resolve_pack_geometry(int region_nb) noexcept {
+  PackGeometry g = pack_geometry();
+  if (region_nb <= 0) return g;
+  g.kc = std::min(g.kc, std::max(region_nb, 1));
+  const int mc_cap = detail::round_up(std::max(region_nb, 1), detail::kMR);
+  g.mc = std::min(g.mc, mc_cap);
+  return g;
+}
+
+PackGeometryBinding::PackGeometryBinding(PackGeometry g) noexcept
+    : prev_(tl_geometry), had_prev_(tl_bound) {
+  tl_geometry = g;
+  tl_bound = true;
+}
+
+PackGeometryBinding::~PackGeometryBinding() {
+  tl_geometry = prev_;
+  tl_bound = had_prev_;
+}
+
 namespace detail {
 
 unsigned pack_geometry_generation() noexcept {
   return g_generation.load(std::memory_order_relaxed);
+}
+
+PackGeometry active_pack_geometry() noexcept {
+  return tl_bound ? tl_geometry : pack_geometry();
+}
+
+int pack_geometry_id(PackGeometry g) noexcept {
+  const unsigned w = pack_word(g);
+  GeometryRegistry& reg = geometry_registry();
+  const int published = reg.count.load(std::memory_order_acquire);
+  for (int i = 0; i < published; ++i)
+    if (reg.words[static_cast<std::size_t>(i)] == w) return i;
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const int n = reg.count.load(std::memory_order_relaxed);
+  for (int i = published; i < n; ++i)
+    if (reg.words[static_cast<std::size_t>(i)] == w) return i;
+  if (n >= kMaxGeometryIds) return -1;  // callers pack uncached
+  reg.words.push_back(w);  // reserved capacity: no reallocation races
+  reg.count.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+int active_pack_geometry_id() noexcept {
+  return pack_geometry_id(active_pack_geometry());
 }
 
 }  // namespace detail

@@ -35,6 +35,32 @@ void set_pack_geometry(PackGeometry g);
 /// Restores the default geometry (and invalidates the cache).
 void reset_pack_geometry();
 
+/// Geometry for kernels operating on a tile region of side `region_nb`:
+/// the process-wide geometry with kc clamped to the region depth and mc
+/// clamped to the region height (kMR-rounded). Small regions thus pack
+/// panels sized to what they can actually use instead of the global
+/// blocking of the full-size tiles. region_nb <= 0 returns the global
+/// geometry unchanged.
+PackGeometry resolve_pack_geometry(int region_nb) noexcept;
+
+/// RAII thread-local geometry override. While alive, this thread's
+/// kernel calls (and their pack-cache entries) use `g` instead of the
+/// process-wide geometry; other threads are unaffected, so workers
+/// executing different TilePlan regions concurrently each pack with
+/// their own blocking. Bindings nest; destruction restores the previous
+/// binding (or the global geometry).
+class PackGeometryBinding {
+ public:
+  explicit PackGeometryBinding(PackGeometry g) noexcept;
+  ~PackGeometryBinding();
+  PackGeometryBinding(const PackGeometryBinding&) = delete;
+  PackGeometryBinding& operator=(const PackGeometryBinding&) = delete;
+
+ private:
+  PackGeometry prev_{0, 0};
+  bool had_prev_ = false;
+};
+
 namespace detail {
 
 inline constexpr int kMR = 8;  ///< micro-tile rows (register block)
@@ -81,6 +107,21 @@ inline std::size_t b_pack_doubles(int n, int k) {
 /// Bumped by every set_pack_geometry(); folded into pack-cache keys so no
 /// stale-geometry panel can satisfy a lookup.
 unsigned pack_geometry_generation() noexcept;
+
+/// Geometry the calling thread's kernels pack with: the innermost live
+/// PackGeometryBinding, else the process-wide geometry.
+PackGeometry active_pack_geometry() noexcept;
+
+/// Stable process-wide id of a distinct (kc, mc) pair, for exact
+/// geometry keying of pack-cache entries (a panel packed under one
+/// geometry has a different layout than under another, so entries from
+/// concurrent runs with different geometries must never alias). Ids are
+/// 7-bit; past 127 distinct geometries the registry returns -1 and
+/// callers fall back to uncached packing.
+int pack_geometry_id(PackGeometry g) noexcept;
+
+/// pack_geometry_id(active_pack_geometry()).
+int active_pack_geometry_id() noexcept;
 
 }  // namespace detail
 }  // namespace hetsched::kernels

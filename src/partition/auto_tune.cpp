@@ -1,0 +1,108 @@
+#include "partition/auto_tune.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "runtime/options.hpp"
+#include "sched/scheduler_registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetsched::partition {
+
+double rollout_makespan_s(const TilePlan& plan, const Platform& p,
+                          const std::string& policy) {
+  const TaskGraph g = build_cholesky_dag_plan(plan);
+  const std::unique_ptr<Scheduler> scheduler =
+      sched::make_scheduler(policy, g, p);
+  RunOptions opt;
+  opt.record_trace = false;
+  return simulate(g, p, *scheduler, opt).makespan_s;
+}
+
+namespace {
+
+/// Splits cell (i, j) one level deeper; false when already at the cap.
+bool refine_cell(TilePlan& plan, int i, int j, int max_level) {
+  const int l = plan.level(i, j);
+  if (l >= max_level || plan.base_nb % (1 << (l + 1)) != 0) return false;
+  plan.set_level(i, j, l + 1);
+  return true;
+}
+
+/// Splits every cell of the trailing submatrix starting at diagonal
+/// `kk` one level deeper (capped at max_level). Returns false when the
+/// move changes nothing (everything already at the cap).
+bool refine_trailing(TilePlan& plan, int kk, int max_level) {
+  bool changed = false;
+  for (int i = kk; i < plan.n_tiles; ++i)
+    for (int j = kk; j <= i; ++j)
+      changed = refine_cell(plan, i, j, max_level) || changed;
+  return changed;
+}
+
+}  // namespace
+
+AutoTuneResult auto_tune(int n_tiles, int base_nb, const Platform& p,
+                         const AutoTuneOptions& opt) {
+  if (n_tiles <= 0 || base_nb <= 0)
+    throw std::invalid_argument("auto_tune: n_tiles and base_nb must be > 0");
+  const int max_level =
+      std::clamp(opt.max_level, 0, static_cast<int>(kMaxTileSplitLevel));
+
+  AutoTuneResult res;
+  res.rollouts = 0;
+
+  // Seed: the best uniform plan. Level 0 is always a valid candidate, so
+  // the tuned plan can never simulate worse than the classic layout.
+  for (int l = 0; l <= max_level; ++l) {
+    if (base_nb % (1 << l) != 0) break;  // deeper levels divide even less
+    const TilePlan cand = TilePlan::uniform(n_tiles, base_nb, l);
+    const double ms = rollout_makespan_s(cand, p, opt.policy);
+    ++res.rollouts;
+    if (l == 0 || ms < res.makespan_s) {
+      res.plan = cand;
+      res.makespan_s = ms;
+      res.uniform_level = l;
+    }
+  }
+  res.uniform_makespan_s = res.makespan_s;
+
+  // Greedy refinement: per round, try every move and keep the best
+  // strictly improving one. Two move families:
+  //  * trailing-submatrix deepening (cells {(i,j): i,j >= kk}) -- the
+  //    last panels of Cholesky expose too few base-size tasks to keep
+  //    every worker busy, and finer tiles restore the concurrency;
+  //  * single-cell deepening -- polishes the coarse boundary the
+  //    submatrix moves leave behind.
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    TilePlan best_plan;
+    double best_ms = res.makespan_s;
+    const auto consider = [&](TilePlan&& cand) {
+      const double ms = rollout_makespan_s(cand, p, opt.policy);
+      ++res.rollouts;
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_plan = std::move(cand);
+      }
+    };
+    for (int kk = 0; kk < n_tiles; ++kk) {
+      TilePlan cand = res.plan;
+      if (refine_trailing(cand, kk, max_level)) consider(std::move(cand));
+    }
+    for (int i = 0; i < n_tiles; ++i)
+      for (int j = 0; j <= i; ++j) {
+        TilePlan cand = res.plan;
+        if (refine_cell(cand, i, j, max_level)) consider(std::move(cand));
+      }
+    if (best_plan.n_tiles == 0 ||
+        best_ms >= res.makespan_s * (1.0 - opt.min_gain))
+      break;
+    res.plan = std::move(best_plan);
+    res.makespan_s = best_ms;
+    res.rounds = round + 1;
+  }
+  return res;
+}
+
+}  // namespace hetsched::partition

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/flops.hpp"
+
 namespace hetsched {
 
 bool TimingTable::supported(Kernel k) const {
@@ -86,6 +88,38 @@ std::vector<int> Platform::workers_of_class(int cls) const {
   for (const Worker& w : workers_)
     if (w.cls == cls) out.push_back(w.id);
   return out;
+}
+
+double Platform::class_time_at(int cls, Kernel k, int nb) const {
+  if (nb < 0) return timings_.time(cls, k);  // uniform graph: exact entry
+  if (is_repack(k)) {
+    const std::size_t bytes = static_cast<std::size_t>(nb) *
+                              static_cast<std::size_t>(nb) * sizeof(double);
+    return bus_.enabled ? bus_.transfer_time(bytes) : 0.0;
+  }
+  const double t = timings_.time(cls, k);
+  if (nb == nb_ || t <= 0.0) return t;
+  const double flop_ratio = kernel_flops(k, nb) / kernel_flops(k, nb_);
+  // Per-flop efficiency model: time(nb) ~ flops(nb) * (1 + h/nb) up to
+  // normalization at the calibrated size. h is the tile side at which
+  // overhead equals useful work -- large on accelerators (they need big
+  // tiles to reach peak), small on CPU cores.
+  const double h = classes_[static_cast<std::size_t>(cls)].accelerator
+                       ? 0.2 * nb_
+                       : nb_ / 60.0;
+  const double penalty = (static_cast<double>(nb_) * (nb + h)) /
+                         ((nb_ + h) * static_cast<double>(nb));
+  return t * flop_ratio * penalty;
+}
+
+double Platform::fastest_time_at(Kernel k, int nb) const {
+  if (nb >= 0 && is_repack(k)) return class_time_at(0, k, nb);
+  double best = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < num_classes(); ++c) {
+    const double t = class_time_at(c, k, nb);
+    if (t > 0.0) best = std::min(best, t);
+  }
+  return std::isfinite(best) ? best : 0.0;
 }
 
 Platform Platform::without_communication() const {

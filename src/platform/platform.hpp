@@ -137,6 +137,26 @@ class Platform {
     return timings_.time(worker(w).cls, k);
   }
 
+  /// Execution time of kernel `k` at tile size `nb` on class `cls`.
+  /// `nb < 0` (the uniform default stamped by build_cholesky_dag) returns
+  /// the calibrated table entry verbatim, so uniform graphs price
+  /// bit-for-bit as before. Repack kernels (SPLIT/MERGE) are pure data
+  /// movement and cost one BusModel transfer of the nb x nb region (zero
+  /// when the bus is disabled). Any other size scales the calibrated time
+  /// by the flop ratio times a surface-to-volume efficiency factor:
+  /// smaller tiles pay a per-flop penalty, steeply on accelerators and
+  /// mildly on CPU cores (the HeSP efficiency trade-off).
+  double class_time_at(int cls, Kernel k, int nb) const;
+
+  /// class_time_at of worker `w`'s class.
+  double worker_time_at(int w, Kernel k, int nb) const {
+    return class_time_at(worker(w).cls, k, nb);
+  }
+
+  /// Fastest class_time_at over classes; mirrors TimingTable::fastest
+  /// (skips uncalibrated zero entries, 0 when unsupported everywhere).
+  double fastest_time_at(Kernel k, int nb) const;
+
   /// True iff the platform is calibrated for kernel `k` on every class.
   bool supports(Kernel k) const { return timings_.supported(k); }
 

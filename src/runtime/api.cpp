@@ -5,10 +5,12 @@
 #include <stdexcept>
 
 #include "exec/parallel_executor.hpp"
+#include "exec/plan_executor.hpp"
 #include "exec/scheduled_executor.hpp"
 #include "platform/calibration.hpp"
 #include "runtime/des_backend.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/plan_backend.hpp"
 #include "runtime/threaded_backend.hpp"
 #include "sched/priority_sched.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +67,43 @@ RunReport emulate_with_scheduler(const TaskGraph& g,
   opt.record_trace = record_trace;
   opt.faults = faults;
   return emulate_with_scheduler(g, calibration, sched, time_scale, opt);
+}
+
+RunReport execute_plan_with_scheduler(TileMatrix& a, const TilePlan& plan,
+                                      const Platform& calibration,
+                                      Scheduler& sched, int num_threads,
+                                      const RunOptions& opt) {
+  if (num_threads <= 0)
+    throw std::invalid_argument("execute_plan_with_scheduler: num_threads <= 0");
+  if (calibration.num_workers() != num_threads)
+    throw std::invalid_argument(
+        "execute_plan_with_scheduler: calibration platform must model "
+        "exactly num_threads workers");
+  PlanLayout layout;
+  const TaskGraph g = build_cholesky_dag_plan(plan, &layout);
+  PlanStorage storage(layout);
+  storage.import_from(a);
+  RunEngine engine(g, calibration, sched, opt);
+  PlanComputeBackend backend(storage);
+  RunReport report = engine.run(backend);
+  // A failed run leaves `a` at its input contents: the plan blocks hold a
+  // partial factorization nothing downstream should consume.
+  if (report.success) storage.export_to(a);
+  return report;
+}
+
+RunReport execute_plan_parallel(TileMatrix& a, const TilePlan& plan,
+                                const ExecOptions& opt) {
+  if (opt.num_threads <= 0)
+    throw std::invalid_argument("execute_plan_parallel: num_threads <= 0");
+  const Platform calibration = homogeneous_platform(opt.num_threads);
+  CentralPriorityScheduler sched(opt.priorities);
+  RunOptions ropt;
+  ropt.record_trace = opt.record_trace;
+  ropt.pack_cache = opt.pack_cache;
+  ropt.cancel = opt.cancel;
+  return execute_plan_with_scheduler(a, plan, calibration, sched,
+                                     opt.num_threads, ropt);
 }
 
 RunReport execute_parallel(TileMatrix& a, const TaskGraph& g,

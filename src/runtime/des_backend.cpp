@@ -115,7 +115,8 @@ class DesRun final : public SchedulerHost {
   void note_task_queued(int task, int worker) override {
     if (!workers_[static_cast<std::size_t>(worker)].alive) return;
     const double est =
-        platform_.worker_time(worker, graph_.task(task).kernel);
+        platform_.worker_time_at(worker, graph_.task(task).kernel,
+                                 graph_.task(task).nb);
     lifecycle_.note_queued(task, worker, est);
     if (opt_.prefetch) prefetch_inputs(task, worker);
   }
@@ -318,7 +319,8 @@ class DesRun final : public SchedulerHost {
     lifecycle_.on_pop(task);
 
     w.current_task = task;
-    w.current_est = platform_.worker_time(worker, graph_.task(task).kernel);
+    w.current_est = platform_.worker_time_at(worker, graph_.task(task).kernel,
+                                             graph_.task(task).nb);
     const int node = platform_.worker(worker).memory_node;
     // Inputs of a committed task must survive until it finishes.
     for (const TaskAccess& a : graph_.task(task).accesses)
@@ -582,7 +584,8 @@ class DesRun final : public SchedulerHost {
       if (!workers_[static_cast<std::size_t>(w)].alive) continue;
       double seconds = 0.0;
       for (const int task : chain)
-        seconds += platform_.worker_time(w, graph_.task(task).kernel);
+        seconds += platform_.worker_time_at(w, graph_.task(task).kernel,
+                                            graph_.task(task).nb);
       const double finish = expected_available(w) + seconds;
       if (best < 0 || finish < best_finish) {
         best = w;

@@ -21,7 +21,9 @@ RunEngine::RunEngine(const TaskGraph& g, const Platform& p, Scheduler& sched,
 void RunEngine::validate(const Backend& backend) const {
   const std::string prefix = backend.error_prefix();
   for (const Task& t : graph_.tasks())
-    if (!platform_.supports(t.kernel))
+    // Repack tasks (SPLIT/MERGE) are priced via the bus model, never the
+    // timing table, so calibration cannot (and need not) cover them.
+    if (!is_repack(t.kernel) && !platform_.supports(t.kernel))
       throw std::invalid_argument(
           prefix + ": platform '" + platform_.name() +
           "' is not calibrated for kernel " + std::string(to_string(t.kernel)));

@@ -148,23 +148,28 @@ ExperimentTable run_experiment(const Experiment& e) {
     // Fastest scheduler series' mean makespan feeds the ratio columns.
     double best_seconds = 0.0;
     for (const auto& s : e.series) {
+      // The partitioning axis: a series may simulate its own graph of the
+      // same problem size (built fresh per cell; overrides are expected to
+      // be rare and sizes small enough that rebuilding beats caching).
+      const TaskGraph sg = s.graph ? s.graph(n) : TaskGraph{};
+      const TaskGraph& gr = s.graph ? sg : g;
       ExperimentCell cell;
       if (!s.scheduler.empty()) {
         const auto& metric =
             s.metric ? s.metric : (e.metric ? e.metric : default_metric);
         double seconds = 0.0;
-        cell = repeat_averaged(s.scheduler, g, p, n, s.options, s.runs,
+        cell = repeat_averaged(s.scheduler, gr, p, n, s.options, s.runs,
                                s.filter, metric, s.sink, &seconds);
         if (best_seconds == 0.0 || seconds < best_seconds)
           best_seconds = seconds;
       } else if (s.value) {
-        cell.mean = s.value(n, g, p, row);
+        cell.mean = s.value(n, gr, p, row);
       } else {
         throw std::invalid_argument("series '" + s.name +
                                     "': neither scheduler nor value set");
       }
       if (s.scale) {
-        const double k = s.scale(n, g, p);
+        const double k = s.scale(n, gr, p);
         cell.mean *= k;
         cell.sd *= k;
       }

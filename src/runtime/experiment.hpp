@@ -56,6 +56,13 @@ struct SeriesSpec {
   RunOptions options;
   /// Worker filter passed to the dmda family (static knowledge hints).
   WorkerFilter filter;
+  /// Per-series graph override; empty inherits the experiment graph. The
+  /// partitioning axis: series of one sweep may simulate differently
+  /// partitioned DAGs of the same problem (e.g. uniform nb vs a tuned
+  /// TilePlan, see partition/auto_tune.hpp). A derived series with an
+  /// override sees its own graph in `value`/`scale`; bound columns keep
+  /// using the experiment graph.
+  std::function<TaskGraph(int n)> graph;
   /// Derived series only: the value, given the row built so far (cells of
   /// the series left of this one).
   std::function<double(int n, const TaskGraph& g, const Platform& p,

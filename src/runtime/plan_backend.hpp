@@ -1,0 +1,38 @@
+// Wall-clock compute backend for TilePlan graphs: like ComputeBackend,
+// but tasks execute on a PlanStorage (contiguous per-handle blocks) and
+// every attempt binds the thread-local pack geometry resolved for its
+// region tile size, so workers running different-granularity subtiles
+// concurrently each pack panels blocked for their own region (and the
+// pack cache keys them apart by geometry id).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "core/plan_storage.hpp"
+#include "kernels/pack_cache.hpp"
+#include "runtime/threaded_backend.hpp"
+
+namespace hetsched {
+
+class PlanComputeBackend final : public ThreadedBackend {
+ public:
+  explicit PlanComputeBackend(PlanStorage& storage) : storage_(storage) {}
+  const char* name() const override { return "compute-plan"; }
+  const char* error_prefix() const override { return "plan executor"; }
+
+ protected:
+  void on_drive_start(RunEngine& engine) override;
+  void on_drive_end(RunEngine& engine) override;
+  bool cancellable() const override { return false; }
+  bool run_task(RunEngine& engine, int worker, int task,
+                const std::atomic<bool>* cancel, std::string* error) override;
+  double makespan_from(double elapsed_s) const override { return elapsed_s; }
+
+ private:
+  PlanStorage& storage_;
+  kernels::PackedTileCache* cache_ = nullptr;
+  kernels::PackCacheStats cache_baseline_;
+};
+
+}  // namespace hetsched

@@ -63,7 +63,8 @@ class WallClockHost final : public SchedulerHost {
 
   void note_task_queued(int task, int worker) override {
     const double est =
-        platform_.worker_time(worker, graph_.task(task).kernel);
+        platform_.worker_time_at(worker, graph_.task(task).kernel,
+                                 graph_.task(task).nb);
     lifecycle_.note_queued(task, worker, est);
   }
 
@@ -71,7 +72,8 @@ class WallClockHost final : public SchedulerHost {
 
   void on_start(int worker, int task) {
     busy_until_[static_cast<std::size_t>(worker)] =
-        now() + platform_.worker_time(worker, graph_.task(task).kernel);
+        now() + platform_.worker_time_at(worker, graph_.task(task).kernel,
+                                         graph_.task(task).nb);
   }
 
   void set_dead(int worker) {
@@ -335,7 +337,8 @@ void ThreadedBackend::drive(RunEngine& engine) {
           run.has_deadline = fr->plan.watchdog_timeout_factor > 0.0;
           if (run.has_deadline) {
             const double est =
-                calibration.worker_time(worker, g.task(task).kernel) *
+                calibration.worker_time_at(worker, g.task(task).kernel,
+                                           g.task(task).nb) *
                 fr->plan.watchdog_timeout_factor;
             run.deadline = Clock::now() + to_duration(est);
           }
@@ -599,7 +602,8 @@ bool EmulationBackend::run_task(RunEngine& engine, int worker, int task,
                                 const std::atomic<bool>* cancel,
                                 std::string*) {
   double seconds =
-      engine.platform().worker_time(worker, engine.graph().task(task).kernel) *
+      engine.platform().worker_time_at(worker, engine.graph().task(task).kernel,
+                                       engine.graph().task(task).nb) *
       time_scale_;
   const CancelToken* const token = engine.options().cancel;
   if (cancel == nullptr && token == nullptr) {

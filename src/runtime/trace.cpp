@@ -18,6 +18,8 @@ char kernel_letter(Kernel k) {
     case Kernel::TSQRT: return 't';
     case Kernel::ORMQR: return 'o';
     case Kernel::TSMQR: return 'm';
+    case Kernel::SPLIT: return 'v';
+    case Kernel::MERGE: return 'V';
   }
   return '?';
 }
@@ -33,6 +35,8 @@ const char* kernel_color(Kernel k) {
     case Kernel::TSQRT: return "#e377c2";  // pink
     case Kernel::ORMQR: return "#17becf";  // cyan
     case Kernel::TSMQR: return "#bcbd22";  // olive
+    case Kernel::SPLIT:
+    case Kernel::MERGE: return "#7f7f7f";  // gray (repack, no arithmetic)
   }
   return "#999999";
 }

@@ -12,9 +12,9 @@ namespace hetsched::sched {
 AlapSlackScheduler::AlapSlackScheduler(const TaskGraph& g, const Platform& p,
                                        WorkerFilter filter)
     : filter_(std::move(filter)) {
-  const bounds::AlapAnalysis a = bounds::alap_analysis(g, p.timings());
+  const bounds::AlapAnalysis a = bounds::alap_analysis(g, p);
   slack_ = a.slack;
-  bottom_ = bottom_levels_fastest(g, p.timings());
+  bottom_ = bottom_levels_fastest(g, p);
 }
 
 void AlapSlackScheduler::initialize(SchedulerHost& host) {
@@ -48,7 +48,7 @@ void AlapSlackScheduler::on_task_ready(SchedulerHost& host, int task) {
       if (pass == 0 && filter_ && !filter_(t, w)) continue;
       const double ect = std::max(host.expected_available(w.id), host.now()) +
                          host.estimated_transfer_seconds(task, w.id) +
-                         p.worker_time(w.id, t.kernel);
+                         p.worker_time_at(w.id, t.kernel, t.nb);
       if (ect < best_ect) {
         best_ect = ect;
         best_w = w.id;

@@ -26,7 +26,7 @@ void DmdaScheduler::on_task_ready(SchedulerHost& host, int task) {
       if (pass == 0 && opt_.filter && !opt_.filter(t, w)) continue;
       const double ect = std::max(host.expected_available(w.id), host.now()) +
                          host.estimated_transfer_seconds(task, w.id) +
-                         p.worker_time(w.id, t.kernel);
+                         p.worker_time_at(w.id, t.kernel, t.nb);
       if (ect < best_ect) {
         best_ect = ect;
         best_w = w.id;
@@ -86,7 +86,7 @@ DmdaScheduler make_dmdas(const TaskGraph& g, const Platform& p,
                          WorkerFilter filter) {
   DmdaScheduler::Options opt;
   opt.sorted = true;
-  opt.priorities = bottom_levels_fastest(g, p.timings());
+  opt.priorities = bottom_levels_fastest(g, p);
   opt.filter = std::move(filter);
   return DmdaScheduler(std::move(opt));
 }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "bounds/bound_model.hpp"
+#include "core/cholesky_dag.hpp"
 #include "sched/priorities.hpp"
 
 namespace hetsched::sched {
@@ -20,7 +21,7 @@ namespace {
 // does not depend on the offline-solver library.
 StaticSchedule greedy_eft_plan(const TaskGraph& g, const Platform& p) {
   const int n = g.num_tasks();
-  const std::vector<double> prio = bottom_levels_fastest(g, p.timings());
+  const std::vector<double> prio = bottom_levels_fastest(g, p);
   std::vector<int> indeg(static_cast<std::size_t>(n), 0);
   for (int t = 0; t < n; ++t)
     indeg[static_cast<std::size_t>(t)] =
@@ -50,7 +51,7 @@ StaticSchedule greedy_eft_plan(const TaskGraph& g, const Platform& p) {
     double best_s = 0.0;
     for (const Worker& w : p.workers()) {
       const double s = std::max(est, free_at[static_cast<std::size_t>(w.id)]);
-      const double f = s + p.worker_time(w.id, g.task(t).kernel);
+      const double f = s + p.worker_time_at(w.id, g.task(t).kernel, g.task(t).nb);
       if (f < best_f) {
         best_f = f;
         best_w = w.id;
@@ -114,16 +115,25 @@ void HybridScheduler::select_static_set(const TaskGraph& g,
   static_count_ = std::clamp(static_count_, 0, n);
   if (static_count_ == 0) return;
 
-  // Least ALAP slack first: the spine whose placement matters most. Ties
-  // by descending bottom level, then id, matching alap-slack's ordering.
-  const bounds::AlapAnalysis a = bounds::alap_analysis(g, p.timings());
-  const std::vector<double> bottom = bottom_levels_fastest(g, p.timings());
+  // Spine key, ascending: ALAP slack (the placement-critical spine) or
+  // tile-diagonal distance (the panel neighbourhood, Section V-C's
+  // static part). Ties by descending bottom level, then id, matching
+  // alap-slack's ordering.
+  std::vector<double> key(static_cast<std::size_t>(n));
+  if (opt_.spine == Options::Spine::kTrsmDist) {
+    for (int t = 0; t < n; ++t)
+      key[static_cast<std::size_t>(t)] =
+          static_cast<double>(tile_diagonal_distance(g.task(t)));
+  } else {
+    key = bounds::alap_analysis(g, p).slack;
+  }
+  const std::vector<double> bottom = bottom_levels_fastest(g, p);
   std::vector<int> ids(static_cast<std::size_t>(n));
   std::iota(ids.begin(), ids.end(), 0);
   std::sort(ids.begin(), ids.end(), [&](int x, int y) {
     const auto ix = static_cast<std::size_t>(x);
     const auto iy = static_cast<std::size_t>(y);
-    if (a.slack[ix] != a.slack[iy]) return a.slack[ix] < a.slack[iy];
+    if (key[ix] != key[iy]) return key[ix] < key[iy];
     if (bottom[ix] != bottom[iy]) return bottom[ix] > bottom[iy];
     return x < y;
   });
@@ -212,7 +222,7 @@ void HybridScheduler::on_task_ready(SchedulerHost& host, int task) {
       if (pass == 0 && opt_.filter && !opt_.filter(t, w)) continue;
       const double ect = std::max(host.expected_available(w.id), host.now()) +
                          host.estimated_transfer_seconds(task, w.id) +
-                         p.worker_time(w.id, t.kernel);
+                         p.worker_time_at(w.id, t.kernel, t.nb);
       if (ect < best_ect) {
         best_ect = ect;
         best_w = w.id;
@@ -264,10 +274,10 @@ int HybridScheduler::pop_task(SchedulerHost& host, int worker) {
     for (std::size_t w = 0; w < dyn_.size(); ++w) {
       if (static_cast<int>(w) == worker || dyn_[w].empty()) continue;
       const int t = dyn_[w].back();
-      const Kernel k = host.graph().task(t).kernel;
+      const Task& vt = host.graph().task(t);
       const double thief_ect =
           thief_free + host.estimated_transfer_seconds(t, worker) +
-          p.worker_time(worker, k);
+          p.worker_time_at(worker, vt.kernel, vt.nb);
       // The victim's expected availability already covers its queued
       // backlog, t included (t was committed via note_task_queued).
       const double victim_ect =
@@ -305,10 +315,10 @@ int HybridScheduler::pop_task(SchedulerHost& host, int worker) {
         const auto t = static_cast<std::size_t>(vseq[i]);
         if (ready_[t] == 0 || popped_[t] != 0) continue;
         if (static_cast<int>(w) != worker) {
-          const Kernel k = host.graph().task(vseq[i]).kernel;
+          const Task& vt = host.graph().task(vseq[i]);
           const double thief_ect =
               thief_free + host.estimated_transfer_seconds(vseq[i], worker) +
-              p.worker_time(worker, k);
+              p.worker_time_at(worker, vt.kernel, vt.nb);
           const double victim_ect =
               std::max(host.expected_available(static_cast<int>(w)), now);
           if (thief_ect >= victim_ect) break;

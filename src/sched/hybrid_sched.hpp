@@ -44,9 +44,17 @@ namespace hetsched::sched {
 /// Knobs of the hybrid policy (namespace scope so the defaults are usable
 /// as a default constructor argument below).
 struct HybridOptions {
+  /// How the pinned spine is selected from the DAG.
+  enum class Spine {
+    kAlap,      ///< least ALAP slack first (the time-critical spine)
+    kTrsmDist,  ///< smallest tile-diagonal distance first: the panel
+                ///< tasks (POTRF/TRSM and their nearest updates) the
+                ///< paper's Section V-C pins to fast workers
+  };
   /// Fraction of tasks pinned to the static placement, chosen by
-  /// ascending ALAP slack. Must lie in [0, 1].
+  /// ascending spine order. Must lie in [0, 1].
   double static_fraction = 0.5;
+  Spine spine = Spine::kAlap;
   /// Allow idle workers to claim ready pinned tasks of other workers
   /// once they find no dynamic work.
   bool steal_static = false;

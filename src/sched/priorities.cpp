@@ -5,8 +5,8 @@
 namespace hetsched {
 namespace {
 
-std::vector<double> bottom_levels(const TaskGraph& g, const TimingTable& t,
-                                  bool use_average) {
+template <typename Cost>
+std::vector<double> bottom_levels(const TaskGraph& g, Cost&& cost) {
   std::vector<double> bl(static_cast<std::size_t>(g.num_tasks()), 0.0);
   const std::vector<int> topo = g.topological_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
@@ -14,23 +14,40 @@ std::vector<double> bottom_levels(const TaskGraph& g, const TimingTable& t,
     double succ_max = 0.0;
     for (const int s : g.successors(id))
       succ_max = std::max(succ_max, bl[static_cast<std::size_t>(s)]);
-    const Kernel k = g.task(id).kernel;
-    const double w = use_average ? t.average(k) : t.fastest(k);
-    bl[static_cast<std::size_t>(id)] = w + succ_max;
+    bl[static_cast<std::size_t>(id)] = cost(g.task(id)) + succ_max;
   }
   return bl;
+}
+
+double average_time_at(const Platform& p, Kernel k, int nb) {
+  double sum = 0.0;
+  const int nc = p.num_classes();
+  for (int c = 0; c < nc; ++c) sum += p.class_time_at(c, k, nb);
+  return nc > 0 ? sum / nc : 0.0;
 }
 
 }  // namespace
 
 std::vector<double> bottom_levels_fastest(const TaskGraph& g,
                                           const TimingTable& t) {
-  return bottom_levels(g, t, /*use_average=*/false);
+  return bottom_levels(g, [&](const Task& task) { return t.fastest(task.kernel); });
 }
 
 std::vector<double> bottom_levels_average(const TaskGraph& g,
                                           const TimingTable& t) {
-  return bottom_levels(g, t, /*use_average=*/true);
+  return bottom_levels(g, [&](const Task& task) { return t.average(task.kernel); });
+}
+
+std::vector<double> bottom_levels_fastest(const TaskGraph& g,
+                                          const Platform& p) {
+  return bottom_levels(
+      g, [&](const Task& task) { return p.fastest_time_at(task.kernel, task.nb); });
+}
+
+std::vector<double> bottom_levels_average(const TaskGraph& g,
+                                          const Platform& p) {
+  return bottom_levels(
+      g, [&](const Task& task) { return average_time_at(p, task.kernel, task.nb); });
 }
 
 }  // namespace hetsched

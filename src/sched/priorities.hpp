@@ -22,4 +22,13 @@ std::vector<double> bottom_levels_fastest(const TaskGraph& g,
 std::vector<double> bottom_levels_average(const TaskGraph& g,
                                           const TimingTable& t);
 
+/// Mixed-nb aware variants: durations come from Platform::class_time_at
+/// with each task's own Task::nb, so graphs built from a TilePlan get
+/// correctly scaled priorities. On uniform graphs (every nb == -1) these
+/// produce bit-for-bit the same values as the TimingTable overloads.
+std::vector<double> bottom_levels_fastest(const TaskGraph& g,
+                                          const Platform& p);
+std::vector<double> bottom_levels_average(const TaskGraph& g,
+                                          const Platform& p);
+
 }  // namespace hetsched

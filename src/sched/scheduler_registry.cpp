@@ -177,7 +177,7 @@ class PriorityFactory final : public SchedulerFactory {
     if (spec.get_bool("levels", false)) {
       const TaskGraph& g = require_graph(ctx, "priority:levels=on");
       const Platform& p = require_platform(ctx, "priority:levels=on");
-      prio = bottom_levels_fastest(g, p.timings());
+      prio = bottom_levels_fastest(g, p);
     }
     return std::make_unique<CentralPriorityScheduler>(std::move(prio));
   }
@@ -245,11 +245,12 @@ class HybridFactory final : public SchedulerFactory {
  public:
   std::string name() const override { return "hybrid"; }
   std::string description() const override {
-    return "ALAP-slack spine pinned to a static placement + dmda "
-           "remainder with stealing (static_fraction=F, steal_static=B)";
+    return "static spine pinned to a placement + dmda remainder with "
+           "stealing (static_fraction=F, steal_static=B, "
+           "spine=alap|trsm-dist)";
   }
   std::vector<std::string> option_keys() const override {
-    return {"static_fraction", "steal_static"};
+    return {"static_fraction", "steal_static", "spine"};
   }
   std::unique_ptr<Scheduler> create(const SchedulerSpec& spec,
                                     const SchedulerContext& ctx)
@@ -259,6 +260,15 @@ class HybridFactory final : public SchedulerFactory {
     HybridScheduler::Options opt;
     opt.static_fraction = spec.get_double("static_fraction", 0.5);
     opt.steal_static = spec.get_bool("steal_static", false);
+    const std::string spine = spec.get("spine", "alap");
+    if (spine == "alap") {
+      opt.spine = HybridScheduler::Options::Spine::kAlap;
+    } else if (spine == "trsm-dist") {
+      opt.spine = HybridScheduler::Options::Spine::kTrsmDist;
+    } else {
+      throw std::invalid_argument("scheduler option spine='" + spine +
+                                  "': expected alap or trsm-dist");
+    }
     opt.filter = ctx.filter;
     return std::make_unique<HybridScheduler>(g, p, std::move(opt));
   }

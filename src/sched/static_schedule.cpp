@@ -20,7 +20,8 @@ const StaticSchedule::Entry& StaticSchedule::entry_for(int task) const {
 double StaticSchedule::makespan(const TaskGraph& g, const Platform& p) const {
   double m = 0.0;
   for (const Entry& e : entries)
-    m = std::max(m, e.start + p.worker_time(e.worker, g.task(e.task).kernel));
+    m = std::max(m, e.start + p.worker_time_at(e.worker, g.task(e.task).kernel,
+                                               g.task(e.task).nb));
   return m;
 }
 
@@ -48,7 +49,8 @@ std::string StaticSchedule::validate(const TaskGraph& g,
   for (const Entry& e : entries) {
     start[static_cast<std::size_t>(e.task)] = e.start;
     end[static_cast<std::size_t>(e.task)] =
-        e.start + p.worker_time(e.worker, g.task(e.task).kernel);
+        e.start + p.worker_time_at(e.worker, g.task(e.task).kernel,
+                                   g.task(e.task).nb);
   }
   for (int id = 0; id < g.num_tasks(); ++id)
     for (const int s : g.successors(id))

@@ -189,5 +189,51 @@ TEST(HybridScheduler, SurvivesWorkerDeathInBothHalves) {
   }
 }
 
+// ---- Spine selection -------------------------------------------------------
+
+TEST(HybridScheduler, TrsmDistSpinePinsPanelTasksFirst) {
+  // With spine=trsm-dist the pinned set must be a prefix of the
+  // tile-diagonal-distance ordering: no dynamic task may sit strictly
+  // closer to the diagonal than a pinned one (ties may straddle the cut).
+  const TaskGraph g = build_cholesky_dag(8);
+  const Platform p = mirage_platform().without_communication();
+  sched::HybridScheduler::Options opt;
+  opt.static_fraction = 0.3;
+  opt.spine = sched::HybridOptions::Spine::kTrsmDist;
+  const sched::HybridScheduler hyb(g, p, opt);
+  ASSERT_GT(hyb.static_count(), 0);
+  ASSERT_LT(hyb.static_count(), g.num_tasks());
+  int max_static = 0, min_dynamic = 1 << 30;
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    const int d = tile_diagonal_distance(g.task(t));
+    if (hyb.is_static(t))
+      max_static = std::max(max_static, d);
+    else
+      min_dynamic = std::min(min_dynamic, d);
+  }
+  EXPECT_LE(max_static, min_dynamic);
+}
+
+TEST(HybridScheduler, SpineOptionResolvesThroughRegistry) {
+  const TaskGraph g = build_cholesky_dag(6);
+  const Platform p = testutil::tiny_hetero();
+  // Default and explicit alap spines are the same scheduler bit-for-bit.
+  RunOptions ropt;
+  auto a = sched::make_scheduler("hybrid:static_fraction=0.4", g, p);
+  auto b =
+      sched::make_scheduler("hybrid:static_fraction=0.4,spine=alap", g, p);
+  expect_identical_traces(simulate(g, p, *a, ropt), simulate(g, p, *b, ropt),
+                          "spine=alap default");
+  // trsm-dist parses and completes a valid run.
+  auto c = sched::make_scheduler(
+      "hybrid:static_fraction=0.4,spine=trsm-dist", g, p);
+  const RunReport r = simulate(g, p, *c, ropt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(schedule_from_trace(r.trace, g.num_tasks()).validate(g, p), "");
+  // Unknown spine values are rejected up front, naming the choices.
+  EXPECT_THROW(sched::make_scheduler("hybrid:spine=bogus", g, p),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hetsched

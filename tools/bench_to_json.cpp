@@ -28,6 +28,10 @@
 //             static replay reference columns and the policy's steal /
 //             boundary-crossing counters per cell; CI uploads this output
 //             as BENCH_hybrid.json
+//   --partition  variable tile-size grid (uniform TilePlans at nb =
+//             960/480/240 vs the greedy auto-tuned mixed plan per size,
+//             no-comm mirage, dmdas rollouts); CI uploads this output as
+//             BENCH_partition.json
 //   --out     write JSON to FILE instead of stdout
 #include <algorithm>
 #include <chrono>
@@ -514,6 +518,55 @@ int run_hybrid_bench(bool quick, const std::string& out_path) {
   return write_json(json, out_path) ? 0 : 1;
 }
 
+/// Partitioning grid: uniform TilePlans at levels 0..2 against the greedy
+/// auto-tuned plan, per paper size on the no-comm mirage platform under
+/// dmdas. `auto_gain` is the relative makespan win of the tuned plan over
+/// the best uniform one -- never negative (the tuner seeds with the best
+/// uniform plan), and >= 0.03 at some mid size on a healthy build. CI
+/// uploads this output as BENCH_partition.json.
+int run_partition_bench(bool quick, const std::string& out_path) {
+  namespace partition = hetsched::partition;
+  // Full mode stops at 12 tiles: each auto cell costs a few hundred DES
+  // rollouts and the crossover story lives in the 6..12 range.
+  const std::vector<int> sizes = quick ? std::vector<int>{2, 4, 8}
+                                       : std::vector<int>{2, 4, 6, 8, 10, 12};
+  const hetsched::Platform p =
+      hetsched::mirage_platform().without_communication();
+
+  std::string json = "{\n  \"platform\": \"";
+  json += p.name();
+  json += "\",\n  \"results\": [\n";
+  bool first = true;
+  for (const int n : sizes) {
+    double uniform_s[3] = {0.0, 0.0, 0.0};
+    for (int level = 0; level < 3; ++level)
+      uniform_s[level] = partition::rollout_makespan_s(
+          hetsched::TilePlan::uniform(n, p.nb(), level), p, "dmdas");
+    const double best_uniform_s =
+        std::min({uniform_s[0], uniform_s[1], uniform_s[2]});
+    partition::AutoTuneOptions topt;
+    topt.policy = "dmdas";
+    const partition::AutoTuneResult r = partition::auto_tune(n, p.nb(), p, topt);
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"tiles\": %d, \"uniform_nb960_s\": %.6e, "
+                  "\"uniform_nb480_s\": %.6e, \"uniform_nb240_s\": %.6e, "
+                  "\"best_uniform_s\": %.6e, \"auto_s\": %.6e, "
+                  "\"auto_gain\": %.4f, \"seed_level\": %d, "
+                  "\"rounds\": %d, \"rollouts\": %d}",
+                  first ? "" : ",\n", n, uniform_s[0], uniform_s[1],
+                  uniform_s[2], best_uniform_s, r.makespan_s,
+                  best_uniform_s > 0.0
+                      ? (best_uniform_s - r.makespan_s) / best_uniform_s
+                      : 0.0,
+                  r.uniform_level, r.rounds, r.rollouts);
+    json += row;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  return write_json(json, out_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +576,7 @@ int main(int argc, char** argv) {
   bool kernels_threads = false;
   bool bounds_grid = false;
   bool hybrid_grid = false;
+  bool partition_grid = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -537,16 +591,20 @@ int main(int argc, char** argv) {
       bounds_grid = true;
     } else if (std::strcmp(argv[i], "--hybrid") == 0) {
       hybrid_grid = true;
+    } else if (std::strcmp(argv[i], "--partition") == 0) {
+      partition_grid = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--runtime] [--serving] "
-                   "[--kernels-threads] [--bounds] [--hybrid] [--out=FILE]\n",
+                   "[--kernels-threads] [--bounds] [--hybrid] [--partition] "
+                   "[--out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (partition_grid) return run_partition_bench(quick, out_path);
   if (hybrid_grid) return run_hybrid_bench(quick, out_path);
   if (bounds_grid) return run_bounds_bench(quick, out_path);
   if (kernels_threads) return run_kernels_threads_bench(quick, out_path);

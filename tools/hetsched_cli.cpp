@@ -94,6 +94,10 @@ struct Args {
   double metrics_interval = 0.0;  ///< live metrics line period, seconds
   // Bound-model registry names, comma-separated (simulate / sweep / exec).
   std::string bounds_list;
+  // Variable tile-size partitioning (simulate / exec, cholesky only):
+  // "auto" (partition::auto_tune), "uniform:NB" (every cell split until
+  // the subtile side is NB), or a TilePlan text file path.
+  std::string tile_plan;
   // Real execution (the `exec` command) and kernel knobs.
   int threads = 4;
   int nb = 256;
@@ -152,6 +156,10 @@ struct Args {
       "                       registered policies: %s\n"
       "                       (--policy help describes each)\n"
       "  --platform=mirage|related|homogeneous --no-comm --seed=S --trace\n"
+      "  --tile-plan=auto|uniform:NB|FILE  variable tile-size partition\n"
+      "                       (cholesky only): auto-tune a quadtree split\n"
+      "                       plan, split uniformly to subtile side NB, or\n"
+      "                       load a TilePlan text file (simulate / exec)\n"
       "  --trace-stream=FILE  stream events as JSONL while running\n"
       "  --metrics-interval=S live aggregate metrics on stderr every S s\n"
       "  --bounds=LIST        comma-separated bound models to report the\n"
@@ -247,6 +255,7 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(arg, "time-scale", &v)) a.time_scale = std::atof(v.c_str());
     else if (parse_flag(arg, "threads", &v)) a.threads = std::atoi(v.c_str());
     else if (parse_flag(arg, "nb", &v)) a.nb = std::atoi(v.c_str());
+    else if (parse_flag(arg, "tile-plan", &v)) a.tile_plan = v;
     else if (parse_flag(arg, "pack-cache", &v)) a.pack_cache = v;
     else if (parse_flag(arg, "kernel-tier", &v)) a.kernel_tier = v;
     else if (parse_flag(arg, "trace-stream", &v)) a.trace_stream = v;
@@ -321,6 +330,51 @@ TaskGraph build_graph(const Args& a, int n) {
   if (a.algo == "lu") return build_lu_dag(n);
   if (a.algo == "qr") return build_qr_dag(n);
   usage("unknown --algo (cholesky|lu|qr)");
+}
+
+/// --tile-plan=auto|uniform:NB|FILE -> a validated TilePlan for a.tiles x
+/// base_nb. "auto" runs the partition auto-tuner against `p` (rollout
+/// policy = --sched, a registry spec) and reports what it found on
+/// stderr; "uniform:NB" splits every cell until the subtile side is NB;
+/// anything else is read as a TilePlan text file.
+TilePlan resolve_tile_plan(const Args& a, int base_nb, const Platform& p) {
+  if (a.algo != "cholesky")
+    usage("--tile-plan applies to --algo=cholesky only");
+  if (a.tile_plan == "auto") {
+    partition::AutoTuneOptions topt;
+    topt.policy = a.sched;
+    const partition::AutoTuneResult r =
+        partition::auto_tune(a.tiles, base_nb, p, topt);
+    std::fprintf(stderr,
+                 "auto-tuned partition: simulated %.4f s (best uniform "
+                 "%.4f s at level %d; %d rollouts, %d rounds)\n",
+                 r.makespan_s, r.uniform_makespan_s, r.uniform_level,
+                 r.rollouts, r.rounds);
+    return r.plan;
+  }
+  if (a.tile_plan.rfind("uniform:", 0) == 0) {
+    const int want = std::atoi(a.tile_plan.c_str() + 8);
+    for (int l = 0; l <= kMaxTileSplitLevel; ++l)
+      if ((base_nb >> l) == want && base_nb % (1 << l) == 0)
+        return TilePlan::uniform(a.tiles, base_nb, l);
+    usage("--tile-plan=uniform:NB needs NB = tile size halved at most "
+          "3 times");
+  }
+  std::FILE* f = std::fopen(a.tile_plan.c_str(), "rb");
+  if (f == nullptr)
+    usage(("--tile-plan: cannot open " + a.tile_plan).c_str());
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    text.append(buf, got);
+  std::fclose(f);
+  TilePlan plan = TilePlan::from_text(text);
+  if (plan.n_tiles != a.tiles || plan.base_nb != base_nb)
+    usage(("--tile-plan file is for " + std::to_string(plan.n_tiles) +
+           " tiles of " + std::to_string(plan.base_nb) + ", run wants " +
+           std::to_string(a.tiles) + " of " + std::to_string(base_nb))
+              .c_str());
+  return plan;
 }
 
 double algo_gflops(const Args& a, int n, int nb, double seconds) {
@@ -452,7 +506,10 @@ int cmd_bounds(const Args& a) {
 
 int cmd_simulate(const Args& a) {
   const Platform p = build_platform(a, a.tiles);
-  const TaskGraph g = build_graph(a, a.tiles);
+  const TaskGraph g =
+      a.tile_plan.empty()
+          ? build_graph(a, a.tiles)
+          : build_cholesky_dag_plan(resolve_tile_plan(a, p.nb(), p));
   auto sched = build_scheduler(a, g, p);
   RunOptions opt;
   opt.per_task_overhead_s = a.overhead;
@@ -462,7 +519,11 @@ int cmd_simulate(const Args& a) {
     opt.accel_memory_bytes = static_cast<std::size_t>(a.memory_tiles) *
                              static_cast<std::size_t>(p.nb()) *
                              static_cast<std::size_t>(p.nb()) * sizeof(double);
-  const double bound = algo_mixed(a, a.tiles, p).makespan_s;
+  // Mixed-nb graphs price their bound from the actual task set (the
+  // closed-form yardstick assumes one uniform tile size).
+  const double bound = a.tile_plan.empty()
+                           ? algo_mixed(a, a.tiles, p).makespan_s
+                           : bounds::evaluate_bound_s("mixed", g, p);
   // --bounds=LIST: registry evaluation happens here (fail-fast on an
   // unknown name -> exit 2), the ratios land in RunReport::bound_ratios
   // via RunOptions::bound_models, and the same (name, seconds) pairs feed
@@ -703,7 +764,15 @@ int cmd_exec(const Args& a) {
     usage("exec runs the numeric Cholesky kernels (--algo=cholesky only)");
   apply_kernel_tier(a);
   TileMatrix m = TileMatrix::synthetic_spd(a.tiles, a.nb, a.seed);
-  const TaskGraph g = build_cholesky_dag(a.tiles);
+  // --tile-plan: the plan is resolved against the measured local platform
+  // (what the pool actually runs on); "auto" tunes its rollouts there too.
+  const bool planned = !a.tile_plan.empty();
+  TilePlan plan;
+  if (planned)
+    plan = resolve_tile_plan(a, a.nb,
+                             measured_local_platform(a.threads, a.nb));
+  const TaskGraph g =
+      planned ? build_cholesky_dag_plan(plan) : build_cholesky_dag(a.tiles);
   // --bounds: yardsticks of the real run come from the measured local
   // platform (same thread count and tile size the pool executes with), not
   // the paper's modeled machine. Evaluated before the run so an unknown
@@ -723,7 +792,8 @@ int cmd_exec(const Args& a) {
     deadline.set_deadline_after(a.deadline_ms / 1000.0);
     opt.cancel = &deadline;
   }
-  const RunReport r = execute_parallel(m, g, opt);
+  const RunReport r =
+      planned ? execute_plan_parallel(m, plan, opt) : execute_parallel(m, g, opt);
   if (!r.success) {
     std::fprintf(stderr, "execution failed: %s\n", r.error.c_str());
     return failure_exit_code(r);
